@@ -1,0 +1,40 @@
+"""Extension benches: IRR churn cost and response-time comparison.
+
+These quantify two §4 claims the paper argues but does not plot:
+
+* long TTLs trade a wider obsolete-IRR window (latency penalty, no
+  availability loss) — `bench_churn`;
+* refresh/long-TTL *improve* response time by avoiding tree walks —
+  `bench_latency`.
+"""
+
+from repro.experiments.churn import churn_experiment
+from repro.experiments.latency import latency_experiment
+from repro.hierarchy.builder import HierarchyConfig
+from repro.workload.generator import WorkloadConfig
+
+
+def bench_churn(run_once, record_artifact):
+    result = run_once(
+        churn_experiment,
+        hierarchy_config=HierarchyConfig(num_tlds=10, num_slds=300,
+                                         num_providers=4),
+        workload_config=WorkloadConfig(duration_days=7.0,
+                                       queries_per_day=6_000,
+                                       num_clients=120),
+        churn_fraction=0.25,
+    )
+    record_artifact("churn", result.render())
+    for row in result.rows:
+        assert row.sr_failure_rate < 0.005, row.label
+    assert result.row("refresh+ttl7d").stale_touches >= \
+        result.row("vanilla").stale_touches
+
+
+def bench_latency(run_once, scenario, record_artifact):
+    result = run_once(latency_experiment, scenario)
+    record_artifact("latency", result.render())
+    assert result.row("refresh+ttl7d").mean_latency <= \
+        result.row("vanilla").mean_latency
+    assert result.row("combination").cs_queries_per_lookup <= \
+        result.row("vanilla").cs_queries_per_lookup

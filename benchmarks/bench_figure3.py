@@ -1,0 +1,13 @@
+"""Bench F3 — regenerate Figure 3 (expiry-to-next-query gap CDFs)."""
+
+from repro.experiments import figures
+
+
+def bench_figure3(run_once, scenario, record_artifact):
+    result = run_once(figures.figure3, scenario)
+    record_artifact("figure3", result.render())
+    # Paper: "in absolute time almost all gaps are less than 5 days".
+    assert result.fraction_under_5_days > 0.95
+    # Relative gaps vary widely: a visible mass both below and above 1 TTL.
+    below_one = result.cdf_fraction.probability_at_or_below(1.0)
+    assert 0.1 < below_one < 0.95

@@ -1,0 +1,12 @@
+"""Bench F7 — regenerate Figure 7 (refresh + LFU renewal, credits 1/3/5)."""
+
+from repro.experiments import figures
+
+TRACE_LIMIT = 3
+
+
+def bench_figure7(run_once, scenario, record_artifact):
+    grid = run_once(figures.figure7, scenario, trace_limit=TRACE_LIMIT)
+    record_artifact("figure7", grid.render())
+    assert grid.column_mean_sr("LFU 5") <= grid.column_mean_sr("LFU 1") + 0.01
+    assert grid.column_mean_sr("LFU 3") < grid.column_mean_sr("DNS")

@@ -1,0 +1,19 @@
+"""Extension bench: fleet-wide attack impact (paper §6's damage currency).
+
+All five organisations replay concurrently over shared virtual time
+under the standard 6 h root+TLD attack; the aggregate failed-lookup
+count is the quantity §6's maximum-damage attacker optimises.
+"""
+
+from repro.experiments.fleet import fleet_attack_comparison
+
+
+def bench_fleet(run_once, scenario, record_artifact):
+    results = run_once(fleet_attack_comparison, scenario, trace_limit=3)
+    text = "\n\n".join(result.render() for result in results.values())
+    record_artifact("fleet", text)
+    vanilla = results["vanilla"]
+    combo = results["combo+a-lfu3+ttl3d"]
+    assert combo.aggregate_sr_failure_rate() < \
+        vanilla.aggregate_sr_failure_rate() / 5
+    assert combo.total_failed_lookups() < vanilla.total_failed_lookups()

@@ -1,0 +1,17 @@
+"""Extension bench: multi-seed replication of the headline comparison.
+
+Reports mean ± std across resolver seeds for the main schemes — the
+honest form of the single-replay numbers in Figures 4/5/9, and the check
+that the paper's ordering is robust to simulation randomness.
+"""
+
+from repro.experiments.multiseed import multiseed_experiment
+
+
+def bench_multiseed(run_once, scenario, record_artifact):
+    result = run_once(multiseed_experiment, scenario, seeds=(0, 1, 2))
+    record_artifact("multiseed", result.render())
+    vanilla = result.row("vanilla")
+    combo = result.row("combo+a-lfu3+ttl3d")
+    # Ordering robust across seeds: separated by well over the spreads.
+    assert combo.sr.mean + 2 * combo.sr.std < vanilla.sr.mean - 2 * vanilla.sr.std

@@ -1,0 +1,51 @@
+"""Bench fixtures: the shared scenario and artifact recording.
+
+Every bench regenerates one paper artifact (table or figure), prints its
+text rendering, and writes it to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can reference stable outputs.
+
+Scale defaults to SMALL; override with ``REPRO_SCALE=tiny|small|medium``.
+Each bench runs its workload exactly once (``benchmark.pedantic`` with
+one round): the artifact is a simulation result, not a microbenchmark,
+so wall-clock is reported but repetition would only re-prove determinism.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenarios import Scale, make_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The standard scenario at the env-selected scale."""
+    return make_scenario(Scale.from_env(default=Scale.SMALL))
+
+
+@pytest.fixture
+def record_artifact():
+    """Callable(name, text): print and persist a rendered artifact."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[artifact written to {path}]")
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Callable(func, *args, **kwargs): run the experiment once, timed."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

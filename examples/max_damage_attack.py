@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Exploring the paper's §6 "maximum damage attack" question.
+
+Given a budget of zones an attacker can flood, which targets hurt most —
+and does the paper's combination scheme still blunt the damage?  This
+drives the greedy (trace-oracle) explorer and compares it against the
+root+TLD attack the paper simulates and a random-target strawman.
+
+Usage::
+
+    python examples/max_damage_attack.py
+    REPRO_SCALE=small python examples/max_damage_attack.py
+"""
+
+from repro import Scale, make_scenario
+from repro.experiments.max_damage import (
+    greedy_targets,
+    max_damage_experiment,
+    upcoming_query_counts,
+)
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+def main() -> None:
+    scale = Scale.from_env(default=Scale.TINY)
+    scenario = make_scenario(scale)
+    trace = scenario.trace("TRC1")
+    start, end = 6 * DAY, 6 * DAY + 6 * HOUR
+
+    # Which zones carry the most upcoming traffic?
+    counts = upcoming_query_counts(trace, scenario, start, end)
+    print("busiest subtrees in the attack window:")
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])[:8]
+    for zone, count in ranked:
+        print(f"  {str(zone):<24} {count:>6} queries transit it")
+    print()
+
+    budget = 5
+    targets = greedy_targets(trace, scenario, budget, start, end)
+    print(f"greedy target list (budget {budget}): "
+          + ", ".join(str(t) for t in targets))
+    print()
+
+    result = max_damage_experiment(scenario, budget=budget)
+    print(result.render())
+    print()
+    print("Notes (paper §6): the oracle needs every resolver's future")
+    print("queries, so it is not a practical attack — but even against it,")
+    print("the combination scheme holds failures near the no-enhancement")
+    print("floor, because cached IRRs bypass the flooded zones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Operator's guide: choose a renewal policy and credit level.
+
+For each (policy, credit) pair this prints the resilience gained (failure
+rate under the standard 6 h attack) against the price paid (extra DNS
+messages and extra cache memory) — the trade-off behind the paper's
+Figures 6-9, Table 2 and Figure 12.
+
+Usage::
+
+    python examples/policy_tuning.py
+    REPRO_SCALE=small python examples/policy_tuning.py
+"""
+
+from repro import AttackSpec, ResilienceConfig, Scale, make_scenario, run_replay
+
+POLICIES = ("lru", "lfu", "a-lru", "a-lfu")
+CREDITS = (1, 3, 5)
+HOUR = 3600.0
+
+
+def steady_records(result, after=2 * 86400.0):
+    tail = [s.records_cached for s in result.metrics.memory_samples
+            if s.time >= after]
+    return sum(tail) / len(tail) if tail else 0.0
+
+
+def main() -> None:
+    scale = Scale.from_env(default=Scale.TINY)
+    scenario = make_scenario(scale)
+    trace = scenario.trace("TRC1")
+    attack = AttackSpec(start=scenario.attack_start, duration=6 * HOUR)
+
+    baseline = run_replay(scenario.built, trace, ResilienceConfig.vanilla(),
+                          attack=attack, memory_sample_interval=6 * HOUR)
+    base_messages = baseline.metrics.total_outgoing
+    base_memory = steady_records(baseline)
+    print(f"vanilla: {baseline.sr_attack_failure_rate:.1%} SR failures, "
+          f"{base_messages:,} messages\n")
+
+    print(f"{'policy':<8} {'credit':>6} {'SR failures':>12} "
+          f"{'msg overhead':>13} {'cache size':>11}")
+    for policy in POLICIES:
+        for credit in CREDITS:
+            config = ResilienceConfig.refresh_renew(policy, credit)
+            result = run_replay(scenario.built, trace, config, attack=attack,
+                                memory_sample_interval=6 * HOUR)
+            overhead = result.metrics.message_overhead_vs(baseline.metrics)
+            memory_ratio = (steady_records(result) / base_memory
+                            if base_memory else float("nan"))
+            print(
+                f"{policy:<8} {credit:>6} "
+                f"{result.sr_attack_failure_rate:>11.2%} "
+                f"{overhead:>+12.1%} {memory_ratio:>10.2f}x"
+            )
+        print()
+
+    print("Reading the table (paper's conclusions):")
+    print(" * adaptive policies resist best but cost the most messages;")
+    print(" * plain LRU/LFU are cheap but leave short-TTL zones exposed;")
+    print(" * pairing renewal with 3-day IRR TTLs (the combination) keeps")
+    print("   the resilience while *reducing* total DNS traffic.")
+
+
+if __name__ == "__main__":
+    main()

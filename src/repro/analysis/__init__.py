@@ -1,0 +1,16 @@
+"""Post-processing: CDFs, gap measurements, overheads, text reports."""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.gaps import GapSample, GapTracker
+from repro.analysis.overhead import MemoryOverheadSeries, MessageOverheadTable
+from repro.analysis.report import format_table, render_series
+
+__all__ = [
+    "Cdf",
+    "GapSample",
+    "GapTracker",
+    "MemoryOverheadSeries",
+    "MessageOverheadTable",
+    "format_table",
+    "render_series",
+]

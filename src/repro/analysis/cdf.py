@@ -1,0 +1,53 @@
+"""Empirical cumulative distribution functions (Figure 3's plots)."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF over a sample set."""
+
+    sorted_values: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Cdf":
+        return cls(tuple(sorted(samples)))
+
+    def __len__(self) -> int:
+        return len(self.sorted_values)
+
+    def probability_at_or_below(self, value: float) -> float:
+        """P(X <= value), in [0, 1]; 0 for an empty sample set."""
+        if not self.sorted_values:
+            return 0.0
+        return bisect_right(self.sorted_values, value) / len(self.sorted_values)
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction``-quantile (nearest-rank).
+
+        Raises:
+            ValueError: for an empty CDF or fraction outside [0, 1].
+        """
+        if not self.sorted_values:
+            raise ValueError("empty CDF has no percentiles")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        if fraction == 0.0:
+            return self.sorted_values[0]
+        rank = max(0, min(len(self.sorted_values) - 1,
+                          int(round(fraction * len(self.sorted_values))) - 1))
+        return self.sorted_values[rank]
+
+    def evaluate(self, points: Sequence[float]) -> list[tuple[float, float]]:
+        """(x, P(X <= x)) pairs for plotting/printing a figure's series."""
+        return [(point, self.probability_at_or_below(point)) for point in points]
+
+    def mean(self) -> float:
+        """Sample mean (0 for an empty set)."""
+        if not self.sorted_values:
+            return 0.0
+        return sum(self.sorted_values) / len(self.sorted_values)

@@ -1,0 +1,335 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Library version, available scales, schemes and artifacts.
+``replay``
+    Replay one trace under one scheme (optionally under attack) and
+    print the failure/overhead summary.
+``figure N`` / ``table N``
+    Regenerate one paper artifact and print it.
+``trace generate`` / ``trace stats``
+    Produce a synthetic trace file / summarise an existing one.
+``churn`` / ``latency`` / ``maxdamage``
+    Run the extension experiments.
+
+Scheme syntax (for ``--scheme``): ``vanilla``, ``refresh``,
+``serve-stale``, ``combination``, ``<policy>:<credit>`` (e.g.
+``a-lfu:5``) for refresh+renewal, or ``long-ttl:<days>`` for
+refresh+long-TTL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import __version__
+from repro.analysis import export as csv_export
+from repro.core.config import ResilienceConfig
+from repro.core.policies import policy_names
+from repro.experiments import figures
+from repro.experiments.churn import churn_experiment
+from repro.experiments.harness import AttackSpec, run_replay
+from repro.experiments.dnssec import dnssec_experiment
+from repro.experiments.latency import latency_experiment
+from repro.experiments.max_damage import max_damage_experiment
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.workload.generator import TraceGenerator, WorkloadConfig
+from repro.workload.stats import compute_statistics
+from repro.workload.trace import read_trace, write_trace
+
+HOUR = 3600.0
+
+_FIGURES: dict[int, Callable] = {
+    3: figures.figure3,
+    4: figures.figure4,
+    5: figures.figure5,
+    6: figures.figure6,
+    7: figures.figure7,
+    8: figures.figure8,
+    9: figures.figure9,
+    10: figures.figure10,
+    11: figures.figure11,
+    12: figures.figure12,
+}
+
+_TABLES: dict[int, Callable] = {
+    1: figures.table1,
+    2: figures.table2,
+}
+
+
+def parse_scheme(text: str) -> ResilienceConfig:
+    """Parse the CLI scheme syntax into a :class:`ResilienceConfig`.
+
+    Raises:
+        ValueError: for unknown scheme names or malformed parameters.
+    """
+    lowered = text.strip().lower()
+    if lowered == "vanilla":
+        return ResilienceConfig.vanilla()
+    if lowered == "refresh":
+        return ResilienceConfig.refresh()
+    if lowered == "serve-stale":
+        return ResilienceConfig.stale_serving()
+    if lowered == "combination":
+        return ResilienceConfig.combination()
+    if ":" in lowered:
+        kind, _, parameter = lowered.partition(":")
+        try:
+            value = float(parameter)
+        except ValueError:
+            raise ValueError(f"bad scheme parameter in {text!r}") from None
+        if kind == "long-ttl":
+            return ResilienceConfig.refresh_long_ttl(value)
+        if kind in policy_names():
+            return ResilienceConfig.refresh_renew(kind, value)
+    raise ValueError(
+        f"unknown scheme {text!r}; expected vanilla, refresh, serve-stale, "
+        f"combination, long-ttl:<days>, or one of "
+        f"{'/'.join(policy_names())}:<credit>"
+    )
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in Scale],
+        default=None,
+        help="experiment scale (default: $REPRO_SCALE or tiny)",
+    )
+
+
+def _resolve_scale(args: argparse.Namespace) -> Scale:
+    if args.scale:
+        return Scale(args.scale)
+    return Scale.from_env(default=Scale.TINY)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — DNS resilience reproduction (DSN 2007)")
+    print(f"scales: {', '.join(scale.value for scale in Scale)}")
+    print("schemes: vanilla, refresh, serve-stale, combination, "
+          "long-ttl:<days>, " + ", ".join(f"{p}:<credit>" for p in policy_names()))
+    print(f"figures: {', '.join(str(n) for n in sorted(_FIGURES))}")
+    print(f"tables: {', '.join(str(n) for n in sorted(_TABLES))}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    config = parse_scheme(args.scheme)
+    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
+    if args.trace_file:
+        trace = read_trace(args.trace_file)
+    else:
+        trace = scenario.trace(args.trace)
+    attack = None
+    if args.attack_hours > 0:
+        attack = AttackSpec(start=scenario.attack_start,
+                            duration=args.attack_hours * HOUR)
+    result = run_replay(scenario.built, trace, config, attack=attack,
+                        seed=args.seed)
+    metrics = result.metrics
+    print(f"trace {trace.name}: {metrics.sr_queries:,} stub queries, "
+          f"{metrics.total_outgoing:,} outgoing messages")
+    print(f"scheme: {config.describe()}")
+    print(f"cache hit rate: {metrics.sr_cache_hits / max(1, metrics.sr_queries):.1%}")
+    print(f"mean wait per lookup: {metrics.mean_latency * 1000:.1f} ms")
+    if attack is not None:
+        print(f"attack ({args.attack_hours:g} h on root+TLDs):")
+        print(f"  SR failures: {result.sr_attack_failure_rate:.2%}")
+        print(f"  CS failures: {result.cs_attack_failure_rate:.2%}")
+    else:
+        print(f"overall SR failures: {metrics.sr_failure_rate:.2%}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    try:
+        func = _FIGURES[args.number]
+    except KeyError:
+        print(f"no figure {args.number}; choose from "
+              f"{sorted(_FIGURES)}", file=sys.stderr)
+        return 2
+    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
+    kwargs = {}
+    if args.traces is not None and args.number != 12:
+        kwargs["trace_limit"] = args.traces
+    result = func(scenario, **kwargs)
+    print(result.render())
+    if args.csv:
+        _export_figure_csv(args.number, result, args.csv)
+        print(f"[csv written to {args.csv}]")
+    return 0
+
+
+def _export_figure_csv(number: int, result, path: str) -> None:
+    if number == 3:
+        headers, rows = csv_export.cdf_rows(
+            result.cdf_days, figures.GAP_DAY_POINTS
+        )
+    elif number == 12:
+        headers, rows = csv_export.memory_series_rows(result.series)
+    else:
+        headers, rows = csv_export.failure_grid_rows(result)
+    csv_export.write_csv(path, headers, rows)
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    try:
+        func = _TABLES[args.number]
+    except KeyError:
+        print(f"no table {args.number}; choose from {sorted(_TABLES)}",
+              file=sys.stderr)
+        return 2
+    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
+    print(func(scenario).render())
+    return 0
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
+    config = WorkloadConfig(
+        duration_days=args.days,
+        queries_per_day=args.queries_per_day,
+        num_clients=args.clients,
+    )
+    generator = TraceGenerator(scenario.built.catalog, config, seed=args.seed)
+    trace = generator.generate(args.name, stream=args.stream)
+    write_trace(trace, args.out)
+    print(f"wrote {len(trace):,} queries ({args.days:g} days) to {args.out}")
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    trace = read_trace(args.file)
+    stats = compute_statistics(trace)
+    print(f"trace {stats.name}: {stats.duration_days:g} days")
+    print(f"  clients:        {stats.clients:,}")
+    print(f"  requests in:    {stats.requests_in:,}")
+    print(f"  distinct names: {stats.distinct_names:,}")
+    print(f"  distinct zones: {stats.distinct_zones:,} (approximate)")
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    print(churn_experiment(seed=args.seed).render())
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
+    print(latency_experiment(scenario).render())
+    return 0
+
+
+def _cmd_dnssec(args: argparse.Namespace) -> int:
+    print(dnssec_experiment(seed=args.seed).render())
+    return 0
+
+
+def _cmd_maxdamage(args: argparse.Namespace) -> int:
+    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
+    print(max_damage_experiment(scenario, budget=args.budget).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__.split("\n")[0],
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="library capabilities")
+    info.set_defaults(func=_cmd_info)
+
+    replay = subparsers.add_parser("replay", help="replay a trace")
+    replay.add_argument("--scheme", default="vanilla",
+                        help="e.g. vanilla, refresh, a-lfu:5, long-ttl:7")
+    replay.add_argument("--trace", default="TRC1",
+                        help="built-in trace name (TRC1..TRC6)")
+    replay.add_argument("--trace-file", default=None,
+                        help="replay a trace file instead of a built-in")
+    replay.add_argument("--attack-hours", type=float, default=6.0,
+                        help="root+TLD attack duration; 0 disables")
+    replay.add_argument("--seed", type=int, default=7)
+    _add_scale_argument(replay)
+    replay.set_defaults(func=_cmd_replay)
+
+    figure = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int)
+    figure.add_argument("--traces", type=int, default=None,
+                        help="limit the number of traces (speed)")
+    figure.add_argument("--seed", type=int, default=7)
+    figure.add_argument("--csv", default=None,
+                        help="also write the figure's data as CSV")
+    _add_scale_argument(figure)
+    figure.set_defaults(func=_cmd_figure)
+
+    table = subparsers.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int)
+    table.add_argument("--seed", type=int, default=7)
+    _add_scale_argument(table)
+    table.set_defaults(func=_cmd_table)
+
+    trace = subparsers.add_parser("trace", help="trace utilities")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    generate = trace_sub.add_parser("generate", help="write a synthetic trace")
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--name", default="TRC-CLI")
+    generate.add_argument("--days", type=float, default=7.0)
+    generate.add_argument("--queries-per-day", type=float, default=2000.0)
+    generate.add_argument("--clients", type=int, default=50)
+    generate.add_argument("--stream", type=int, default=99)
+    generate.add_argument("--seed", type=int, default=7)
+    _add_scale_argument(generate)
+    generate.set_defaults(func=_cmd_trace_generate)
+    stats = trace_sub.add_parser("stats", help="summarise a trace file")
+    stats.add_argument("file")
+    stats.set_defaults(func=_cmd_trace_stats)
+
+    churn = subparsers.add_parser("churn", help="IRR-churn cost experiment")
+    churn.add_argument("--seed", type=int, default=3)
+    churn.set_defaults(func=_cmd_churn)
+
+    latency = subparsers.add_parser("latency", help="response-time experiment")
+    latency.add_argument("--seed", type=int, default=7)
+    _add_scale_argument(latency)
+    latency.set_defaults(func=_cmd_latency)
+
+    dnssec = subparsers.add_parser(
+        "dnssec", help="DNSSEC amplification experiment (paper §6)"
+    )
+    dnssec.add_argument("--seed", type=int, default=5)
+    dnssec.set_defaults(func=_cmd_dnssec)
+
+    maxdamage = subparsers.add_parser("maxdamage",
+                                      help="maximum-damage exploration")
+    maxdamage.add_argument("--budget", type=int, default=None)
+    maxdamage.add_argument("--seed", type=int, default=7)
+    _add_scale_argument(maxdamage)
+    maxdamage.set_defaults(func=_cmd_maxdamage)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

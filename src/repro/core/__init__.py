@@ -1,0 +1,43 @@
+"""The paper's contribution: resilience-enhanced DNS caching servers.
+
+* :mod:`repro.core.config` -- :class:`ResilienceConfig`, the switchboard
+  for the three schemes (TTL refresh, TTL renewal, long TTL) and their
+  combinations.
+* :mod:`repro.core.policies` -- the four credit-based renewal policies
+  (LRU, LFU, A-LRU, A-LFU).
+* :mod:`repro.core.cache` -- an RFC 2181-ranked TTL cache with the
+  refresh rule and stale retention.
+* :mod:`repro.core.renewal` -- expiry timers that refetch IRRs while a
+  zone still has credit.
+* :mod:`repro.core.caching_server` -- the full iterative resolver tying
+  it all together.
+"""
+
+from repro.core.cache import DnsCache, PutResult
+from repro.core.caching_server import CachingServer, Resolution, ResolutionOutcome
+from repro.core.config import ResilienceConfig
+from repro.core.policies import (
+    AdaptiveLFUPolicy,
+    AdaptiveLRUPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    RenewalPolicy,
+    make_policy,
+)
+from repro.core.renewal import RenewalManager
+
+__all__ = [
+    "AdaptiveLFUPolicy",
+    "AdaptiveLRUPolicy",
+    "CachingServer",
+    "DnsCache",
+    "LFUPolicy",
+    "LRUPolicy",
+    "PutResult",
+    "RenewalManager",
+    "RenewalPolicy",
+    "Resolution",
+    "ResolutionOutcome",
+    "ResilienceConfig",
+    "make_policy",
+]

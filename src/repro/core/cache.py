@@ -1,0 +1,305 @@
+"""The caching server's RFC 2181-ranked TTL cache.
+
+Semantics that matter for the paper:
+
+* **Ranking** — data learned from a more trusted section may replace less
+  trusted data (child-side IRRs replace parent-side referral copies);
+  lower-ranked data never downgrades the cache.
+* **The refresh switch** — when an equally-ranked copy with identical
+  rdata arrives, a vanilla cache keeps the old countdown; with
+  ``refresh=True`` the TTL restarts.  That single branch is the paper's
+  "TTL refresh" scheme.
+* **Expired entries are kept** (tombstones) so the simulator can measure
+  Figure 3's expiry-to-next-use gaps and implement the serve-stale
+  comparator; they are invisible to normal lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.name import Name
+from repro.dns.ranking import Rank
+from repro.dns.records import RRset
+from repro.dns.rrtypes import RRType
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One cached RRset with its countdown and provenance."""
+
+    rrset: RRset
+    rank: Rank
+    stored_at: float
+    expires_at: float
+    published_ttl: float
+    """The TTL the authority published (pre-cap), for gap normalisation."""
+
+    def is_live(self, now: float) -> bool:
+        return now < self.expires_at
+
+    def remaining(self, now: float) -> float:
+        return max(0.0, self.expires_at - now)
+
+
+@dataclass(frozen=True, slots=True)
+class PutResult:
+    """What a ``put`` did, so callers can react (gap tracking, timers)."""
+
+    stored: bool
+    """Whether the cache now holds the offered data (stored or refreshed)."""
+
+    refreshed: bool
+    """True when an existing live entry's TTL was restarted."""
+
+    replaced_expired: bool
+    """True when the put overwrote an entry that had already lapsed."""
+
+    previous_expiry: float | None
+    """Expiry of the overwritten entry (live or lapsed), if any."""
+
+    previous_published_ttl: float | None
+    """Published TTL of the overwritten entry, if any."""
+
+    expires_at: float | None
+    """The (possibly unchanged) expiry now in effect for the key."""
+
+
+_NOT_STORED = PutResult(False, False, False, None, None, None)
+
+
+class DnsCache:
+    """TTL cache keyed by (owner name, rrtype).
+
+    ``max_entries`` bounds capacity: when full, the least-recently-used
+    *live* entry is evicted (expired tombstones go first).  None means
+    unbounded, the paper's assumption — its §5.2.2 argues the absolute
+    footprint is small enough that production caches never fill.
+    """
+
+    def __init__(
+        self,
+        max_effective_ttl: float | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        # dict preserves insertion order; `_touch` re-inserts on use so
+        # iteration order is LRU-first.
+        self._entries: dict[tuple[Name, RRType], CacheEntry] = {}
+        self._negative: dict[tuple[Name, RRType], float] = {}
+        self.max_effective_ttl = max_effective_ttl
+        self.max_entries = max_entries
+        self.evictions = 0
+
+    def _touch(self, key: tuple[Name, RRType]) -> None:
+        entry = self._entries.pop(key)
+        self._entries[key] = entry
+
+    def _make_room(self, now: float) -> None:
+        """Evict until there is space for one more entry."""
+        if self.max_entries is None or len(self._entries) < self.max_entries:
+            return
+        # Pass 1: drop expired tombstones (cheapest loss).
+        doomed = [
+            key for key, entry in self._entries.items()
+            if not entry.is_live(now)
+        ]
+        for key in doomed:
+            if len(self._entries) < self.max_entries:
+                break
+            del self._entries[key]
+            self.evictions += 1
+        # Pass 2: evict live entries, LRU first.
+        while len(self._entries) >= self.max_entries:
+            oldest_key = next(iter(self._entries))
+            del self._entries[oldest_key]
+            self.evictions += 1
+
+    # -- positive entries ---------------------------------------------------
+
+    def put(
+        self, rrset: RRset, rank: Rank, now: float, refresh: bool = False
+    ) -> PutResult:
+        """Offer an RRset to the cache under RFC 2181 ranking.
+
+        Args:
+            rrset: the data as heard (TTL = published TTL).
+            rank: trust of the section it was heard in.
+            now: virtual time.
+            refresh: allow a same-rank same-rdata copy to restart the TTL
+                (the paper's refresh scheme; only IRR puts pass True).
+        """
+        key = rrset.key()
+        ttl = rrset.ttl
+        if self.max_effective_ttl is not None:
+            ttl = min(ttl, self.max_effective_ttl)
+        new_expiry = now + ttl
+        existing = self._entries.get(key)
+
+        if existing is None or not existing.is_live(now):
+            replaced_expired = existing is not None
+            if existing is None:
+                self._make_room(now)
+            self._entries[key] = CacheEntry(
+                rrset=rrset,
+                rank=rank,
+                stored_at=now,
+                expires_at=new_expiry,
+                published_ttl=rrset.ttl,
+            )
+            return PutResult(
+                stored=True,
+                refreshed=False,
+                replaced_expired=replaced_expired,
+                previous_expiry=existing.expires_at if existing else None,
+                previous_published_ttl=(
+                    existing.published_ttl if existing else None
+                ),
+                expires_at=new_expiry,
+            )
+
+        if not rank.may_replace(existing.rank):
+            return PutResult(False, False, False, existing.expires_at,
+                             existing.published_ttl, existing.expires_at)
+
+        same_data = existing.rrset.same_data(rrset)
+        if same_data and rank == existing.rank and not refresh:
+            # Vanilla behaviour: an identical copy does NOT restart the
+            # countdown.  This branch *is* the difference the paper's
+            # refresh scheme removes.
+            return PutResult(False, False, False, existing.expires_at,
+                             existing.published_ttl, existing.expires_at)
+
+        previous_expiry = existing.expires_at
+        previous_ttl = existing.published_ttl
+        self._entries[key] = CacheEntry(
+            rrset=rrset,
+            rank=rank,
+            stored_at=now,
+            expires_at=new_expiry,
+            published_ttl=rrset.ttl,
+        )
+        return PutResult(
+            stored=True,
+            refreshed=same_data,
+            replaced_expired=False,
+            previous_expiry=previous_expiry,
+            previous_published_ttl=previous_ttl,
+            expires_at=new_expiry,
+        )
+
+    def get(self, name: Name, rrtype: RRType, now: float) -> RRset | None:
+        """The live RRset for (name, type), or None."""
+        key = (name, rrtype)
+        entry = self._entries.get(key)
+        if entry is None or not entry.is_live(now):
+            return None
+        if self.max_entries is not None:
+            self._touch(key)
+        return entry.rrset
+
+    def get_stale(self, name: Name, rrtype: RRType, now: float) -> RRset | None:
+        """The RRset even if expired (serve-stale comparator); None if unknown."""
+        entry = self._entries.get((name, rrtype))
+        if entry is None:
+            return None
+        return entry.rrset
+
+    def entry(self, name: Name, rrtype: RRType) -> CacheEntry | None:
+        """Raw entry access (live or lapsed) for instrumentation."""
+        return self._entries.get((name, rrtype))
+
+    def expires_at(self, name: Name, rrtype: RRType, now: float) -> float | None:
+        """Expiry time of the live entry for (name, type), else None."""
+        entry = self._entries.get((name, rrtype))
+        if entry is None or not entry.is_live(now):
+            return None
+        return entry.expires_at
+
+    def remove(self, name: Name, rrtype: RRType) -> bool:
+        """Drop an entry outright (used by delegation-change handling)."""
+        return self._entries.pop((name, rrtype), None) is not None
+
+    # -- negative entries ------------------------------------------------------
+
+    def put_negative(self, name: Name, rrtype: RRType, now: float, ttl: float) -> None:
+        """Cache an NXDOMAIN / NODATA outcome for ``ttl`` seconds."""
+        self._negative[(name, rrtype)] = now + ttl
+
+    def get_negative(self, name: Name, rrtype: RRType, now: float) -> bool:
+        """Whether a live negative entry covers (name, type)."""
+        expiry = self._negative.get((name, rrtype))
+        return expiry is not None and now < expiry
+
+    # -- zone-oriented views -----------------------------------------------------
+
+    def zone_ns_expiry(self, zone: Name, now: float) -> float | None:
+        """When ``zone``'s cached NS set expires (None if absent/lapsed)."""
+        return self.expires_at(zone, RRType.NS, now)
+
+    def best_zone_for(
+        self,
+        qname: Name,
+        now: float,
+        exclude: frozenset[Name] | set[Name] = frozenset(),
+        allow_stale: bool = False,
+    ) -> Name | None:
+        """The deepest ancestor zone of ``qname`` with usable cached NS.
+
+        Returns None when nothing below the root is cached (the caller
+        falls back to root hints).  ``allow_stale`` admits lapsed NS sets,
+        for the serve-stale comparator.
+        """
+        for ancestor in qname.ancestors():
+            if ancestor.is_root:
+                return None
+            if ancestor in exclude:
+                continue
+            entry = self._entries.get((ancestor, RRType.NS))
+            if entry is None:
+                continue
+            if entry.is_live(now) or allow_stale:
+                return ancestor
+        return None
+
+    # -- occupancy -----------------------------------------------------------------
+
+    def live_entry_count(self, now: float) -> int:
+        """Number of live RRset entries."""
+        return sum(1 for entry in self._entries.values() if entry.is_live(now))
+
+    def live_record_count(self, now: float) -> int:
+        """Number of live individual records (Figure 12's currency)."""
+        return sum(
+            len(entry.rrset)
+            for entry in self._entries.values()
+            if entry.is_live(now)
+        )
+
+    def live_zone_count(self, now: float) -> int:
+        """Zones whose NS set is currently live (Figure 12's zone series)."""
+        return sum(
+            1
+            for (name, rrtype), entry in self._entries.items()
+            if rrtype == RRType.NS and entry.is_live(now)
+        )
+
+    def total_entry_count(self) -> int:
+        """All entries including tombstones (memory-footprint accounting)."""
+        return len(self._entries)
+
+    def purge_expired(self, now: float, older_than: float = 0.0) -> int:
+        """Drop tombstones that lapsed more than ``older_than`` seconds ago.
+
+        The simulator keeps tombstones for gap measurement; long runs may
+        call this periodically to bound memory.  Returns entries removed.
+        """
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.expires_at + older_than <= now
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)

@@ -1,0 +1,620 @@
+"""The caching server (CS): a full iterative resolver with the paper's
+resilience schemes wired in.
+
+One :class:`CachingServer` models the recursive resolver of an
+organisation.  It is primed with the root zone's IRRs ("every CS is
+hard-coded with the IRRs of the root zone"), resolves stub queries by
+walking the delegation tree from the deepest cached zone, and — depending
+on its :class:`~repro.core.config.ResilienceConfig` — refreshes IRR TTLs
+from every authoritative response, renews expiring IRRs with credit
+policies, and/or serves stale data when authorities are unreachable.
+
+Metric conventions (matching the paper's evaluation):
+
+* every stub query is recorded once, failed or not (Figures 4–11, upper
+  graphs);
+* every CS→AN query attempt is recorded, failed (blocked / lame) or
+  answered (lower graphs; Table 1 "requests out"; Table 2 messages);
+* renewal refetches are tagged separately so failure rates stay
+  demand-driven while message overhead counts everything.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.cache import DnsCache
+from repro.core.config import ResilienceConfig
+from repro.core.renewal import RenewalManager
+from repro.dns.message import Message, Question, Rcode
+from repro.dns.name import Name, root_name
+from repro.dns.ranking import Rank, section_rank
+from repro.dns.records import InfrastructureRecordSet, RRset
+from repro.dns.rrtypes import RRType
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import ReplayMetrics
+from repro.simulation.network import Network
+
+GapObserver = Callable[[Name, float, float], None]
+"""Called as ``observer(zone, gap_seconds, published_ttl)`` when a zone's
+IRRs are re-learned after having lapsed (Figure 3's measurement)."""
+
+
+class ResolutionOutcome(enum.Enum):
+    """How a stub query ended."""
+
+    CACHE_HIT = "cache-hit"
+    ANSWERED = "answered"
+    NXDOMAIN = "nxdomain"
+    NODATA = "nodata"
+    STALE_HIT = "stale-hit"
+    FAILURE = "failure"
+    VALIDATION_FAILURE = "validation-failure"
+    """The data was obtained but the DNSSEC chain could not be
+    established (a SERVFAIL to the stub — counts as a failed lookup)."""
+
+    @property
+    def failed(self) -> bool:
+        return self in (
+            ResolutionOutcome.FAILURE,
+            ResolutionOutcome.VALIDATION_FAILURE,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Resolution:
+    """A stub query's result: outcome plus the answer set, if any."""
+
+    outcome: ResolutionOutcome
+    answer: RRset | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome.failed
+
+
+# Internal fetch verdicts (subset of outcomes).
+_ANSWERED = ResolutionOutcome.ANSWERED
+_NXDOMAIN = ResolutionOutcome.NXDOMAIN
+_NODATA = ResolutionOutcome.NODATA
+_FAILURE = ResolutionOutcome.FAILURE
+
+
+class CachingServer:
+    """An iterative caching resolver with optional resilience schemes."""
+
+    def __init__(
+        self,
+        root_hints: InfrastructureRecordSet,
+        network: Network,
+        engine: SimulationEngine,
+        config: ResilienceConfig | None = None,
+        metrics: ReplayMetrics | None = None,
+        gap_observer: GapObserver | None = None,
+        max_servers_per_zone: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or ResilienceConfig.vanilla()
+        self.network = network
+        self.engine = engine
+        self.metrics = metrics or ReplayMetrics()
+        self.cache = DnsCache(
+            max_effective_ttl=self.config.max_effective_ttl,
+            max_entries=self.config.cache_capacity,
+        )
+        self.gap_observer = gap_observer
+        self.max_servers_per_zone = max_servers_per_zone
+        self._rng = random.Random(seed)
+
+        self._root = root_name()
+        self._hints = root_hints
+        self._hint_addresses: dict[Name, str] = {}
+        for server_name in root_hints.server_names():
+            glue = root_hints.glue_for(server_name)
+            if glue is None:
+                raise ValueError(f"root hint {server_name} lacks glue")
+            self._hint_addresses[server_name] = str(glue.records[0].data)
+
+        # Owner names known to be authoritative-server hostnames; their
+        # address RRsets count as IRRs for the refresh rule.
+        self._known_server_names: set[Name] = set(self._hint_addresses)
+
+        # Zones observed to publish DNSSEC IRRs (drives validation).
+        # The root's keys come from the hints and act as trust anchors.
+        self._signed_zones: set[Name] = set()
+        self._root_signed = root_hints.is_signed
+
+        self.renewal: RenewalManager | None = None
+        policy = self.config.make_renewal_policy()
+        if policy is not None:
+            self.renewal = RenewalManager(
+                policy=policy,
+                engine=engine,
+                cache=self.cache,
+                refetch=self._renewal_refetch,
+                jitter_fraction=self.config.renewal_jitter,
+                rng=random.Random(seed + 0x5EED),
+            )
+
+        # Zone -> last time its IRRs were learned through its parent
+        # (drives the optional delegation-recheck of paper §6).
+        self._last_parent_learn: dict[Name, float] = {}
+
+        # Server-selection state: smoothed RTT per address and
+        # hold-down deadlines for unresponsive servers.
+        self._srtt: dict[str, float] = {}
+        self._held_down: dict[str, float] = {}
+
+        # Demand contacts per zone (answered queries to its servers) —
+        # the λ the analytical availability model consumes.
+        self.zone_contact_counts: dict[Name, int] = {}
+
+        # Diagnosis: how often each zone's entire server set failed us
+        # (the zones an attack post-mortem would blame).
+        self.failure_blame: dict[Name, int] = {}
+
+    # ------------------------------------------------------------------
+    # Stub-facing API
+    # ------------------------------------------------------------------
+
+    def handle_stub_query(
+        self, qname: Name, rrtype: RRType, now: float
+    ) -> Resolution:
+        """Resolve one stub-resolver query, recording SR metrics."""
+        question = Question(qname, rrtype)
+        resolution = self.resolve(question, now)
+        if (
+            self.config.dnssec_validation
+            and not resolution.failed
+            and resolution.outcome is not ResolutionOutcome.NXDOMAIN
+            and not self._chain_keys_available(qname, now)
+        ):
+            resolution = Resolution(ResolutionOutcome.VALIDATION_FAILURE)
+        self.metrics.record_sr_query(
+            now,
+            failed=resolution.failed,
+            cache_hit=resolution.outcome is ResolutionOutcome.CACHE_HIT,
+            nxdomain=resolution.outcome is ResolutionOutcome.NXDOMAIN,
+            validation_failed=(
+                resolution.outcome is ResolutionOutcome.VALIDATION_FAILURE
+            ),
+        )
+        return resolution
+
+    def resolve(
+        self,
+        question: Question,
+        now: float,
+        depth: int = 0,
+        stack: frozenset[Name] = frozenset(),
+    ) -> Resolution:
+        """Resolve ``question``, using the cache and the network.
+
+        Does not record SR metrics (so NS-address sub-resolutions don't
+        pollute end-user statistics); ``handle_stub_query`` does.
+        """
+        qname = question.name
+        fetched = False
+        for _ in range(self.config.max_cname_chain):
+            cached = self.cache.get(qname, question.rrtype, now)
+            if cached is not None:
+                outcome = (
+                    ResolutionOutcome.ANSWERED
+                    if fetched
+                    else ResolutionOutcome.CACHE_HIT
+                )
+                return Resolution(outcome, cached)
+            if self.cache.get_negative(qname, question.rrtype, now):
+                return Resolution(ResolutionOutcome.NXDOMAIN)
+            if question.rrtype != RRType.CNAME:
+                cname = self.cache.get(qname, RRType.CNAME, now)
+                if cname is not None:
+                    target = cname.records[0].data
+                    assert isinstance(target, Name)
+                    qname = target
+                    continue
+
+            verdict = self._fetch(
+                Question(qname, question.rrtype), now, depth, stack
+            )
+            if verdict is _FAILURE and self.config.serve_stale:
+                verdict = self._fetch(
+                    Question(qname, question.rrtype), now, depth, stack, stale=True
+                )
+                if verdict is _FAILURE:
+                    stale = self.cache.get_stale(qname, question.rrtype, now)
+                    if stale is not None:
+                        return Resolution(ResolutionOutcome.STALE_HIT, stale)
+            if verdict is _FAILURE:
+                return Resolution(ResolutionOutcome.FAILURE)
+            if verdict is _NXDOMAIN:
+                return Resolution(ResolutionOutcome.NXDOMAIN)
+            if verdict is _NODATA:
+                return Resolution(ResolutionOutcome.NODATA)
+            fetched = True
+            # ANSWERED: loop re-reads the cache; the answer may have been
+            # a CNAME whose tail still needs chasing.
+        return Resolution(ResolutionOutcome.FAILURE)
+
+    # ------------------------------------------------------------------
+    # Iterative fetch
+    # ------------------------------------------------------------------
+
+    def _fetch(
+        self,
+        question: Question,
+        now: float,
+        depth: int,
+        stack: frozenset[Name],
+        stale: bool = False,
+    ) -> ResolutionOutcome:
+        """Walk the delegation tree until an authoritative verdict."""
+        if depth > self.config.max_fetch_depth:
+            return _FAILURE
+        failed_zones: set[Name] = set()
+        visited: set[Name] = set()
+        retried_after_failure: set[Name] = set()
+        zone = self._starting_zone(question.name, now, failed_zones, stale)
+        for _ in range(self.config.max_referrals):
+            response = self._query_zone(zone, question, now, depth, stack, stale=stale)
+            if response is None:
+                # Every usable server of this zone failed.  Paper §4: "in
+                # the worst case ... the parent zone must be queried to
+                # reset the IRR" — climb and retry from above.
+                self.failure_blame[zone] = self.failure_blame.get(zone, 0) + 1
+                failed_zones.add(zone)
+                if zone == self._root:
+                    return _FAILURE
+                zone = self._starting_zone(
+                    zone.parent(), now, failed_zones, stale
+                )
+                if zone in failed_zones:
+                    return _FAILURE
+                continue
+
+            self._ingest(response, now)
+            if response.is_name_error():
+                self.cache.put_negative(
+                    question.name, question.rrtype, now,
+                    self._negative_ttl(response),
+                )
+                return _NXDOMAIN
+            if response.answer:
+                return _ANSWERED
+            if response.is_referral():
+                child = response.referral_zone()
+                assert child is not None
+                no_progress = (
+                    child == zone
+                    or child in visited
+                    or not question.name.is_subdomain_of(child)
+                )
+                if no_progress:
+                    return _FAILURE
+                if child in failed_zones:
+                    # The cached (possibly obsolete) IRRs for this child
+                    # all failed, but the parent just handed us a fresh
+                    # delegation.  Ranking would keep the stale
+                    # higher-trust copy, so drop it and take the parent's
+                    # data: this "resets the IRR" exactly as §4 says.
+                    # One retry per child guards against loops when the
+                    # fresh copy is just as dead (e.g. under attack).
+                    if child in retried_after_failure:
+                        return _FAILURE
+                    retried_after_failure.add(child)
+                    self._reset_zone_irrs(child, response, now)
+                    failed_zones.discard(child)
+                visited.add(child)
+                zone = child
+                continue
+            # Authoritative empty answer.
+            self.cache.put_negative(
+                question.name, question.rrtype, now,
+                self._negative_ttl(response),
+            )
+            return _NODATA
+        return _FAILURE
+
+    def _negative_ttl(self, response: Message) -> float:
+        """RFC 2308: negative TTL = min(SOA TTL, SOA minimum).
+
+        Falls back to the configured default when the authority carries
+        no SOA (legacy zones).
+        """
+        for rrset in response.authority:
+            if rrset.rrtype != RRType.SOA:
+                continue
+            rdata = str(rrset.records[0].data)
+            try:
+                minimum = float(rdata.split()[-1])
+            except ValueError:
+                break
+            return min(rrset.ttl, minimum)
+        return self.config.negative_ttl
+
+    def _starting_zone(
+        self,
+        qname: Name,
+        now: float,
+        exclude: set[Name],
+        stale: bool,
+    ) -> Name:
+        """Deepest usable cached zone for ``qname`` (root as fallback)."""
+        recheck = self.config.parent_recheck_interval
+        excluded = set(exclude)
+        while True:
+            best = self.cache.best_zone_for(
+                qname, now, exclude=excluded, allow_stale=stale
+            )
+            if best is None:
+                return self._root
+            if recheck is not None:
+                learned = self._last_parent_learn.get(best)
+                if learned is not None and now - learned > recheck:
+                    # Deployment safeguard (paper §6): walk through the
+                    # parent periodically so reclaimed delegations are
+                    # noticed even under refresh/renewal.
+                    excluded.add(best)
+                    continue
+            return best
+
+    def _query_zone(
+        self,
+        zone: Name,
+        question: Question,
+        now: float,
+        depth: int,
+        stack: frozenset[Name],
+        renewal: bool = False,
+        stale: bool = False,
+    ) -> Message | None:
+        """Try the zone's servers in (rotated) order; None when all fail."""
+        ns_info = self._zone_ns(zone, now, stale)
+        if ns_info is None:
+            return None
+        server_names, published_ttl = ns_info
+        order = list(server_names)
+        if len(order) > 1:
+            pivot = self._rng.randrange(len(order))
+            order = order[pivot:] + order[:pivot]
+        candidates: list[tuple[Name, str]] = []
+        for server_name in order:
+            address = self._address_for(server_name, zone, now, depth, stack, stale)
+            if address is None:
+                continue
+            if self._held_down.get(address, 0.0) > now:
+                continue  # dead-server hold-down: don't even try
+            candidates.append((server_name, address))
+        if self.config.prefer_fast_servers and len(candidates) > 1:
+            # Untried servers sort first (give them a chance), then by
+            # smoothed RTT — BIND-flavoured server selection.
+            candidates.sort(
+                key=lambda pair: self._srtt.get(pair[1], -1.0)
+            )
+        for server_name, address in candidates[: self.max_servers_per_zone]:
+            result = self.network.query(address, question, now)
+            self.metrics.record_cs_query(
+                now, failed=not result.answered, renewal=renewal
+            )
+            self.metrics.record_traffic(
+                question.wire_size(),
+                result.message.wire_size() if result.message else 0,
+            )
+            if not renewal:
+                # Renewal refetches run in the background; only demand
+                # traffic sits on a lookup's critical path.
+                self.metrics.record_latency(result.latency)
+            if result.answered:
+                previous = self._srtt.get(address)
+                self._srtt[address] = (
+                    result.latency if previous is None
+                    else 0.7 * previous + 0.3 * result.latency
+                )
+                self._held_down.pop(address, None)
+                if not renewal:
+                    self._note_zone_use(zone, published_ttl, now)
+                return result.message
+            if self.config.server_holddown is not None:
+                self._held_down[address] = now + self.config.server_holddown
+        return None
+
+    def _zone_ns(
+        self, zone: Name, now: float, stale: bool
+    ) -> tuple[tuple[Name, ...], float] | None:
+        """The zone's server names plus published NS TTL, if known."""
+        if zone == self._root:
+            return self._hints.server_names(), self._hints.ns.ttl
+        entry = self.cache.entry(zone, RRType.NS)
+        if entry is None:
+            return None
+        if not entry.is_live(now) and not stale:
+            return None
+        names = tuple(
+            record.data for record in entry.rrset if isinstance(record.data, Name)
+        )
+        if not names:
+            return None
+        return names, entry.published_ttl
+
+    def _address_for(
+        self,
+        server_name: Name,
+        zone: Name,
+        now: float,
+        depth: int,
+        stack: frozenset[Name],
+        stale: bool,
+    ) -> str | None:
+        """An address for a server, from hints, cache, or sub-resolution."""
+        hint = self._hint_addresses.get(server_name)
+        if hint is not None:
+            return hint
+        cached = self.cache.get(server_name, RRType.A, now)
+        if cached is not None:
+            return str(cached.records[0].data)
+        if stale:
+            stale_set = self.cache.get_stale(server_name, RRType.A, now)
+            if stale_set is not None:
+                return str(stale_set.records[0].data)
+        if server_name in stack or depth >= self.config.max_fetch_depth:
+            return None
+        if server_name.is_subdomain_of(zone):
+            # In-bailiwick name with no glue in cache: resolving it would
+            # need the very zone we are trying to reach — a glue-less
+            # cycle a real resolver also cannot break.
+            return None
+        sub = self.resolve(
+            Question(server_name, RRType.A),
+            now,
+            depth + 1,
+            stack | {server_name},
+        )
+        if sub.failed or sub.answer is None:
+            return None
+        address_records = [
+            record for record in sub.answer if record.rrtype == RRType.A
+        ]
+        if not address_records:
+            return None
+        return str(address_records[0].data)
+
+    # ------------------------------------------------------------------
+    # Response ingestion (caching + refresh + renewal + gap hooks)
+    # ------------------------------------------------------------------
+
+    def _ingest(self, message: Message, now: float) -> None:
+        """File every RRset of a response into the cache, ranked."""
+        auth = message.authoritative
+        # NS targets first so the additional section's glue is already
+        # recognisable as infrastructure data.
+        for rrset in message.all_rrsets():
+            if rrset.rrtype == RRType.NS:
+                for record in rrset:
+                    if isinstance(record.data, Name):
+                        self._known_server_names.add(record.data)
+        for section_name, section in (
+            ("answer", message.answer),
+            ("authority", message.authority),
+            ("additional", message.additional),
+        ):
+            rank = section_rank(section_name, auth)
+            for rrset in section:
+                self._cache_rrset(rrset, rank, now)
+
+    def _cache_rrset(self, rrset: RRset, rank: Rank, now: float) -> None:
+        is_dnssec_irr = rrset.rrtype in (RRType.DNSKEY, RRType.DS, RRType.RRSIG)
+        is_irr = (
+            rrset.rrtype == RRType.NS
+            or is_dnssec_irr
+            or (rrset.rrtype.is_address()
+                and rrset.name in self._known_server_names)
+        )
+        refresh = self.config.ttl_refresh and is_irr
+        result = self.cache.put(rrset, rank, now, refresh=refresh)
+
+        if is_dnssec_irr and rrset.rrtype != RRType.RRSIG:
+            self._signed_zones.add(rrset.name)
+        if rrset.rrtype != RRType.NS:
+            return
+        zone = rrset.name
+        if (
+            result.replaced_expired
+            and self.gap_observer is not None
+            and result.previous_expiry is not None
+            and result.previous_published_ttl is not None
+        ):
+            gap = now - result.previous_expiry
+            self.gap_observer(zone, gap, result.previous_published_ttl)
+        if result.stored and result.expires_at is not None:
+            if self.renewal is not None:
+                self.renewal.note_irrs_cached(zone, result.expires_at)
+        if rank == Rank.NON_AUTH_AUTHORITY:
+            self._last_parent_learn[zone] = now
+
+    def _chain_keys_available(self, qname: Name, now: float) -> bool:
+        """Whether every signed zone on ``qname``'s chain has a live key.
+
+        Missing keys are refetched on demand (an extra lookup the stub
+        pays for); the root's keys are the configured trust anchor and
+        never need fetching.  This models the §6 DNSSEC extension: a
+        validating resolver is only as available as its key chain.
+        """
+        for ancestor in qname.ancestors():
+            if ancestor.is_root:
+                return True
+            if ancestor not in self._signed_zones:
+                continue
+            if self.cache.get(ancestor, RRType.DNSKEY, now) is not None:
+                continue
+            refetch = self.resolve(Question(ancestor, RRType.DNSKEY), now,
+                                   depth=1)
+            if refetch.failed or refetch.answer is None:
+                return False
+            if self.cache.get(ancestor, RRType.DNSKEY, now) is None:
+                return False
+        return True
+
+    def _reset_zone_irrs(self, zone: Name, referral: Message, now: float) -> None:
+        """Replace a failed zone's cached IRRs with a fresh referral's.
+
+        Evicts the stale NS set (and the addresses of the servers it
+        named) so the lower-ranked parent-side copy can take effect.
+        """
+        stale_entry = self.cache.entry(zone, RRType.NS)
+        if stale_entry is not None:
+            for record in stale_entry.rrset:
+                if isinstance(record.data, Name):
+                    self.cache.remove(record.data, RRType.A)
+            self.cache.remove(zone, RRType.NS)
+        if self.renewal is not None:
+            self.renewal.forget_zone(zone)
+        self._ingest(referral, now)
+
+    def _note_zone_use(self, zone: Name, published_ttl: float, now: float) -> None:
+        self.zone_contact_counts[zone] = (
+            self.zone_contact_counts.get(zone, 0) + 1
+        )
+        if self.renewal is not None and zone != self._root:
+            self.renewal.note_zone_use(zone, published_ttl, now)
+
+    # ------------------------------------------------------------------
+    # Renewal refetch
+    # ------------------------------------------------------------------
+
+    def _renewal_refetch(self, zone: Name, now: float) -> bool:
+        """Refetch a zone's IRRs from the zone's own servers.
+
+        Fired by the renewal manager just before expiry; returns whether
+        the refetch produced an authoritative NS answer (which, once
+        ingested, restarts the TTL countdown).
+        """
+        question = Question(zone, RRType.NS)
+        response = self._query_zone(
+            zone, question, now, depth=0, stack=frozenset(), renewal=True
+        )
+        if response is None or not response.answer:
+            return False
+        self._ingest(response, now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def top_blamed_zones(self, count: int = 10) -> list[tuple[Name, int]]:
+        """Zones whose server sets failed most often (attack diagnosis)."""
+        ranked = sorted(
+            self.failure_blame.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+    def cached_zone_count(self, now: float) -> int:
+        """Zones with live cached IRRs (Figure 12 series)."""
+        return self.cache.live_zone_count(now)
+
+    def cached_record_count(self, now: float) -> int:
+        """Live cached records (Figure 12 series)."""
+        return self.cache.live_record_count(now)

@@ -1,0 +1,197 @@
+"""Configuration for the resilience schemes a caching server runs.
+
+The paper's evaluation compares seven system flavours; each is one
+:class:`ResilienceConfig`, constructible through the named factories:
+
+=====================================  =======================================
+Paper system                           Factory
+=====================================  =======================================
+vanilla DNS                            ``ResilienceConfig.vanilla()``
+TTL refresh                            ``ResilienceConfig.refresh()``
+refresh + renewal (policy P, credit C) ``ResilienceConfig.refresh_renew(P, C)``
+refresh + long TTL of N days           ``ResilienceConfig.refresh_long_ttl(N)``
+refresh + renew + long TTL             ``ResilienceConfig.combination(...)``
+=====================================  =======================================
+
+``long_ttl`` is an *authoritative-side* change — the harness applies it to
+the zone tree via :meth:`repro.hierarchy.tree.ZoneTree.apply_long_ttl` —
+but it lives here so one object fully describes a scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.core.policies import RenewalPolicy, make_policy
+
+DAY = 86400.0
+
+PolicyFactory = Callable[[], RenewalPolicy]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything that distinguishes one caching-server scheme from another."""
+
+    ttl_refresh: bool = False
+    """Reset cached IRR TTLs from the authority/additional sections of
+    every authoritative response (paper §4, "TTL Refresh")."""
+
+    renewal_policy: Optional[PolicyFactory] = None
+    """Factory for a credit-based renewal policy, or None for no renewal."""
+
+    long_ttl: Optional[float] = None
+    """Authoritative-side IRR TTL override in seconds, or None."""
+
+    max_effective_ttl: float = 7 * DAY
+    """Cap on any cached TTL — caching servers "do not accept arbitrary
+    large TTL values (more than 7 days)" (paper §6)."""
+
+    negative_ttl: float = 3600.0
+    """How long NXDOMAIN results are cached."""
+
+    serve_stale: bool = False
+    """Ballani-style comparator: keep expired records and fall back to
+    them when authoritative servers are unreachable (related work §7)."""
+
+    dnssec_validation: bool = False
+    """Validate lookups against the (simulated) DNSSEC chain: every
+    signed zone on the query's chain must have a live cached DNSKEY, or
+    one must be fetchable.  Paper §6 extension — makes IRR caching
+    matter even more, since broken key chains turn into SERVFAILs."""
+
+    parent_recheck_interval: Optional[float] = None
+    """Force a walk through the parent at least this often, so reclaimed
+    delegations are noticed despite refresh/renewal (paper §6); None
+    disables the recheck."""
+
+    cache_capacity: Optional[int] = None
+    """Maximum cached RRset entries (LRU eviction when full); None means
+    unbounded, the paper's assumption.  The bounded-cache ablation
+    studies how eviction pressure interacts with IRR renewal."""
+
+    server_holddown: Optional[float] = None
+    """After a server fails to respond, skip it for this many seconds
+    (BIND-style dead-server hold-down).  Cuts repeated timeout storms
+    during an attack; None disables (the paper's baseline behaviour)."""
+
+    prefer_fast_servers: bool = False
+    """Order a zone's servers by smoothed observed RTT instead of
+    rotating through them (BIND-style server selection)."""
+
+    renewal_jitter: float = 0.05
+    """Renewal refetches fire up to this fraction of the remaining TTL
+    early (seeded, deterministic).  Desynchronises renewal phases the
+    way real caches' uncorrelated learn times do; 0 disables."""
+
+    max_cname_chain: int = 8
+    max_referrals: int = 30
+    max_fetch_depth: int = 6
+    """Recursion limit for resolving out-of-bailiwick NS addresses."""
+
+    label: str = "vanilla"
+    """Human-readable scheme name, used by reports and benches."""
+
+    # -- factories ---------------------------------------------------------
+
+    @classmethod
+    def vanilla(cls) -> "ResilienceConfig":
+        """Current DNS behaviour: no refresh, no renewal, zone TTLs as-is."""
+        return cls(label="vanilla")
+
+    @classmethod
+    def refresh(cls) -> "ResilienceConfig":
+        """TTL refresh only."""
+        return cls(ttl_refresh=True, label="refresh")
+
+    @classmethod
+    def refresh_renew(
+        cls, policy: str, credit: float, max_credit: float | None = None
+    ) -> "ResilienceConfig":
+        """TTL refresh plus a renewal policy.
+
+        ``policy`` is one of ``"lru"``, ``"lfu"``, ``"a-lru"``, ``"a-lfu"``.
+        """
+        factory = _policy_factory(policy, credit, max_credit)
+        return cls(
+            ttl_refresh=True,
+            renewal_policy=factory,
+            label=f"refresh+{policy}{credit:g}",
+        )
+
+    @classmethod
+    def refresh_long_ttl(cls, days: float) -> "ResilienceConfig":
+        """TTL refresh plus zone operators raising IRR TTLs to ``days``."""
+        return cls(
+            ttl_refresh=True,
+            long_ttl=days * DAY,
+            label=f"refresh+ttl{days:g}d",
+        )
+
+    @classmethod
+    def combination(
+        cls,
+        days: float = 3.0,
+        policy: str = "a-lfu",
+        credit: float = 3.0,
+        max_credit: float | None = None,
+    ) -> "ResilienceConfig":
+        """The paper's hybrid: refresh + renewal + long TTL.
+
+        Defaults match the paper's headline configuration (A-LFU renewal
+        over 3-day IRR TTLs).
+        """
+        factory = _policy_factory(policy, credit, max_credit)
+        return cls(
+            ttl_refresh=True,
+            renewal_policy=factory,
+            long_ttl=days * DAY,
+            label=f"combo+{policy}{credit:g}+ttl{days:g}d",
+        )
+
+    @classmethod
+    def stale_serving(cls) -> "ResilienceConfig":
+        """The Ballani & Francis comparator from related work."""
+        return cls(serve_stale=True, label="serve-stale")
+
+    def with_validation(self) -> "ResilienceConfig":
+        """A copy with DNSSEC validation enabled (paper §6 extension)."""
+        return replace(
+            self, dnssec_validation=True, label=f"{self.label}+dnssec"
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def with_label(self, label: str) -> "ResilienceConfig":
+        """A copy carrying a different display label."""
+        return replace(self, label=label)
+
+    def make_renewal_policy(self) -> RenewalPolicy | None:
+        """Instantiate a fresh policy object (None when renewal is off)."""
+        if self.renewal_policy is None:
+            return None
+        return self.renewal_policy()
+
+    def describe(self) -> str:
+        """One-line summary of the enabled mechanisms."""
+        parts = []
+        if self.ttl_refresh:
+            parts.append("ttl-refresh")
+        if self.renewal_policy is not None:
+            parts.append(f"renewal({self.make_renewal_policy().name})")
+        if self.long_ttl is not None:
+            parts.append(f"long-ttl({self.long_ttl / DAY:g}d)")
+        if self.serve_stale:
+            parts.append("serve-stale")
+        if not parts:
+            parts.append("vanilla")
+        return " + ".join(parts)
+
+
+def _policy_factory(
+    policy: str, credit: float, max_credit: float | None
+) -> PolicyFactory:
+    # Validate eagerly so a bad name fails at config time, not mid-replay.
+    make_policy(policy, credit, max_credit)
+    return lambda: make_policy(policy, credit, max_credit)

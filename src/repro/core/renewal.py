@@ -1,0 +1,141 @@
+"""Expiry-driven IRR renewal (paper §4, "TTL Renewal").
+
+A :class:`RenewalManager` keeps one timer per zone whose IRRs are cached.
+Just before the NS set expires the timer fires:
+
+* if the cached expiry moved forward meanwhile (a refresh or a demand
+  re-fetch happened), the timer simply rearms at the new expiry;
+* otherwise, if the policy still has credit for the zone, one credit is
+  spent and the IRRs are refetched **from the zone's own servers** — the
+  double-headed arrow in the paper's Figure 2;
+* with no credit (or a failed refetch, e.g. the zone is under attack),
+  the records lapse and the zone's policy state is forgotten.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.core.cache import DnsCache
+from repro.core.policies import RenewalPolicy
+from repro.dns.name import Name
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import EventHandle
+
+#: Seconds before expiry at which the refetch fires ("just before they
+#: are ready to expire").
+RENEWAL_LEAD = 1.0
+
+#: Slack when deciding whether an expiry "moved forward" (avoids rearm
+#: storms from float jitter).
+_EPSILON = 1e-6
+
+RefetchFn = Callable[[Name, float], bool]
+
+
+class RenewalManager:
+    """Schedules and executes credit-funded IRR refetches."""
+
+    def __init__(
+        self,
+        policy: RenewalPolicy,
+        engine: SimulationEngine,
+        cache: DnsCache,
+        refetch: RefetchFn,
+        jitter_fraction: float = 0.0,
+        rng: "random.Random | None" = None,
+    ) -> None:
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.policy = policy
+        self._engine = engine
+        self._cache = cache
+        self._refetch = refetch
+        self._jitter_fraction = jitter_fraction
+        self._rng = rng or random.Random(0)
+        self._timers: dict[Name, EventHandle] = {}
+        self._armed_for: dict[Name, float] = {}
+        self.renewals_attempted = 0
+        self.renewals_succeeded = 0
+        self.lapses = 0
+
+    # -- notifications from the caching server ------------------------------
+
+    def note_zone_use(self, zone: Name, irr_ttl: float, now: float) -> None:
+        """The CS contacted ``zone``'s servers: top up its credit."""
+        self.policy.on_zone_use(zone, irr_ttl, now)
+
+    def note_irrs_cached(self, zone: Name, expires_at: float) -> None:
+        """The NS set for ``zone`` was stored/refreshed; (re)arm its timer."""
+        armed_at = self._armed_for.get(zone)
+        if armed_at is not None and abs(armed_at - expires_at) < _EPSILON:
+            return
+        existing = self._timers.get(zone)
+        if existing is not None:
+            existing.cancel()
+        fire_at = expires_at - RENEWAL_LEAD
+        if self._jitter_fraction > 0.0:
+            # Refetch a little early, by a random share of the remaining
+            # lifetime: real caches learn/refresh zones at uncorrelated
+            # moments, so their renewal phases are spread out.  Without
+            # this a cold-start simulation renews every zone learned at
+            # t=0 in lockstep, which manufactures synchronised mass
+            # expiries (e.g. all TLD keys dying at the attack start).
+            remaining = max(0.0, expires_at - self._engine.now)
+            fire_at -= self._rng.uniform(0.0, self._jitter_fraction * remaining)
+        fire_at = max(fire_at, self._engine.now)
+        self._timers[zone] = self._engine.schedule(
+            fire_at, lambda now, zone=zone: self._on_timer(zone, now)
+        )
+        self._armed_for[zone] = expires_at
+
+    def forget_zone(self, zone: Name) -> None:
+        """Drop timers and credit for a zone (delegation removed, etc.)."""
+        handle = self._timers.pop(zone, None)
+        if handle is not None:
+            handle.cancel()
+        self._armed_for.pop(zone, None)
+        self.policy.forget(zone)
+
+    # -- timer body -----------------------------------------------------------
+
+    def _on_timer(self, zone: Name, now: float) -> None:
+        self._timers.pop(zone, None)
+        armed_expiry = self._armed_for.pop(zone, None)
+        current_expiry = self._cache.zone_ns_expiry(zone, now)
+        if current_expiry is None:
+            # Already lapsed or evicted; nothing to renew.
+            self._lapse(zone)
+            return
+        if armed_expiry is not None and current_expiry > armed_expiry + _EPSILON:
+            # Something refreshed the IRRs since we armed; rearm silently.
+            self.note_irrs_cached(zone, current_expiry)
+            return
+        if not self.policy.take_renewal_credit(zone):
+            self._lapse(zone)
+            return
+        self.renewals_attempted += 1
+        if self._refetch(zone, now):
+            self.renewals_succeeded += 1
+            # A successful refetch re-enters note_irrs_cached via the
+            # caching server's ingest path; if it somehow did not (e.g.
+            # equal-rank non-refresh edge), rearm from the cache state.
+            if zone not in self._timers:
+                refreshed_expiry = self._cache.zone_ns_expiry(zone, now)
+                if refreshed_expiry is not None and refreshed_expiry > now + RENEWAL_LEAD:
+                    self.note_irrs_cached(zone, refreshed_expiry)
+        else:
+            # Refetch failed (zone under attack / unreachable): the
+            # records lapse at their natural expiry.
+            self._lapse(zone)
+
+    def _lapse(self, zone: Name) -> None:
+        self.lapses += 1
+        self.policy.forget(zone)
+
+    # -- introspection -----------------------------------------------------------
+
+    def armed_timer_count(self) -> int:
+        """Zones with a pending renewal timer."""
+        return len(self._timers)

@@ -1,0 +1,54 @@
+"""DNS substrate: names, resource records, messages, zones and servers.
+
+This package implements, from scratch, the minimal-but-faithful slice of
+the DNS data model and server behaviour that the paper's trace-driven
+simulator needs:
+
+* :mod:`repro.dns.name` -- domain names as immutable label sequences.
+* :mod:`repro.dns.rrtypes` -- record types and classes.
+* :mod:`repro.dns.records` -- resource records, RRsets and infrastructure
+  record (IRR) bundles.
+* :mod:`repro.dns.message` -- queries and responses with answer /
+  authority / additional sections and response codes.
+* :mod:`repro.dns.zone` -- authoritative zone data with delegations and
+  glue.
+* :mod:`repro.dns.server` -- the authoritative name-server lookup
+  algorithm (answers, referrals, NXDOMAIN).
+* :mod:`repro.dns.ranking` -- RFC 2181 trust ranking used by caches to
+  decide whether newly learned data may replace cached data.
+"""
+
+from repro.dns.errors import (
+    DnsError,
+    LameDelegationError,
+    NameParseError,
+    ZoneConfigError,
+)
+from repro.dns.message import Message, Question, Rcode
+from repro.dns.name import Name, root_name
+from repro.dns.ranking import Rank
+from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
+from repro.dns.rrtypes import RRClass, RRType
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone, ZoneBuilder
+
+__all__ = [
+    "AuthoritativeServer",
+    "DnsError",
+    "InfrastructureRecordSet",
+    "LameDelegationError",
+    "Message",
+    "Name",
+    "NameParseError",
+    "Question",
+    "Rank",
+    "Rcode",
+    "ResourceRecord",
+    "RRClass",
+    "RRset",
+    "RRType",
+    "Zone",
+    "ZoneBuilder",
+    "ZoneConfigError",
+    "root_name",
+]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the DNS substrate."""
+
+
+class DnsError(Exception):
+    """Base class for all errors raised by :mod:`repro.dns`."""
+
+
+class NameParseError(DnsError, ValueError):
+    """A textual domain name could not be parsed.
+
+    Raised for empty labels (``"a..b"``), oversized labels (> 63 octets),
+    oversized names (> 255 octets) and labels with forbidden characters.
+    """
+
+
+class ZoneConfigError(DnsError, ValueError):
+    """A zone was built with inconsistent data.
+
+    Examples: records outside the zone's bailiwick, a delegation at the
+    apex, or missing NS records for the apex.
+    """
+
+
+class LameDelegationError(DnsError):
+    """A server was asked about a zone it is not authoritative for."""

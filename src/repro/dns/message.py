@@ -1,0 +1,129 @@
+"""DNS queries and responses.
+
+The simulator exchanges :class:`Message` objects instead of wire-format
+packets; a message carries the same three record sections a real response
+does, because the paper's TTL-refresh mechanism lives entirely in how a
+caching server treats the authority and additional sections of ordinary
+responses.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.dns.name import Name
+from repro.dns.records import RRset
+from repro.dns.rrtypes import RRClass, RRType
+
+_query_ids = itertools.count(1)
+
+
+class Rcode(enum.IntEnum):
+    """Response codes (RFC 1035 §4.1.1)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """The question section: one (name, type, class) triple."""
+
+    name: Name
+    rrtype: RRType
+    rrclass: RRClass = RRClass.IN
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.rrclass.name} {self.rrtype.name}"
+
+    def wire_size(self) -> int:
+        """Approximate query size in octets (header + question)."""
+        return 12 + self.name.wire_length() + 4
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A DNS response message.
+
+    ``authoritative`` mirrors the AA bit: set when the answering server is
+    authoritative for the question's zone, clear on referrals.  The
+    distinction drives RFC 2181 ranking in the cache.
+    """
+
+    question: Question
+    rcode: Rcode = Rcode.NOERROR
+    authoritative: bool = False
+    answer: tuple[RRset, ...] = ()
+    authority: tuple[RRset, ...] = ()
+    additional: tuple[RRset, ...] = ()
+    message_id: int = field(default_factory=lambda: next(_query_ids))
+
+    def is_referral(self) -> bool:
+        """True for a downward referral: non-authoritative, no answer, NS
+        records in authority.
+
+        The AA check matters: an *authoritative* NODATA response also
+        carries the zone's NS set in its authority section, but it is a
+        terminal answer, not a referral.
+        """
+        return (
+            self.rcode == Rcode.NOERROR
+            and not self.authoritative
+            and not self.answer
+            and any(rrset.rrtype == RRType.NS for rrset in self.authority)
+        )
+
+    def is_name_error(self) -> bool:
+        """True when the queried name does not exist."""
+        return self.rcode == Rcode.NXDOMAIN
+
+    def is_nodata(self) -> bool:
+        """True for NOERROR with no answer and no referral (empty answer)."""
+        return (
+            self.rcode == Rcode.NOERROR
+            and not self.answer
+            and not self.is_referral()
+        )
+
+    def referral_zone(self) -> Name | None:
+        """The delegated zone a referral points at, or None."""
+        for rrset in self.authority:
+            if rrset.rrtype == RRType.NS:
+                return rrset.name
+        return None
+
+    def all_rrsets(self) -> tuple[RRset, ...]:
+        """Every RRset in the message, section order preserved."""
+        return self.answer + self.authority + self.additional
+
+    def record_count(self) -> int:
+        """Total records across all three sections."""
+        return sum(len(rrset) for rrset in self.all_rrsets())
+
+    def wire_size(self) -> int:
+        """Approximate response size in octets (header + question + RRs)."""
+        size = 12 + self.question.name.wire_length() + 4
+        for rrset in self.all_rrsets():
+            size += sum(record.wire_size() for record in rrset)
+        return size
+
+    def __str__(self) -> str:
+        parts = [
+            f"id={self.message_id} {self.rcode.name}"
+            f"{' aa' if self.authoritative else ''} q=({self.question})"
+        ]
+        for section_name, section in (
+            ("an", self.answer),
+            ("au", self.authority),
+            ("ad", self.additional),
+        ):
+            for rrset in section:
+                for record in rrset:
+                    parts.append(f"  {section_name}: {record}")
+        return "\n".join(parts)

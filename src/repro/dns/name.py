@@ -1,0 +1,197 @@
+"""Domain names as immutable, case-insensitive label sequences.
+
+A :class:`Name` stores its labels most-significant-last, exactly like the
+textual form reads: ``Name.from_text("www.ucla.edu")`` has labels
+``("www", "ucla", "edu")``.  The root name has no labels.
+
+Names are value objects: hashable, totally ordered by canonical DNS
+ordering (reversed label comparison), and interned per-process so that the
+simulator's hot paths can compare and hash them cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.dns.errors import NameParseError
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+_LABEL_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-_")
+
+# Process-wide intern table.  Names are tiny and the simulator re-creates
+# the same handful of thousands of names millions of times; interning keeps
+# both memory and equality checks cheap.
+_INTERN: dict[tuple[str, ...], "Name"] = {}
+
+
+class Name:
+    """An immutable domain name.
+
+    Use :meth:`from_text` or :func:`root_name` to construct instances;
+    the raw constructor assumes already-validated lowercase labels.
+    """
+
+    __slots__ = ("labels", "_hash")
+
+    labels: tuple[str, ...]
+
+    def __new__(cls, labels: tuple[str, ...]) -> "Name":
+        cached = _INTERN.get(labels)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "_hash", hash(labels))
+        _INTERN[labels] = self
+        return self
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Name is immutable")
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str) -> "Name":
+        """Parse a textual domain name.
+
+        Accepts both absolute (``"ucla.edu."``) and relative-looking
+        (``"ucla.edu"``) forms; all names are treated as fully qualified.
+        ``""`` and ``"."`` denote the root.
+
+        Raises:
+            NameParseError: if a label is empty, too long, or contains a
+                character outside ``[a-z0-9-_]`` (case-insensitive).
+        """
+        if text in ("", "."):
+            return _ROOT
+        stripped = text[:-1] if text.endswith(".") else text
+        labels = []
+        for raw_label in stripped.split("."):
+            label = raw_label.lower()
+            if not label:
+                raise NameParseError(f"empty label in {text!r}")
+            if len(label) > MAX_LABEL_LENGTH:
+                raise NameParseError(
+                    f"label {label!r} exceeds {MAX_LABEL_LENGTH} octets"
+                )
+            if not set(label) <= _LABEL_OK:
+                raise NameParseError(f"bad character in label {label!r}")
+            labels.append(label)
+        name = cls(tuple(labels))
+        if name.wire_length() > MAX_NAME_LENGTH:
+            raise NameParseError(f"name {text!r} exceeds {MAX_NAME_LENGTH} octets")
+        return name
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        """True for the DNS root name."""
+        return not self.labels
+
+    def parent(self) -> "Name":
+        """The name with the leftmost label removed.
+
+        Raises:
+            ValueError: when called on the root, which has no parent.
+        """
+        if self.is_root:
+            raise ValueError("the root name has no parent")
+        return Name(self.labels[1:])
+
+    def child(self, label: str) -> "Name":
+        """Prepend ``label``, producing a direct child of this name."""
+        label = label.lower()
+        if not label or len(label) > MAX_LABEL_LENGTH or not set(label) <= _LABEL_OK:
+            raise NameParseError(f"bad label {label!r}")
+        return Name((label,) + self.labels)
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True when this name equals ``other`` or lies beneath it."""
+        n_other = len(other.labels)
+        if n_other > len(self.labels):
+            return False
+        return n_other == 0 or self.labels[-n_other:] == other.labels
+
+    def ancestors(self) -> Iterator["Name"]:
+        """Yield every ancestor from this name itself up to the root.
+
+        ``Name.from_text("www.ucla.edu").ancestors()`` yields
+        ``www.ucla.edu``, ``ucla.edu``, ``edu``, ``.`` in that order.
+        """
+        current = self
+        while True:
+            yield current
+            if current.is_root:
+                return
+            current = current.parent()
+
+    def common_ancestor(self, other: "Name") -> "Name":
+        """The deepest name that is an ancestor of both names."""
+        shared: list[str] = []
+        for mine, theirs in zip(reversed(self.labels), reversed(other.labels)):
+            if mine != theirs:
+                break
+            shared.append(mine)
+        shared.reverse()
+        return Name(tuple(shared))
+
+    def depth(self) -> int:
+        """Number of labels (0 for the root, 1 for a TLD, ...)."""
+        return len(self.labels)
+
+    def wire_length(self) -> int:
+        """Length of the RFC 1035 wire encoding in octets."""
+        # Each label costs len+1 (length octet), plus the terminating zero.
+        return sum(len(label) + 1 for label in self.labels) + 1
+
+    # -- value semantics -------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        # Interning makes identity equality; fall back for robustness
+        # against unpickled instances.
+        if self is other:
+            return True
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return tuple(reversed(self.labels)) < tuple(reversed(other.labels))
+
+    def __le__(self, other: "Name") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return other < self
+
+    def __ge__(self, other: "Name") -> bool:
+        return self == other or other < self
+
+    def __str__(self) -> str:
+        if self.is_root:
+            return "."
+        return ".".join(self.labels) + "."
+
+    def __repr__(self) -> str:
+        return f"Name({str(self)!r})"
+
+    def __reduce__(self):  # pragma: no cover - pickling support
+        return (Name, (self.labels,))
+
+
+_ROOT = Name(())
+
+
+def root_name() -> Name:
+    """The DNS root name (zero labels)."""
+    return _ROOT

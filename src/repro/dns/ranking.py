@@ -1,0 +1,54 @@
+"""RFC 2181 §5.4.1 trust ranking for cached data.
+
+When a caching server hears the same RRset from several places — glue in a
+parent's referral, the authority section of a child's answer, the answer
+section itself — it must decide which copy to keep.  The paper leans on
+this rule: "the CS ought to replace the cached IRRs that come from the
+parent with the IRRs that come from the child zone" [RFC 2181].
+
+Higher enum values outrank lower ones; equal-rank data may refresh the
+cached copy (that is exactly the paper's TTL-refresh switch).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Rank(enum.IntEnum):
+    """Trust levels, lowest to highest."""
+
+    ADDITIONAL = 1
+    """Glue / additional-section data from a non-authoritative referral."""
+
+    NON_AUTH_AUTHORITY = 2
+    """Authority-section NS data in a referral (parent-side copy)."""
+
+    AUTH_AUTHORITY = 3
+    """Authority/additional data in an authoritative answer (child-side)."""
+
+    AUTH_ANSWER = 4
+    """Answer-section data from an authoritative response."""
+
+    def may_replace(self, incumbent: "Rank") -> bool:
+        """Whether data of this rank may overwrite data of ``incumbent``."""
+        return self >= incumbent
+
+
+def section_rank(section: str, authoritative: bool) -> Rank:
+    """Rank for a record heard in ``section`` of a response.
+
+    Args:
+        section: one of ``"answer"``, ``"authority"``, ``"additional"``.
+        authoritative: the response's AA bit.
+
+    Raises:
+        ValueError: for an unknown section label.
+    """
+    if section == "answer":
+        return Rank.AUTH_ANSWER if authoritative else Rank.NON_AUTH_AUTHORITY
+    if section == "authority":
+        return Rank.AUTH_AUTHORITY if authoritative else Rank.NON_AUTH_AUTHORITY
+    if section == "additional":
+        return Rank.AUTH_AUTHORITY if authoritative else Rank.ADDITIONAL
+    raise ValueError(f"unknown message section {section!r}")

@@ -1,0 +1,56 @@
+"""Resource-record types and classes.
+
+Only the types the paper's evaluation touches are modelled, plus a few
+common ones so realistic zone files can be expressed (MX / TXT / CNAME /
+SOA appear in real traces even though the simulator mostly moves A and NS
+records around).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """DNS RR TYPE values (RFC 1035 / 3596)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    # DNSSEC types, recognised so the Section-6 "deployment issues"
+    # extension (classifying DNSSEC records as infrastructure records)
+    # can be expressed.
+    DS = 43
+    RRSIG = 46
+    DNSKEY = 48
+
+    def is_address(self) -> bool:
+        """True for types that carry a host address (A / AAAA)."""
+        return self in (RRType.A, RRType.AAAA)
+
+    def is_infrastructure_candidate(self) -> bool:
+        """True for types that may form part of a zone's IRR set.
+
+        NS records always do; A/AAAA do when they name an authoritative
+        server (glue); DS/DNSKEY do under the DNSSEC extension (paper §6).
+        """
+        return self in (
+            RRType.NS,
+            RRType.A,
+            RRType.AAAA,
+            RRType.DS,
+            RRType.DNSKEY,
+        )
+
+
+class RRClass(enum.IntEnum):
+    """DNS CLASS values.  Everything in this project is IN."""
+
+    IN = 1
+    CH = 3

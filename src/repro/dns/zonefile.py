@@ -1,0 +1,281 @@
+"""RFC 1035-style text zone files: parsing and serialisation.
+
+Lets zones move in and out of the simulator as ordinary master files, so
+real-world zone data can seed experiments and synthetic zones can be
+inspected with standard tools.  The supported dialect is the practical
+core of the master-file format:
+
+* ``$ORIGIN`` and ``$TTL`` directives;
+* relative and absolute owner names, ``@`` for the origin;
+* blank owner fields inheriting the previous owner;
+* ``;`` comments and blank lines;
+* record types A, AAAA, NS, CNAME, MX, TXT, PTR, DS, DNSKEY.
+
+Unsupported (rejected, never silently mangled): parenthesised multi-line
+records, ``$INCLUDE``, class fields other than IN, and escapes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.dns.errors import ZoneConfigError
+from repro.dns.name import Name
+from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
+from repro.dns.rrtypes import RRClass, RRType
+from repro.dns.zone import Zone, ZoneBuilder
+
+_NAME_VALUED = (RRType.NS, RRType.CNAME, RRType.PTR)
+_SUPPORTED = frozenset(
+    ["A", "AAAA", "NS", "CNAME", "MX", "TXT", "PTR", "DS", "DNSKEY", "SOA"]
+)
+
+
+class ZoneFileError(ZoneConfigError):
+    """A zone file could not be parsed."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def parse_zone_text(
+    text: str, origin: Name | str | None = None, default_ttl: float = 3600.0
+) -> list[ResourceRecord]:
+    """Parse master-file text into resource records.
+
+    ``origin`` seeds ``$ORIGIN``; a file-level ``$ORIGIN`` directive
+    overrides it.  Raises :class:`ZoneFileError` on malformed input.
+    """
+    if isinstance(origin, str):
+        origin = Name.from_text(origin)
+    current_ttl = default_ttl
+    previous_owner: Name | None = None
+    records: list[ResourceRecord] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if "(" in line or ")" in line:
+            raise ZoneFileError(line_number, "multi-line records unsupported")
+
+        if line.startswith("$"):
+            origin, current_ttl = _apply_directive(
+                line, line_number, origin, current_ttl
+            )
+            continue
+
+        owner_is_blank = line[0] in " \t"
+        fields = line.split()
+        if owner_is_blank:
+            if previous_owner is None:
+                raise ZoneFileError(line_number, "no previous owner to inherit")
+            owner = previous_owner
+        else:
+            owner = _resolve_name(fields.pop(0), origin, line_number)
+            previous_owner = owner
+
+        ttl, fields = _take_ttl(fields, current_ttl, line_number)
+        fields = _drop_class(fields, line_number)
+        if not fields:
+            raise ZoneFileError(line_number, "missing record type")
+        type_token = fields.pop(0).upper()
+        if type_token not in _SUPPORTED:
+            raise ZoneFileError(line_number, f"unsupported type {type_token}")
+        rrtype = RRType[type_token]
+        records.append(
+            _build_record(owner, rrtype, ttl, fields, origin, line_number)
+        )
+    return records
+
+
+def _apply_directive(
+    line: str, line_number: int, origin: Name | None, current_ttl: float
+) -> tuple[Name | None, float]:
+    fields = line.split()
+    directive = fields[0].upper()
+    if directive == "$ORIGIN":
+        if len(fields) != 2:
+            raise ZoneFileError(line_number, "$ORIGIN needs one argument")
+        return Name.from_text(fields[1]), current_ttl
+    if directive == "$TTL":
+        if len(fields) != 2:
+            raise ZoneFileError(line_number, "$TTL needs one argument")
+        try:
+            return origin, float(fields[1])
+        except ValueError:
+            raise ZoneFileError(line_number, f"bad TTL {fields[1]!r}") from None
+    raise ZoneFileError(line_number, f"unsupported directive {directive}")
+
+
+def _resolve_name(token: str, origin: Name | None, line_number: int) -> Name:
+    if token == "@":
+        if origin is None:
+            raise ZoneFileError(line_number, "@ used without $ORIGIN")
+        return origin
+    if token.endswith("."):
+        return Name.from_text(token)
+    if origin is None:
+        raise ZoneFileError(
+            line_number, f"relative name {token!r} without $ORIGIN"
+        )
+    name = origin
+    for label in reversed(token.split(".")):
+        name = name.child(label)
+    return name
+
+
+def _take_ttl(
+    fields: list[str], default: float, line_number: int
+) -> tuple[float, list[str]]:
+    if fields and fields[0].isdigit():
+        return float(fields[0]), fields[1:]
+    return default, fields
+
+
+def _drop_class(fields: list[str], line_number: int) -> list[str]:
+    if fields and fields[0].upper() in ("IN", "CH"):
+        if fields[0].upper() != "IN":
+            raise ZoneFileError(line_number, "only class IN is supported")
+        return fields[1:]
+    return fields
+
+
+def _build_record(
+    owner: Name,
+    rrtype: RRType,
+    ttl: float,
+    fields: list[str],
+    origin: Name | None,
+    line_number: int,
+) -> ResourceRecord:
+    if rrtype in _NAME_VALUED:
+        if len(fields) != 1:
+            raise ZoneFileError(line_number, f"{rrtype.name} needs one target")
+        return ResourceRecord(
+            owner, rrtype, ttl, _resolve_name(fields[0], origin, line_number)
+        )
+    if rrtype == RRType.MX:
+        if len(fields) != 2 or not fields[0].isdigit():
+            raise ZoneFileError(line_number, "MX needs 'priority target'")
+        return ResourceRecord(owner, rrtype, ttl, f"{fields[0]} {fields[1]}")
+    if not fields:
+        raise ZoneFileError(line_number, f"{rrtype.name} needs rdata")
+    return ResourceRecord(owner, rrtype, ttl, " ".join(fields))
+
+
+def load_zone(
+    text: str, origin: Name | str, default_ttl: float = 3600.0
+) -> Zone:
+    """Parse master-file text into a served :class:`Zone`.
+
+    Apex NS records become the zone's IRRs (with any A records for the
+    named servers as glue); NS records for names *below* the apex become
+    delegations; DNSKEY/DS records at the apex become DNSSEC IRRs.
+    """
+    origin_name = Name.from_text(origin) if isinstance(origin, str) else origin
+    records = parse_zone_text(text, origin=origin_name, default_ttl=default_ttl)
+    builder = ZoneBuilder(origin_name, default_ttl=default_ttl)
+
+    by_key: dict[tuple[Name, RRType], list[ResourceRecord]] = {}
+    for record in records:
+        by_key.setdefault(record.key(), []).append(record)
+
+    apex_ns = by_key.pop((origin_name, RRType.NS), None)
+    if apex_ns is None:
+        raise ZoneConfigError(f"zone {origin_name} has no apex NS records")
+    glue_owners = set()
+    for record in apex_ns:
+        server = record.data
+        assert isinstance(server, Name)
+        glue = by_key.get((server, RRType.A))
+        if glue is not None and server.is_subdomain_of(origin_name):
+            glue_owners.add(server)
+            builder.add_ns(server, str(glue[0].data), ttl=record.ttl)
+        else:
+            builder.add_ns_record(record)
+
+    dnssec_sets = []
+    for rrtype in (RRType.DNSKEY, RRType.DS):
+        sets = by_key.pop((origin_name, rrtype), None)
+        if sets:
+            dnssec_sets.append(RRset.from_records(sets))
+    if dnssec_sets:
+        builder.set_dnssec(tuple(dnssec_sets))
+
+    # Delegations: NS sets below the apex, with their glue.
+    delegation_names = [
+        owner for (owner, rrtype) in by_key
+        if rrtype == RRType.NS and owner != origin_name
+    ]
+    for child in delegation_names:
+        ns_records = by_key.pop((child, RRType.NS))
+        glue_sets = []
+        for record in ns_records:
+            server = record.data
+            assert isinstance(server, Name)
+            if not server.is_subdomain_of(child):
+                # Not glue: the server's address belongs to the enclosing
+                # zone (or another zone entirely), not to the delegation.
+                continue
+            glue = by_key.pop((server, RRType.A), None)
+            if glue is not None:
+                glue_owners.add(server)
+                glue_sets.append(RRset.from_records(glue))
+        builder.delegate(
+            InfrastructureRecordSet(
+                child, RRset.from_records(ns_records), tuple(glue_sets)
+            )
+        )
+
+    for (owner, rrtype), group in by_key.items():
+        if rrtype == RRType.A and owner in glue_owners:
+            continue  # already filed as glue
+        for record in group:
+            builder.add_record(record)
+    return builder.build()
+
+
+def load_zone_file(
+    path: Path | str, origin: Name | str, default_ttl: float = 3600.0
+) -> Zone:
+    """Load a zone from a master file on disk."""
+    with open(path, "r", encoding="ascii") as handle:
+        return load_zone(handle.read(), origin, default_ttl)
+
+
+def dump_zone(zone: Zone) -> str:
+    """Serialise a zone back to master-file text (round-trippable)."""
+    lines = [f"$ORIGIN {zone.name}", "$TTL 3600"]
+    irrs = zone.infrastructure_records
+    for record in irrs.ns:
+        lines.append(_format_record(record))
+    for rrset in irrs.glue:
+        for record in rrset:
+            lines.append(_format_record(record))
+    for rrset in irrs.dnssec:
+        for record in rrset:
+            lines.append(_format_record(record))
+    for rrset in sorted(zone.rrsets(), key=lambda r: (r.name, r.rrtype)):
+        for record in rrset:
+            lines.append(_format_record(record))
+    for delegation in sorted(zone.delegations(), key=lambda d: d.zone):
+        for record in delegation.ns:
+            lines.append(_format_record(record))
+        for rrset in delegation.glue:
+            for record in rrset:
+                lines.append(_format_record(record))
+    return "\n".join(lines) + "\n"
+
+
+def _format_record(record: ResourceRecord) -> str:
+    return (
+        f"{record.name} {int(record.ttl)} IN {record.rrtype.name} {record.data}"
+    )
+
+
+def records_to_text(records: Iterable[ResourceRecord]) -> str:
+    """Serialise loose records (no zone structure) to master-file lines."""
+    return "\n".join(_format_record(record) for record in records) + "\n"

@@ -1,0 +1,25 @@
+"""Experiment harness: scenarios, replays, and one module per paper artifact.
+
+* :mod:`repro.experiments.scenarios` -- scale presets and the standard
+  setup (hierarchy + TRC1..TRC6 traces) shared by every experiment.
+* :mod:`repro.experiments.harness` -- trace replay with optional attack,
+  gap tracking and memory sampling.
+* :mod:`repro.experiments.attack_grid` -- the Figures 4-11 grids.
+* :mod:`repro.experiments.table1` / :mod:`~repro.experiments.table2` /
+  :mod:`~repro.experiments.figure3` / :mod:`~repro.experiments.figure12`
+  -- the remaining artifacts.
+* :mod:`repro.experiments.max_damage` -- the paper §6 maximum-damage
+  attack explorer (extension).
+"""
+
+from repro.experiments.harness import AttackSpec, ReplayResult, run_replay
+from repro.experiments.scenarios import Scale, Scenario, make_scenario
+
+__all__ = [
+    "AttackSpec",
+    "ReplayResult",
+    "Scale",
+    "Scenario",
+    "make_scenario",
+    "run_replay",
+]

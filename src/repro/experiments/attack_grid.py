@@ -1,0 +1,131 @@
+"""Shared machinery for the Figures 4–11 attack grids.
+
+Each figure is a grid of (trace × column) failure rates under the
+root+TLD attack starting at day 7.  Columns are attack durations
+(Figures 4–5) or scheme variants at a fixed 6-hour attack
+(Figures 6–11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_failure_block
+from repro.core.config import ResilienceConfig
+from repro.experiments.harness import AttackSpec, run_replay
+from repro.experiments.scenarios import Scenario
+
+HOUR = 3600.0
+
+#: The paper's attack durations (Figures 4, 5).
+DURATIONS_HOURS = (3, 6, 12, 24)
+
+#: The paper's renewal credits (Figures 6-9).
+CREDITS = (1, 3, 5)
+
+#: The paper's long-TTL values in days (Figures 10, 11).
+LONG_TTL_DAYS = (1, 3, 5, 7)
+
+
+@dataclass
+class FailureGrid:
+    """One figure's data: failure rates per (trace, column), SR and CS."""
+
+    title: str
+    columns: tuple[str, ...]
+    sr: dict[str, dict[str, float]] = field(default_factory=dict)
+    cs: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def record(self, trace: str, column: str, sr_rate: float, cs_rate: float) -> None:
+        self.sr.setdefault(trace, {})[column] = sr_rate
+        self.cs.setdefault(trace, {})[column] = cs_rate
+
+    def sr_value(self, trace: str, column: str) -> float:
+        return self.sr[trace][column]
+
+    def cs_value(self, trace: str, column: str) -> float:
+        return self.cs[trace][column]
+
+    def column_mean_sr(self, column: str) -> float:
+        """Mean SR failure rate for a column across traces."""
+        values = [cells[column] for cells in self.sr.values() if column in cells]
+        if not values:
+            raise KeyError(f"no data for column {column!r}")
+        return sum(values) / len(values)
+
+    def column_mean_cs(self, column: str) -> float:
+        values = [cells[column] for cells in self.cs.values() if column in cells]
+        if not values:
+            raise KeyError(f"no data for column {column!r}")
+        return sum(values) / len(values)
+
+    def render(self) -> str:
+        """Both panels (SR on top, CS below) as text, like the paper's plots."""
+        top = render_failure_block(
+            f"{self.title} — failed queries from stub resolvers",
+            self.sr,
+            self.columns,
+        )
+        bottom = render_failure_block(
+            f"{self.title} — failed queries from caching servers",
+            self.cs,
+            self.columns,
+        )
+        return f"{top}\n\n{bottom}"
+
+
+def run_duration_grid(
+    scenario: Scenario,
+    config: ResilienceConfig,
+    title: str,
+    durations_hours: tuple[int, ...] = DURATIONS_HOURS,
+    trace_limit: int | None = None,
+    seed: int = 0,
+) -> FailureGrid:
+    """Figures 4 and 5: one scheme, attack durations as columns."""
+    columns = tuple(f"{hours} h" for hours in durations_hours)
+    grid = FailureGrid(title=title, columns=columns)
+    for trace in scenario.week_traces(trace_limit):
+        for hours, column in zip(durations_hours, columns):
+            attack = AttackSpec(
+                start=scenario.attack_start, duration=hours * HOUR
+            )
+            result = run_replay(scenario.built, trace, config, attack=attack,
+                                seed=seed)
+            grid.record(
+                trace.name,
+                column,
+                result.sr_attack_failure_rate,
+                result.cs_attack_failure_rate,
+            )
+    return grid
+
+
+def run_scheme_grid(
+    scenario: Scenario,
+    schemes: list[tuple[str, ResilienceConfig]],
+    title: str,
+    attack_hours: float = 6.0,
+    trace_limit: int | None = None,
+    seed: int = 0,
+) -> FailureGrid:
+    """Figures 6-11: fixed 6-hour attack, scheme variants as columns."""
+    columns = tuple(label for label, _ in schemes)
+    grid = FailureGrid(title=title, columns=columns)
+    attack = AttackSpec(start=scenario.attack_start, duration=attack_hours * HOUR)
+    for trace in scenario.week_traces(trace_limit):
+        for label, config in schemes:
+            result = run_replay(scenario.built, trace, config, attack=attack,
+                                seed=seed)
+            grid.record(
+                trace.name,
+                label,
+                result.sr_attack_failure_rate,
+                result.cs_attack_failure_rate,
+            )
+    return grid
+
+
+def vanilla_column() -> tuple[str, ResilienceConfig]:
+    """The "DNS" contrast column the paper includes in Figures 6-11."""
+    return ("DNS", ResilienceConfig.vanilla())

@@ -1,0 +1,186 @@
+"""IRR-churn experiment: what long TTLs cost when zones change servers.
+
+Paper §4 (Long TTL): "if the IRR changes at the ANs, the cached copy
+will be out of date... The penalty paid for querying an obsolete
+name-server is a longer resolution time.  [...] In the worst case, all
+servers in the old IRR fail to respond and the parent zone must be
+queried to reset the IRR."
+
+This experiment makes the trade-off quantitative.  A set of zones
+migrates to entirely new server sets mid-trace; we replay the same trace
+under increasing IRR TTLs and report:
+
+* lookups that *touched an obsolete server* (paid a penalty);
+* lookups that *failed* (should stay ~0 — the parent fallback works);
+* mean resolution latency, where each query to a dead/lame server costs
+  a timeout/RTT.
+
+Expected shape: longer TTLs widen the inconsistency window and raise the
+latency tail, but availability is unharmed — supporting the paper's
+argument that the long-TTL downside is latency, not correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.caching_server import CachingServer
+from repro.core.config import ResilienceConfig
+from repro.hierarchy.builder import HierarchyConfig, build_hierarchy
+from repro.hierarchy.churn import ChurnSchedule, apply_churn_event, generate_churn
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import ReplayMetrics
+from repro.simulation.network import Network
+from repro.workload.generator import TraceGenerator, WorkloadConfig
+from repro.workload.trace import Trace
+
+DAY = 86400.0
+
+
+@dataclass
+class ChurnReplayResult:
+    """One (scheme, churn) replay's outcome."""
+
+    label: str
+    sr_failure_rate: float
+    mean_latency: float
+    stale_touches: int
+    """CS queries answered by nobody because the target was obsolete."""
+
+    total_queries: int
+
+
+@dataclass
+class ChurnExperimentResult:
+    """Latency/consistency cost of long TTLs under server churn."""
+
+    churned_zones: int
+    rows: list[ChurnReplayResult]
+
+    def render(self) -> str:
+        body = [
+            (
+                row.label,
+                f"{row.sr_failure_rate * 100:.2f} %",
+                f"{row.mean_latency * 1000:.1f} ms",
+                row.stale_touches,
+            )
+            for row in self.rows
+        ]
+        return format_table(
+            ("Scheme", "SR failures", "Mean latency", "Obsolete-server hits"),
+            body,
+            title=(
+                f"IRR churn — {self.churned_zones} zones migrate servers "
+                "mid-trace (paper §4 long-TTL inconsistency cost)"
+            ),
+        )
+
+    def row(self, label: str) -> ChurnReplayResult:
+        for entry in self.rows:
+            if entry.label == label:
+                return entry
+        raise KeyError(label)
+
+
+def run_churn_replay(
+    built,
+    trace: Trace,
+    config: ResilienceConfig,
+    churn: ChurnSchedule,
+    seed: int = 0,
+) -> ChurnReplayResult:
+    """Replay ``trace`` while applying churn events at their times.
+
+    The caller must pass a *private* hierarchy (churn mutates it).
+    """
+    tree = built.tree
+    if config.long_ttl is not None:
+        tree.apply_long_ttl(config.long_ttl)
+    engine = SimulationEngine()
+    network = Network(tree)
+    metrics = ReplayMetrics()
+    server = CachingServer(
+        root_hints=tree.root_hints(),
+        network=network,
+        engine=engine,
+        config=config,
+        metrics=metrics,
+        seed=seed,
+    )
+    for event in churn.events:
+        engine.schedule(
+            event.time,
+            lambda now, event=event: apply_churn_event(
+                tree, event, decommission_old=churn.decommission_old
+            ),
+        )
+    lost_before = network.queries_lost
+    for query in trace:
+        engine.advance_to(query.time)
+        server.handle_stub_query(query.qname, query.rrtype, query.time)
+    engine.advance_to(trace.duration)
+    return ChurnReplayResult(
+        label=config.label,
+        sr_failure_rate=metrics.sr_failure_rate,
+        mean_latency=metrics.mean_latency,
+        stale_touches=network.queries_lost - lost_before,
+        total_queries=metrics.sr_queries,
+    )
+
+
+def churn_experiment(
+    hierarchy_config: HierarchyConfig | None = None,
+    workload_config: WorkloadConfig | None = None,
+    churn_fraction: float = 0.3,
+    decommission_old: bool = True,
+    seed: int = 3,
+) -> ChurnExperimentResult:
+    """Compare IRR TTL settings under mid-trace server migrations.
+
+    Each scheme gets a freshly built (identical-seed) hierarchy because
+    churn mutates the tree.  ``churn_fraction`` of eligible own-server
+    SLDs migrate, uniformly over days 1-6.
+    """
+    hierarchy_config = hierarchy_config or HierarchyConfig(
+        num_tlds=8, num_slds=120, num_providers=3
+    )
+    workload_config = workload_config or WorkloadConfig(
+        duration_days=7.0, queries_per_day=2_000, num_clients=50
+    )
+    schemes = [
+        ResilienceConfig.vanilla(),
+        ResilienceConfig.refresh().with_label("refresh"),
+        ResilienceConfig.refresh_long_ttl(3).with_label("refresh+ttl3d"),
+        ResilienceConfig.refresh_long_ttl(7).with_label("refresh+ttl7d"),
+    ]
+    rows = []
+    churned = 0
+    for config in schemes:
+        built = build_hierarchy(hierarchy_config, seed=seed)
+        trace = TraceGenerator(built.catalog, workload_config,
+                               seed=seed).generate("CHURN", stream=1)
+        eligible = _eligible_zone_count(built)
+        churn = generate_churn(
+            built,
+            start=1 * DAY,
+            end=6 * DAY,
+            zone_count=max(1, int(eligible * churn_fraction)),
+            seed=seed,
+            decommission_old=decommission_old,
+        )
+        churned = len(churn)
+        rows.append(run_churn_replay(built, trace, config, churn, seed=seed))
+    return ChurnExperimentResult(churned_zones=churned, rows=rows)
+
+
+def _eligible_zone_count(built) -> int:
+    count = 0
+    for zone in built.tree.zones():
+        if zone.name.depth() != 2:
+            continue
+        servers = built.tree.servers_for_zone(zone.name)
+        if servers and all(s.zones_served() == (zone.name,) for s in servers):
+            count += 1
+    return count

@@ -1,0 +1,377 @@
+"""One function per paper figure/table (the per-experiment index of
+DESIGN.md §4 maps each to its bench target).
+
+Each function returns a result object with the raw numbers plus a
+``render()`` text form; benches print that text and EXPERIMENTS.md
+records it against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.overhead import MemoryOverheadSeries, MessageOverheadTable
+from repro.analysis.report import format_table, render_series
+from repro.core.config import ResilienceConfig
+from repro.experiments.attack_grid import (
+    CREDITS,
+    LONG_TTL_DAYS,
+    FailureGrid,
+    run_duration_grid,
+    run_scheme_grid,
+    vanilla_column,
+)
+from repro.experiments.harness import run_replay
+from repro.experiments.scenarios import Scenario
+from repro.workload.stats import TraceStatistics, compute_statistics
+
+DAY = 86400.0
+
+#: X-axis points for the Figure 3 CDFs.
+GAP_DAY_POINTS = (0.25, 0.5, 1, 2, 3, 4, 5, 7, 10)
+GAP_FRACTION_POINTS = (0.5, 1, 2, 5, 10, 20, 50, 100)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table1Result:
+    """Trace statistics, one row per TRC."""
+
+    rows: list[TraceStatistics]
+
+    def render(self) -> str:
+        headers = (
+            "Trace", "Duration", "Clients", "Requests In",
+            "Requests Out", "Names", "Zones",
+        )
+        return format_table(
+            headers,
+            [row.as_row() for row in self.rows],
+            title="Table 1 — DNS trace statistics (synthetic workload)",
+        )
+
+
+def table1(scenario: Scenario, include_month: bool = True,
+           measure_requests_out: bool = True) -> Table1Result:
+    """Table 1: per-trace statistics; requests-out measured by vanilla replay."""
+    names = list(Scenario.WEEK_TRACES)
+    if include_month:
+        names.append(Scenario.MONTH_TRACE)
+    rows = []
+    for name in names:
+        trace = scenario.trace(name)
+        requests_out = None
+        if measure_requests_out:
+            result = run_replay(
+                scenario.built, trace, ResilienceConfig.vanilla()
+            )
+            requests_out = result.metrics.total_outgoing
+        rows.append(
+            compute_statistics(trace, tree=scenario.built.tree,
+                               requests_out=requests_out)
+        )
+    return Table1Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Figure3Result:
+    """Gap CDFs, aggregated over the week traces (paper Figure 3)."""
+
+    sample_count: int
+    cdf_days: Cdf
+    cdf_fraction: Cdf
+    fraction_under_5_days: float
+
+    def render(self) -> str:
+        days = render_series(
+            "Figure 3 (upper) — gap duration CDF",
+            self.cdf_days.evaluate(GAP_DAY_POINTS),
+            x_name="days",
+            y_name="CDF",
+        )
+        fractions = render_series(
+            "Figure 3 (lower) — gap / TTL CDF",
+            self.cdf_fraction.evaluate(GAP_FRACTION_POINTS),
+            x_name="gap as fraction of TTL",
+            y_name="CDF",
+        )
+        summary = (
+            f"samples: {self.sample_count}; "
+            f"gaps under 5 days: {self.fraction_under_5_days * 100:.1f} %"
+        )
+        return f"{days}\n\n{fractions}\n\n{summary}"
+
+
+def figure3(scenario: Scenario, trace_limit: int | None = None) -> Figure3Result:
+    """Figure 3: expiry-to-next-query gap CDFs from vanilla replays."""
+    day_samples: list[float] = []
+    fraction_samples: list[float] = []
+    for trace in scenario.week_traces(trace_limit):
+        result = run_replay(
+            scenario.built, trace, ResilienceConfig.vanilla(), track_gaps=True
+        )
+        assert result.gap_tracker is not None
+        for sample in result.gap_tracker.samples:
+            day_samples.append(sample.gap_days)
+            fraction_samples.append(sample.gap_as_ttl_fraction)
+    cdf_days = Cdf.from_samples(day_samples)
+    return Figure3Result(
+        sample_count=len(day_samples),
+        cdf_days=cdf_days,
+        cdf_fraction=Cdf.from_samples(fraction_samples),
+        fraction_under_5_days=cdf_days.probability_at_or_below(5.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 4-11 (attack grids)
+# ---------------------------------------------------------------------------
+
+def figure4(scenario: Scenario, trace_limit: int | None = None,
+            seed: int = 0) -> FailureGrid:
+    """Figure 4: vanilla DNS under 3/6/12/24 h root+TLD attacks."""
+    return run_duration_grid(
+        scenario, ResilienceConfig.vanilla(), "Figure 4 — Vanilla DNS",
+        trace_limit=trace_limit, seed=seed,
+    )
+
+
+def figure5(scenario: Scenario, trace_limit: int | None = None,
+            seed: int = 0) -> FailureGrid:
+    """Figure 5: TTL refresh under 3/6/12/24 h attacks."""
+    return run_duration_grid(
+        scenario, ResilienceConfig.refresh(), "Figure 5 — TTL Refresh",
+        trace_limit=trace_limit, seed=seed,
+    )
+
+
+_POLICY_FIGURES = {
+    "lru": ("Figure 6 — TTL Refresh + Renew (LRU)", "LRU"),
+    "lfu": ("Figure 7 — TTL Refresh + Renew (LFU)", "LFU"),
+    "a-lru": ("Figure 8 — TTL Refresh + Renew (A-LRU)", "A-LRU"),
+    "a-lfu": ("Figure 9 — TTL Refresh + Renew (A-LFU)", "A-LFU"),
+}
+
+
+def renewal_figure(
+    scenario: Scenario,
+    policy: str,
+    credits: tuple[int, ...] = CREDITS,
+    trace_limit: int | None = None,
+    seed: int = 0,
+) -> FailureGrid:
+    """Figures 6-9: refresh + one renewal policy at credits 1/3/5, 6 h attack."""
+    title, short = _POLICY_FIGURES[policy]
+    schemes = [vanilla_column()]
+    for credit in credits:
+        schemes.append(
+            (f"{short} {credit}", ResilienceConfig.refresh_renew(policy, credit))
+        )
+    return run_scheme_grid(scenario, schemes, title, trace_limit=trace_limit,
+                           seed=seed)
+
+
+def figure6(scenario: Scenario, **kwargs) -> FailureGrid:
+    """Figure 6: refresh + LRU renewal."""
+    return renewal_figure(scenario, "lru", **kwargs)
+
+
+def figure7(scenario: Scenario, **kwargs) -> FailureGrid:
+    """Figure 7: refresh + LFU renewal."""
+    return renewal_figure(scenario, "lfu", **kwargs)
+
+
+def figure8(scenario: Scenario, **kwargs) -> FailureGrid:
+    """Figure 8: refresh + A-LRU renewal."""
+    return renewal_figure(scenario, "a-lru", **kwargs)
+
+
+def figure9(scenario: Scenario, **kwargs) -> FailureGrid:
+    """Figure 9: refresh + A-LFU renewal."""
+    return renewal_figure(scenario, "a-lfu", **kwargs)
+
+
+def figure10(
+    scenario: Scenario,
+    days: tuple[int, ...] = LONG_TTL_DAYS,
+    trace_limit: int | None = None,
+    seed: int = 0,
+) -> FailureGrid:
+    """Figure 10: refresh + long IRR TTLs of 1/3/5/7 days, 6 h attack."""
+    schemes = [vanilla_column()]
+    for value in days:
+        schemes.append(
+            (f"{value} Day TTL", ResilienceConfig.refresh_long_ttl(value))
+        )
+    return run_scheme_grid(
+        scenario, schemes, "Figure 10 — TTL Refresh + Long-TTL",
+        trace_limit=trace_limit, seed=seed,
+    )
+
+
+def figure11(
+    scenario: Scenario,
+    days: tuple[int, ...] = LONG_TTL_DAYS,
+    policy: str = "a-lfu",
+    credit: float = 3.0,
+    trace_limit: int | None = None,
+    seed: int = 0,
+) -> FailureGrid:
+    """Figure 11: refresh + A-LFU renewal + long TTLs of 1/3/5/7 days."""
+    schemes = [vanilla_column()]
+    for value in days:
+        schemes.append(
+            (
+                f"{value} Day TTL",
+                ResilienceConfig.combination(days=value, policy=policy,
+                                             credit=credit),
+            )
+        )
+    return run_scheme_grid(
+        scenario, schemes, "Figure 11 — TTL Refresh + Renew + Long-TTL",
+        trace_limit=trace_limit, seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+#: The schemes Table 2 reports, in the paper's row order.
+TABLE2_SCHEMES: tuple[tuple[str, ResilienceConfig], ...] = (
+    ("Refresh", ResilienceConfig.refresh()),
+    ("LRU", ResilienceConfig.refresh_renew("lru", 3)),
+    ("LFU", ResilienceConfig.refresh_renew("lfu", 3)),
+    ("A-LRU", ResilienceConfig.refresh_renew("a-lru", 3)),
+    ("A-LFU", ResilienceConfig.refresh_renew("a-lfu", 3)),
+    ("Long-TTL", ResilienceConfig.refresh_long_ttl(7)),
+    ("Combination", ResilienceConfig.combination(days=3, policy="a-lfu", credit=3)),
+)
+
+
+@dataclass
+class Table2Result:
+    """Message and byte overhead per scheme vs vanilla, over traces."""
+
+    per_trace: dict[str, MessageOverheadTable]
+    mean_overhead: dict[str, float]
+    mean_byte_overhead: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            (
+                label,
+                f"{overhead * 100:+.1f} %",
+                f"{self.mean_byte_overhead.get(label, 0.0) * 100:+.1f} %",
+            )
+            for label, overhead in self.mean_overhead.items()
+        ]
+        return format_table(
+            ("Scheme", "Message overhead", "Byte overhead"),
+            rows,
+            title="Table 2 — traffic overhead vs vanilla (no attack)",
+        )
+
+
+def table2(
+    scenario: Scenario,
+    schemes: tuple[tuple[str, ResilienceConfig], ...] = TABLE2_SCHEMES,
+    trace_limit: int | None = 3,
+    seed: int = 0,
+) -> Table2Result:
+    """Table 2: outgoing-message overhead of every scheme vs vanilla."""
+    per_trace: dict[str, MessageOverheadTable] = {}
+    sums: dict[str, float] = {label: 0.0 for label, _ in schemes}
+    byte_sums: dict[str, float] = {label: 0.0 for label, _ in schemes}
+    traces = scenario.week_traces(trace_limit)
+    for trace in traces:
+        baseline = run_replay(
+            scenario.built, trace, ResilienceConfig.vanilla(), seed=seed
+        )
+        table = MessageOverheadTable(baseline=baseline.metrics)
+        for label, config in schemes:
+            result = run_replay(scenario.built, trace, config, seed=seed)
+            sums[label] += table.add_scheme(label, result.metrics)
+            byte_sums[label] += result.metrics.byte_overhead_vs(baseline.metrics)
+        per_trace[trace.name] = table
+    mean = {label: total / len(traces) for label, total in sums.items()}
+    byte_mean = {label: total / len(traces) for label, total in byte_sums.items()}
+    return Table2Result(per_trace=per_trace, mean_overhead=mean,
+                        mean_byte_overhead=byte_mean)
+
+
+# ---------------------------------------------------------------------------
+# Figure 12
+# ---------------------------------------------------------------------------
+
+#: Figure 12's legend: vanilla plus every scheme at its strongest setting.
+FIGURE12_SCHEMES: tuple[tuple[str, ResilienceConfig], ...] = (
+    ("DNS", ResilienceConfig.vanilla()),
+    ("LRU 5", ResilienceConfig.refresh_renew("lru", 5)),
+    ("LFU 5", ResilienceConfig.refresh_renew("lfu", 5)),
+    ("A-LRU 5", ResilienceConfig.refresh_renew("a-lru", 5)),
+    ("A-LFU 5", ResilienceConfig.refresh_renew("a-lfu", 5)),
+    ("Long-TTL", ResilienceConfig.refresh_long_ttl(7)),
+    ("Combination", ResilienceConfig.combination(days=3, policy="a-lfu", credit=5)),
+)
+
+
+@dataclass
+class Figure12Result:
+    """Cache-occupancy series over the month trace, per scheme."""
+
+    series: dict[str, MemoryOverheadSeries]
+    occupancy_ratios: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = []
+        for label, series in self.series.items():
+            rows.append(
+                (
+                    label,
+                    series.peak_zones(),
+                    series.peak_records(),
+                    f"{series.steady_state_mean_records():,.0f}",
+                    f"{self.occupancy_ratios.get(label, 1.0):.2f}x",
+                    f"{series.estimated_peak_bytes() / 1e6:.1f} MB",
+                )
+            )
+        return format_table(
+            ("Scheme", "Peak zones", "Peak records", "Steady records",
+             "vs DNS", "Est. peak mem"),
+            rows,
+            title="Figure 12 — memory overhead over the one-month trace (TRC6)",
+        )
+
+
+def figure12(
+    scenario: Scenario,
+    schemes: tuple[tuple[str, ResilienceConfig], ...] = FIGURE12_SCHEMES,
+    sample_interval: float = 6 * 3600.0,
+    seed: int = 0,
+) -> Figure12Result:
+    """Figure 12: cached zones/records over time for each scheme (TRC6)."""
+    trace = scenario.trace(Scenario.MONTH_TRACE)
+    series: dict[str, MemoryOverheadSeries] = {}
+    for label, config in schemes:
+        result = run_replay(
+            scenario.built, trace, config,
+            memory_sample_interval=sample_interval, seed=seed,
+        )
+        series[label] = MemoryOverheadSeries(
+            label=label, samples=result.metrics.memory_samples
+        )
+    outcome = Figure12Result(series=series)
+    baseline = series.get("DNS")
+    if baseline is not None:
+        for label, entry in series.items():
+            outcome.occupancy_ratios[label] = entry.occupancy_ratio_vs(baseline)
+    return outcome

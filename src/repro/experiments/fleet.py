@@ -1,0 +1,200 @@
+"""Fleet replay: several caching servers over one shared virtual time.
+
+The paper's Table 1 lists six caching servers from five organisations;
+its §6 maximum-damage discussion defines damage "across all caching
+servers (or stub-resolvers)".  :func:`run_fleet_replay` models exactly
+that: one engine, one network, one attack — many independent resolvers,
+each replaying its own organisation's trace.
+
+The result exposes both per-organisation and aggregate failure rates, so
+fleet-level questions ("how many lookups did the Internet lose?") have a
+first-class answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.caching_server import CachingServer
+from repro.core.config import ResilienceConfig
+from repro.experiments.harness import AttackSpec
+from repro.experiments.scenarios import Scenario
+from repro.hierarchy.builder import BuiltHierarchy
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import ReplayMetrics, WindowCounters
+from repro.simulation.network import Network
+from repro.workload.trace import Trace
+
+
+@dataclass
+class FleetMemberResult:
+    """One organisation's replay outcome."""
+
+    trace_name: str
+    metrics: ReplayMetrics
+    window: WindowCounters | None
+    server: CachingServer
+
+
+@dataclass
+class FleetReplayResult:
+    """Per-member results plus fleet-wide aggregates."""
+
+    label: str
+    members: list[FleetMemberResult]
+
+    def aggregate_sr_failure_rate(self) -> float:
+        """Fleet-wide SR failure fraction inside the attack window."""
+        queries = sum(
+            member.window.sr_queries for member in self.members
+            if member.window is not None
+        )
+        failures = sum(
+            member.window.sr_failures for member in self.members
+            if member.window is not None
+        )
+        if queries == 0:
+            return 0.0
+        return failures / queries
+
+    def total_failed_lookups(self) -> int:
+        """The §6 damage currency: failed lookups across the fleet."""
+        return sum(
+            member.window.sr_failures for member in self.members
+            if member.window is not None
+        )
+
+    def member(self, trace_name: str) -> FleetMemberResult:
+        for entry in self.members:
+            if entry.trace_name == trace_name:
+                return entry
+        raise KeyError(trace_name)
+
+    def render(self) -> str:
+        body = []
+        for member in self.members:
+            window = member.window
+            body.append(
+                (
+                    member.trace_name,
+                    member.metrics.sr_queries,
+                    f"{window.sr_failure_rate * 100:.1f} %" if window else "-",
+                    f"{window.cs_failure_rate * 100:.1f} %" if window else "-",
+                )
+            )
+        body.append(
+            (
+                "fleet",
+                sum(member.metrics.sr_queries for member in self.members),
+                f"{self.aggregate_sr_failure_rate() * 100:.1f} %",
+                "-",
+            )
+        )
+        return format_table(
+            ("Organisation", "Lookups", "SR failures (attack)",
+             "CS failures (attack)"),
+            body,
+            title=f"Fleet replay — scheme: {self.label}",
+        )
+
+
+def run_fleet_replay(
+    built: BuiltHierarchy,
+    traces: list[Trace],
+    config: ResilienceConfig,
+    attack: AttackSpec | None = None,
+    seed: int = 0,
+) -> FleetReplayResult:
+    """Replay each trace through its own caching server, time-interleaved.
+
+    All servers share the engine (so renewal timers and trace queries
+    interleave correctly), the network, and the attack schedule; caches
+    and metrics are private per server, exactly like independent
+    organisations.
+    """
+    if not traces:
+        raise ValueError("a fleet needs at least one trace")
+    tree = built.tree
+    saved_state = None
+    if config.long_ttl is not None:
+        saved_state = tree.capture_irr_state()
+        tree.apply_long_ttl(config.long_ttl)
+    try:
+        return _run(built, traces, config, attack, seed)
+    finally:
+        if saved_state is not None:
+            tree.restore_irr_state(saved_state)
+
+
+def _run(
+    built: BuiltHierarchy,
+    traces: list[Trace],
+    config: ResilienceConfig,
+    attack: AttackSpec | None,
+    seed: int,
+) -> FleetReplayResult:
+    engine = SimulationEngine()
+    schedule = attack.build_schedule(built) if attack is not None else None
+    network = Network(built.tree, attacks=schedule)
+
+    members: list[FleetMemberResult] = []
+    servers: list[CachingServer] = []
+    for index, trace in enumerate(traces):
+        metrics = ReplayMetrics()
+        window = None
+        if attack is not None:
+            window = metrics.watch_window(attack.start, attack.end)
+        server = CachingServer(
+            root_hints=built.tree.root_hints(),
+            network=network,
+            engine=engine,
+            config=config,
+            metrics=metrics,
+            seed=seed + index,
+        )
+        members.append(
+            FleetMemberResult(
+                trace_name=trace.name, metrics=metrics, window=window,
+                server=server,
+            )
+        )
+        servers.append(server)
+
+    # Interleave all traces by timestamp; each query goes to its owner.
+    def tagged(index: int, trace: Trace):
+        for query in trace:
+            yield (query.time, index, query)
+
+    streams = [tagged(index, trace) for index, trace in enumerate(traces)]
+    for time, index, query in heapq.merge(*streams):
+        engine.advance_to(time)
+        servers[index].handle_stub_query(query.qname, query.rrtype, time)
+    engine.advance_to(max(trace.duration for trace in traces))
+
+    return FleetReplayResult(label=config.label, members=members)
+
+
+def fleet_attack_comparison(
+    scenario: Scenario,
+    schemes: list[ResilienceConfig] | None = None,
+    attack_hours: float = 6.0,
+    trace_limit: int | None = None,
+    seed: int = 0,
+) -> dict[str, FleetReplayResult]:
+    """The standard fleet experiment: all organisations, per scheme."""
+    schemes = schemes or [
+        ResilienceConfig.vanilla(),
+        ResilienceConfig.refresh(),
+        ResilienceConfig.combination(),
+    ]
+    traces = scenario.week_traces(trace_limit)
+    attack = AttackSpec(start=scenario.attack_start,
+                        duration=attack_hours * 3600.0)
+    return {
+        config.label: run_fleet_replay(
+            scenario.built, traces, config, attack=attack, seed=seed
+        )
+        for config in schemes
+    }

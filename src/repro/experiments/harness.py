@@ -1,0 +1,178 @@
+"""Trace replay: one caching server, one trace, one scheme, one verdict.
+
+:func:`run_replay` is the single entry point every experiment goes
+through.  It wires the scheme's :class:`ResilienceConfig` into a fresh
+:class:`CachingServer`, applies (and afterwards undoes) the long-TTL
+override on the shared hierarchy, installs the attack schedule, replays
+the trace through the discrete-event engine, and returns everything the
+figures/tables need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gaps import GapTracker
+from repro.core.caching_server import CachingServer
+from repro.core.config import ResilienceConfig
+from repro.hierarchy.builder import BuiltHierarchy
+from repro.simulation.attack import AttackSchedule, AttackWindow, attack_on_root_and_tlds
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import MemorySample, ReplayMetrics, WindowCounters
+from repro.simulation.network import Network
+from repro.workload.trace import Trace
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """A declarative attack request for a replay.
+
+    ``targets`` of None means the paper's root+TLD target set.
+    """
+
+    start: float = 6 * DAY
+    duration: float = 6 * HOUR
+    targets: tuple | None = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def build_schedule(self, built: BuiltHierarchy) -> AttackSchedule:
+        if self.targets is None:
+            return attack_on_root_and_tlds(
+                built.tree, start=self.start, duration=self.duration
+            )
+        window = AttackWindow(
+            start=self.start, end=self.end, target_zones=frozenset(self.targets)
+        )
+        return AttackSchedule(built.tree, [window])
+
+
+@dataclass
+class ReplayResult:
+    """Everything one replay produced."""
+
+    label: str
+    trace_name: str
+    metrics: ReplayMetrics
+    window: WindowCounters | None
+    gap_tracker: GapTracker | None
+    server: CachingServer
+
+    @property
+    def sr_attack_failure_rate(self) -> float:
+        """SR failure fraction during the attack (0 without an attack)."""
+        if self.window is None:
+            return 0.0
+        return self.window.sr_failure_rate
+
+    @property
+    def cs_attack_failure_rate(self) -> float:
+        """CS failure fraction during the attack (0 without an attack)."""
+        if self.window is None:
+            return 0.0
+        return self.window.cs_failure_rate
+
+
+def run_replay(
+    built: BuiltHierarchy,
+    trace: Trace,
+    config: ResilienceConfig,
+    attack: AttackSpec | None = None,
+    track_gaps: bool = False,
+    memory_sample_interval: float | None = None,
+    seed: int = 0,
+) -> ReplayResult:
+    """Replay ``trace`` through a fresh caching server running ``config``.
+
+    The long-TTL override (if the config carries one) is applied to the
+    shared hierarchy before the run and restored afterwards, so callers
+    may reuse ``built`` across schemes.
+    """
+    tree = built.tree
+    saved_state = None
+    if config.long_ttl is not None:
+        saved_state = tree.capture_irr_state()
+        tree.apply_long_ttl(config.long_ttl)
+    try:
+        return _replay(
+            built, trace, config, attack, track_gaps, memory_sample_interval, seed
+        )
+    finally:
+        if saved_state is not None:
+            tree.restore_irr_state(saved_state)
+
+
+def _replay(
+    built: BuiltHierarchy,
+    trace: Trace,
+    config: ResilienceConfig,
+    attack: AttackSpec | None,
+    track_gaps: bool,
+    memory_sample_interval: float | None,
+    seed: int,
+) -> ReplayResult:
+    engine = SimulationEngine()
+    schedule = attack.build_schedule(built) if attack is not None else None
+    network = Network(built.tree, attacks=schedule)
+    metrics = ReplayMetrics()
+    window = None
+    if attack is not None:
+        window = metrics.watch_window(attack.start, attack.end)
+    gap_tracker = GapTracker() if track_gaps else None
+
+    server = CachingServer(
+        root_hints=built.tree.root_hints(),
+        network=network,
+        engine=engine,
+        config=config,
+        metrics=metrics,
+        gap_observer=gap_tracker,
+        seed=seed,
+    )
+
+    if memory_sample_interval is not None:
+        _arm_memory_sampler(engine, server, metrics, memory_sample_interval,
+                            trace.duration)
+
+    for query in trace:
+        engine.advance_to(query.time)
+        server.handle_stub_query(query.qname, query.rrtype, query.time)
+    engine.advance_to(trace.duration)
+
+    return ReplayResult(
+        label=config.label,
+        trace_name=trace.name,
+        metrics=metrics,
+        window=window,
+        gap_tracker=gap_tracker,
+        server=server,
+    )
+
+
+def _arm_memory_sampler(
+    engine: SimulationEngine,
+    server: CachingServer,
+    metrics: ReplayMetrics,
+    interval: float,
+    horizon: float,
+) -> None:
+    """Periodic cache-occupancy sampling (Figure 12's series)."""
+
+    def sample(now: float) -> None:
+        metrics.record_memory(
+            MemorySample(
+                time=now,
+                zones_cached=server.cached_zone_count(now),
+                records_cached=server.cached_record_count(now),
+            )
+        )
+        next_time = now + interval
+        if next_time <= horizon:
+            engine.schedule(next_time, sample)
+
+    engine.schedule(interval, sample)

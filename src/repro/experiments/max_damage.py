@@ -1,0 +1,159 @@
+"""Maximum-damage attack exploration (paper §6, "Discussion").
+
+The paper *defines* the maximum-damage attack — the target set of a given
+budget that maximises failed queries — and argues that finding it exactly
+is impractical (it depends on every resolver's future queries and on
+cascading IRR expiries).  It sketches one heuristic: count upcoming
+queries per subtree and hit the zones with the heaviest subtrees.
+
+This module implements that heuristic as an *extension experiment*: it
+builds the greedy target list from the (oracle) trace window, then
+compares its damage against the paper's root+TLD attack and a
+random-target strawman, with and without the combination scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import random
+
+from repro.analysis.report import format_table
+from repro.core.config import ResilienceConfig
+from repro.dns.name import Name, root_name
+from repro.experiments.harness import AttackSpec, run_replay
+from repro.experiments.scenarios import Scenario
+from repro.workload.trace import Trace
+
+HOUR = 3600.0
+
+
+def upcoming_query_counts(
+    trace: Trace, scenario: Scenario, start: float, end: float
+) -> dict[Name, int]:
+    """Queries in [start, end) that transit each zone's subtree.
+
+    A query for ``www.cs.ucla.edu`` counts for ``cs.ucla.edu``,
+    ``ucla.edu``, ``edu`` and the root: disabling any of them can break
+    the resolution (the cascading-failure effect §6 describes).
+    """
+    tree = scenario.built.tree
+    counts: dict[Name, int] = {}
+    zone_chain_cache: dict[Name, tuple[Name, ...]] = {}
+    for query in trace.slice_window(start, end):
+        chain = zone_chain_cache.get(query.qname)
+        if chain is None:
+            enclosing = tree.enclosing_zone(query.qname).name
+            chain = tuple(
+                ancestor
+                for ancestor in enclosing.ancestors()
+                if tree.has_zone(ancestor)
+            )
+            zone_chain_cache[query.qname] = chain
+        for zone in chain:
+            counts[zone] = counts.get(zone, 0) + 1
+    return counts
+
+
+def greedy_targets(
+    trace: Trace,
+    scenario: Scenario,
+    budget: int,
+    start: float,
+    end: float,
+    include_root: bool = True,
+) -> list[Name]:
+    """The ``budget`` zones with the heaviest upcoming subtrees."""
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    counts = upcoming_query_counts(trace, scenario, start, end)
+    candidates = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    targets: list[Name] = []
+    for zone, _ in candidates:
+        if zone == root_name() and not include_root:
+            continue
+        targets.append(zone)
+        if len(targets) == budget:
+            break
+    return targets
+
+
+def random_targets(
+    scenario: Scenario, budget: int, seed: int = 0
+) -> list[Name]:
+    """A random zone set of the same budget (strawman baseline)."""
+    rng = random.Random(seed)
+    names = sorted(scenario.built.tree.zone_names())
+    return rng.sample(names, min(budget, len(names)))
+
+
+@dataclass
+class MaxDamageResult:
+    """Damage comparison across target-selection strategies."""
+
+    budget: int
+    rows: list[tuple[str, str, float, float]]
+    """(strategy, scheme, SR failure rate, CS failure rate)."""
+
+    def render(self) -> str:
+        body = [
+            (strategy, scheme, f"{sr * 100:.1f} %", f"{cs * 100:.1f} %")
+            for strategy, scheme, sr, cs in self.rows
+        ]
+        return format_table(
+            ("Targets", "Scheme", "SR failures", "CS failures"),
+            body,
+            title=f"Maximum-damage exploration (budget = {self.budget} zones)",
+        )
+
+    def rate_of(self, strategy: str, scheme: str) -> float:
+        for row_strategy, row_scheme, sr, _ in self.rows:
+            if row_strategy == strategy and row_scheme == scheme:
+                return sr
+        raise KeyError(f"no row for ({strategy!r}, {scheme!r})")
+
+
+def max_damage_experiment(
+    scenario: Scenario,
+    budget: int | None = None,
+    attack_hours: float = 6.0,
+    trace_name: str = "TRC1",
+    seed: int = 0,
+) -> MaxDamageResult:
+    """Compare greedy / root+TLD / random targets, vanilla vs combination.
+
+    ``budget`` defaults to the root+TLD set size so strategies compete on
+    equal footing.
+    """
+    trace = scenario.trace(trace_name)
+    start = scenario.attack_start
+    end = start + attack_hours * HOUR
+    tree = scenario.built.tree
+    if budget is None:
+        budget = 1 + len(tree.tld_names())
+
+    strategies = {
+        "greedy (oracle)": greedy_targets(trace, scenario, budget, start, end),
+        "root+TLDs": [root_name(), *tree.tld_names()][:budget],
+        "random": random_targets(scenario, budget, seed=seed),
+    }
+    schemes = [
+        ("vanilla", ResilienceConfig.vanilla()),
+        ("combination", ResilienceConfig.combination()),
+    ]
+    rows = []
+    for strategy_name, targets in strategies.items():
+        spec = AttackSpec(
+            start=start, duration=attack_hours * HOUR, targets=tuple(targets)
+        )
+        for scheme_name, config in schemes:
+            result = run_replay(scenario.built, trace, config, attack=spec,
+                                seed=seed)
+            rows.append(
+                (
+                    strategy_name,
+                    scheme_name,
+                    result.sr_attack_failure_rate,
+                    result.cs_attack_failure_rate,
+                )
+            )
+    return MaxDamageResult(budget=budget, rows=rows)

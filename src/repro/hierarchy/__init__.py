@@ -1,0 +1,17 @@
+"""DNS delegation hierarchy: the zone tree and its synthetic builder.
+
+The paper's simulator replays traces against "the part of the DNS tree
+structure that was needed in order to resolve all the zones captured in
+the traces", probed from the real DNS.  We cannot probe the 2006 DNS, so
+:mod:`repro.hierarchy.builder` synthesises an Internet-like delegation
+tree with the properties the evaluation depends on: realistic fan-out
+(root -> a few hundred TLDs -> many SLDs), realistic NS-set sizes,
+provider-hosted (out-of-bailiwick) name servers, and an empirical IRR TTL
+distribution (minutes to days, mostly <= 12 h).
+"""
+
+from repro.hierarchy.builder import HierarchyBuilder, HierarchyConfig
+from repro.hierarchy.tree import ZoneTree
+from repro.hierarchy.ttlmodel import TtlModel
+
+__all__ = ["HierarchyBuilder", "HierarchyConfig", "TtlModel", "ZoneTree"]

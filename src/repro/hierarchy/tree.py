@@ -1,0 +1,233 @@
+"""The zone tree: every zone, every server, and how they interconnect.
+
+:class:`ZoneTree` is the simulator's model of "the DNS" — the structure a
+caching server resolves against.  It indexes zones by apex name, servers
+by hostname and by address, and knows which servers answer for which
+zones (the mapping the DDoS attack model needs to take a zone offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dns.name import Name, root_name
+from repro.dns.records import InfrastructureRecordSet
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+
+
+class ZoneTree:
+    """All zones and authoritative servers in the simulated namespace."""
+
+    def __init__(self) -> None:
+        self._zones: dict[Name, Zone] = {}
+        self._servers_by_name: dict[Name, AuthoritativeServer] = {}
+        self._servers_by_address: dict[str, AuthoritativeServer] = {}
+        self._zone_servers: dict[Name, list[AuthoritativeServer]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_server(self, server: AuthoritativeServer) -> None:
+        """Register a server; hostnames and addresses must be unique."""
+        if server.name in self._servers_by_name:
+            raise ValueError(f"duplicate server name {server.name}")
+        if server.address in self._servers_by_address:
+            raise ValueError(f"duplicate server address {server.address}")
+        self._servers_by_name[server.name] = server
+        self._servers_by_address[server.address] = server
+
+    def add_zone(self, zone: Zone, servers: Iterable[AuthoritativeServer]) -> None:
+        """Register ``zone`` as served by ``servers``.
+
+        Servers not yet known to the tree are added automatically.
+        """
+        if zone.name in self._zones:
+            raise ValueError(f"duplicate zone {zone.name}")
+        server_list = list(servers)
+        if not server_list:
+            raise ValueError(f"zone {zone.name} needs at least one server")
+        self._zones[zone.name] = zone
+        self._zone_servers[zone.name] = server_list
+        for server in server_list:
+            if server.name not in self._servers_by_name:
+                self.add_server(server)
+            server.serve_zone(zone)
+
+    # -- lookups -------------------------------------------------------------
+
+    def zone(self, name: Name) -> Zone:
+        """The zone with apex ``name``.
+
+        Raises:
+            KeyError: when no such zone exists.
+        """
+        return self._zones[name]
+
+    def has_zone(self, name: Name) -> bool:
+        """Whether a zone with apex ``name`` exists."""
+        return name in self._zones
+
+    def zones(self) -> Iterator[Zone]:
+        """All zones, in no particular order."""
+        return iter(self._zones.values())
+
+    def zone_names(self) -> tuple[Name, ...]:
+        """All zone apex names."""
+        return tuple(self._zones)
+
+    def zone_count(self) -> int:
+        return len(self._zones)
+
+    def server_count(self) -> int:
+        return len(self._servers_by_name)
+
+    def server_by_address(self, address: str) -> AuthoritativeServer | None:
+        """The server listening at ``address``, if any."""
+        return self._servers_by_address.get(address)
+
+    def server_by_name(self, name: Name) -> AuthoritativeServer | None:
+        """The server with hostname ``name``, if any."""
+        return self._servers_by_name.get(name)
+
+    def servers_for_zone(self, zone_name: Name) -> list[AuthoritativeServer]:
+        """The authoritative servers of ``zone_name`` (empty if unknown)."""
+        return list(self._zone_servers.get(zone_name, ()))
+
+    def addresses_for_zone(self, zone_name: Name) -> list[str]:
+        """The server addresses of ``zone_name``."""
+        return [server.address for server in self._zone_servers.get(zone_name, ())]
+
+    def enclosing_zone(self, name: Name) -> Zone:
+        """The deepest zone whose apex is an ancestor of ``name``.
+
+        The root zone always matches, so this never fails on a tree that
+        contains the root.
+        """
+        for ancestor in name.ancestors():
+            zone = self._zones.get(ancestor)
+            if zone is not None:
+                return zone
+        raise KeyError(f"tree has no root zone enclosing {name}")
+
+    def parent_zone(self, zone_name: Name) -> Zone | None:
+        """The zone delegating ``zone_name``, or None for the root."""
+        if zone_name.is_root:
+            return None
+        return self.enclosing_zone(zone_name.parent())
+
+    def root_hints(self) -> InfrastructureRecordSet:
+        """The root zone's IRRs — what every caching server is primed with."""
+        return self._zones[root_name()].infrastructure_records
+
+    # -- structure queries ----------------------------------------------------
+
+    def children_of(self, zone_name: Name) -> tuple[Name, ...]:
+        """Apex names of the zones directly delegated by ``zone_name``."""
+        return self._zones[zone_name].child_zone_names()
+
+    def descendants_of(self, zone_name: Name) -> list[Name]:
+        """Every zone strictly below ``zone_name`` (transitively)."""
+        found: list[Name] = []
+        frontier = list(self.children_of(zone_name))
+        while frontier:
+            current = frontier.pop()
+            found.append(current)
+            if current in self._zones:
+                frontier.extend(self.children_of(current))
+        return found
+
+    def tld_names(self) -> list[Name]:
+        """The zones directly below the root."""
+        return list(self.children_of(root_name()))
+
+    def total_record_count(self) -> int:
+        """Total authoritative records across every zone."""
+        return sum(zone.record_count() for zone in self._zones.values())
+
+    # -- operator-side knobs ----------------------------------------------------
+
+    def migrate_zone_servers(
+        self,
+        zone_name: Name,
+        new_irrs: InfrastructureRecordSet,
+        new_servers: list[AuthoritativeServer],
+        decommission_old: bool = False,
+    ) -> list[AuthoritativeServer]:
+        """Move a zone onto a new server set (IRR churn).
+
+        Models an operator changing name servers mid-trace (paper §4's
+        long-TTL inconsistency discussion): the zone's apex IRRs and the
+        parent's delegation copy are replaced, the new servers start
+        answering, and the old ones either go *lame* for the zone
+        (default — still running, answering REFUSED) or are
+        *decommissioned* entirely (their addresses stop responding) when
+        they serve nothing else.
+
+        Returns the old server list.
+
+        Raises:
+            KeyError: when the zone is unknown.
+        """
+        zone = self._zones[zone_name]
+        old_servers = self._zone_servers.get(zone_name, [])
+        for server in old_servers:
+            server.withdraw_zone(zone_name)
+
+        zone.replace_infrastructure_records(new_irrs)
+        parent = self.parent_zone(zone_name)
+        if parent is not None:
+            parent.replace_delegation(new_irrs)
+
+        self._zone_servers[zone_name] = list(new_servers)
+        for server in new_servers:
+            if server.name not in self._servers_by_name:
+                self.add_server(server)
+            server.serve_zone(zone)
+
+        if decommission_old:
+            for server in old_servers:
+                if not server.zones_served():
+                    self._servers_by_name.pop(server.name, None)
+                    self._servers_by_address.pop(server.address, None)
+        return list(old_servers)
+
+    def capture_irr_state(self) -> dict[Name, tuple]:
+        """Snapshot every zone's IRR TTL state (for undoing long-TTL)."""
+        return {name: zone.irr_snapshot() for name, zone in self._zones.items()}
+
+    def restore_irr_state(self, state: dict[Name, tuple]) -> None:
+        """Restore a snapshot taken with :meth:`capture_irr_state`."""
+        for name, snapshot in state.items():
+            zone = self._zones.get(name)
+            if zone is not None:
+                zone.restore_irr_snapshot(snapshot)
+
+    def apply_long_ttl(
+        self, ttl: float, zone_filter: Iterable[Name] | None = None
+    ) -> int:
+        """Raise IRR TTLs to ``ttl`` for the selected zones (default: all).
+
+        Models the paper's long-TTL scheme: each selected zone re-stamps
+        its own IRRs *and* its parent re-stamps its delegation copy, so
+        both referral-learned and answer-learned IRRs carry the long TTL.
+        Data records are untouched.
+
+        Returns the number of zones changed.
+        """
+        selected = (
+            set(zone_filter) if zone_filter is not None else set(self._zones)
+        )
+        changed = 0
+        for name in selected:
+            zone = self._zones.get(name)
+            if zone is None:
+                continue
+            zone.set_infrastructure_ttl(ttl)
+            parent = self.parent_zone(name)
+            if parent is not None:
+                parent.set_delegation_ttl(name, ttl)
+            changed += 1
+        return changed
+
+    def __repr__(self) -> str:
+        return f"ZoneTree(zones={len(self._zones)}, servers={len(self._servers_by_name)})"

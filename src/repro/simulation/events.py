@@ -1,0 +1,78 @@
+"""A cancellable priority queue of timed events.
+
+Cancellation is lazy (the heap entry is tombstoned), which keeps both
+``push`` and ``cancel`` O(log n) / O(1) and suits the renewal timers'
+pattern of frequent reschedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+Action = Callable[[float], None]
+
+
+class EventHandle:
+    """A ticket for a scheduled event; lets the owner cancel it."""
+
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Action) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe to call repeatedly)."""
+        self.cancelled = True
+        self.action = _noop
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+def _noop(_: float) -> None:
+    return None
+
+
+class EventQueue:
+    """Min-heap of :class:`EventHandle`, ordered by (time, insertion seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, action: Action) -> EventHandle:
+        """Schedule ``action`` to run at ``time``; returns its handle."""
+        handle = EventHandle(time, next(self._seq), action)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def peek_time(self) -> float | None:
+        """The time of the next live event, or None when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> EventHandle | None:
+        """Remove and return the next live event, or None when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events.  O(n); for diagnostics."""
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    def __bool__(self) -> bool:
+        self._discard_cancelled()
+        return bool(self._heap)

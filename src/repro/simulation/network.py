@@ -1,0 +1,110 @@
+"""Message delivery between the caching server and authoritative servers.
+
+The network is deliberately simple — the paper's metrics depend on *which*
+servers are reachable, not on packet dynamics — but it models the two
+costs that shape resolver behaviour: per-hop round-trip latency and the
+timeout paid for every query to a dead server.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.dns.errors import LameDelegationError
+from repro.dns.message import Message, Question
+from repro.simulation.attack import AttackSchedule
+from repro.hierarchy.tree import ZoneTree
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Latency accounting for resolution attempts.
+
+    ``rtt`` is charged per answered query, ``timeout`` per query that a
+    blocked/dead server swallows.  These feed the response-time metric
+    only; virtual trace time does not advance with them (matching the
+    paper's simulator, which measures availability, not latency).
+
+    ``rtt_spread`` adds a deterministic per-address factor in
+    ``[1-spread, 1+spread]`` so servers are distinguishable — what makes
+    RTT-based server selection worth modelling.
+    """
+
+    rtt: float = 0.04
+    timeout: float = 2.0
+    rtt_spread: float = 0.5
+
+    def rtt_for(self, address: str) -> float:
+        """The stable round-trip time to ``address``."""
+        if self.rtt_spread <= 0.0:
+            return self.rtt
+        factor = (zlib.crc32(address.encode("ascii")) % 1000) / 1000.0
+        return self.rtt * (1.0 + self.rtt_spread * (2.0 * factor - 1.0))
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one CS -> AN query attempt."""
+
+    message: Message | None
+    latency: float
+
+    @property
+    def answered(self) -> bool:
+        return self.message is not None
+
+
+class Network:
+    """Routes questions to authoritative servers, honouring attacks."""
+
+    def __init__(
+        self,
+        tree: ZoneTree,
+        attacks: AttackSchedule | None = None,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self._tree = tree
+        self._attacks = attacks
+        self.latency = latency or LatencyModel()
+        self.queries_sent = 0
+        self.queries_lost = 0
+
+    @property
+    def attacks(self) -> AttackSchedule | None:
+        return self._attacks
+
+    def set_attacks(self, attacks: AttackSchedule | None) -> None:
+        """Swap the attack schedule (used by scenario harnesses)."""
+        self._attacks = attacks
+
+    def query(self, address: str, question: Question, now: float) -> QueryResult:
+        """Send ``question`` to the server at ``address``.
+
+        Returns an unanswered result (``message is None``) when the
+        address is blocked by an attack, unknown, or lame for the
+        question; the caller pays the timeout either way.
+        """
+        self.queries_sent += 1
+        if self._attacks is not None and self._attacks.is_blocked(address, now):
+            self.queries_lost += 1
+            return QueryResult(None, self.latency.timeout)
+        server = self._tree.server_by_address(address)
+        if server is None:
+            self.queries_lost += 1
+            return QueryResult(None, self.latency.timeout)
+        try:
+            message = server.respond(question)
+        except LameDelegationError:
+            # A real lame server answers REFUSED or garbage; either way
+            # the resolver moves to the next server, same as a timeout
+            # (but much faster).
+            self.queries_lost += 1
+            return QueryResult(None, self.latency.rtt_for(address))
+        return QueryResult(message, self.latency.rtt_for(address))
+
+    def is_reachable(self, address: str, now: float) -> bool:
+        """Whether a query to ``address`` would currently be answered."""
+        if self._attacks is not None and self._attacks.is_blocked(address, now):
+            return False
+        return self._tree.server_by_address(address) is not None

@@ -1,0 +1,25 @@
+"""Query workloads: trace format, synthetic generation, statistics.
+
+The paper replays stub-resolver traces from five US universities (plus a
+one-month trace).  Those traces are not public, so
+:mod:`repro.workload.generator` synthesises workloads with the same
+controlling statistics — client counts, request volumes, distinct
+names/zones, Zipf zone popularity, diurnal load and per-client interest
+locality — while :mod:`repro.workload.trace` defines a text format so
+real traces can be dropped in instead.
+"""
+
+from repro.workload.generator import TraceGenerator, WorkloadConfig
+from repro.workload.stats import TraceStatistics, compute_statistics
+from repro.workload.trace import Trace, TraceQuery, read_trace, write_trace
+
+__all__ = [
+    "Trace",
+    "TraceGenerator",
+    "TraceQuery",
+    "TraceStatistics",
+    "WorkloadConfig",
+    "compute_statistics",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,186 @@
+"""Synthetic stub-resolver workload generation.
+
+The generator reproduces the statistical structure the paper's evaluation
+depends on (rather than the authors' private packet traces):
+
+* **Zipf zone popularity** — a few zones draw most queries; the long tail
+  is visited rarely (this is what makes LFU-style renewal matter).
+* **Per-client interest locality** — each stub resolver mixes the globally
+  popular zones with a private working set (the paper's "overlap of
+  interest between different SRs").
+* **Diurnal load** — sinusoidal day/night modulation of the Poisson
+  arrival rate.
+* **Host-level popularity** — within a zone, www-like hosts dominate.
+* **Query-type mix** — mostly A, a sliver of AAAA/MX (which often yield
+  NODATA, as in real traces).
+
+numpy does the heavy sampling so month-long traces stay cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dns.name import Name
+from repro.dns.rrtypes import RRType
+from repro.workload.trace import Trace, TraceQuery
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape parameters for one synthetic trace."""
+
+    duration_days: float = 7.0
+    queries_per_day: float = 40_000.0
+    num_clients: int = 300
+    zone_zipf_alpha: float = 1.15
+    shared_interest_fraction: float = 0.7
+    private_zones_per_client: int = 15
+    name_zipf_alpha: float = 1.1
+    diurnal_amplitude: float = 0.5
+    qtype_mix: tuple[tuple[RRType, float], ...] = (
+        (RRType.A, 0.94),
+        (RRType.AAAA, 0.04),
+        (RRType.MX, 0.02),
+    )
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if not 0.0 <= self.shared_interest_fraction <= 1.0:
+            raise ValueError("shared_interest_fraction must be a fraction")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        total = sum(weight for _, weight in self.qtype_mix)
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"qtype_mix weights sum to {total}, expected 1")
+
+
+class TraceGenerator:
+    """Generates traces against a zone catalog.
+
+    One generator instance can emit several traces; each call uses an
+    independent seed so TRC1..TRC6 differ while staying reproducible.
+    """
+
+    def __init__(self, catalog: dict[Name, list[Name]], config: WorkloadConfig,
+                 seed: int = 0) -> None:
+        if not catalog:
+            raise ValueError("catalog is empty — build the hierarchy first")
+        self.config = config
+        self._seed = seed
+        # Deterministic zone ordering, then a seeded popularity shuffle so
+        # popularity is independent of construction order.
+        zones = sorted(catalog.keys())
+        shuffle_rng = np.random.default_rng(seed)
+        order = shuffle_rng.permutation(len(zones))
+        self._zones: list[Name] = [zones[i] for i in order]
+        self._hosts: list[list[Name]] = [catalog[zone] for zone in self._zones]
+
+        ranks = np.arange(1, len(self._zones) + 1, dtype=np.float64)
+        weights = ranks ** (-config.zone_zipf_alpha)
+        self._zone_cdf = np.cumsum(weights / weights.sum())
+
+        # Per-zone-size host CDFs (sizes are small; cache by size).
+        self._host_cdfs: dict[int, np.ndarray] = {}
+        for hosts in self._hosts:
+            size = len(hosts)
+            if size not in self._host_cdfs:
+                host_ranks = np.arange(1, size + 1, dtype=np.float64)
+                host_weights = host_ranks ** (-config.name_zipf_alpha)
+                self._host_cdfs[size] = np.cumsum(host_weights / host_weights.sum())
+
+    # -- public ---------------------------------------------------------------
+
+    def generate(self, name: str, stream: int = 0) -> Trace:
+        """Produce one trace; ``stream`` decorrelates TRC1..TRCn."""
+        config = self.config
+        rng = np.random.default_rng((self._seed, stream, 0xD25))
+        times = self._arrival_times(rng)
+        count = len(times)
+
+        clients = rng.integers(0, config.num_clients, size=count)
+        private_sets = rng.integers(
+            0,
+            len(self._zones),
+            size=(config.num_clients, config.private_zones_per_client),
+        )
+
+        shared_mask = rng.random(count) < config.shared_interest_fraction
+        zone_indices = np.empty(count, dtype=np.int64)
+        shared_count = int(shared_mask.sum())
+        zone_indices[shared_mask] = np.searchsorted(
+            self._zone_cdf, rng.random(shared_count)
+        )
+        private_mask = ~shared_mask
+        private_count = count - shared_count
+        slot = rng.integers(0, config.private_zones_per_client, size=private_count)
+        zone_indices[private_mask] = private_sets[clients[private_mask], slot]
+
+        host_draws = rng.random(count)
+        qtypes, qtype_weights = zip(*config.qtype_mix)
+        type_indices = rng.choice(
+            len(qtypes), size=count, p=np.asarray(qtype_weights)
+        )
+
+        queries: list[TraceQuery] = []
+        hosts = self._hosts
+        host_cdfs = self._host_cdfs
+        for position in range(count):
+            zone_index = int(zone_indices[position])
+            zone_hosts = hosts[zone_index]
+            cdf = host_cdfs[len(zone_hosts)]
+            host_index = int(np.searchsorted(cdf, host_draws[position]))
+            queries.append(
+                TraceQuery(
+                    time=float(times[position]),
+                    client_id=int(clients[position]),
+                    qname=zone_hosts[host_index],
+                    rrtype=qtypes[int(type_indices[position])],
+                )
+            )
+        return Trace(
+            name=name, duration=config.duration_days * DAY, queries=queries
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _arrival_times(self, rng: np.random.Generator) -> np.ndarray:
+        """Diurnal non-homogeneous Poisson arrivals over the full duration.
+
+        Piecewise-constant hourly rates: ``rate(h) = base * (1 + A*sin)``,
+        peaking mid-day, dipping overnight.
+        """
+        config = self.config
+        hours = int(math.ceil(config.duration_days * 24))
+        base_per_hour = config.queries_per_day / 24.0
+        hour_indices = np.arange(hours)
+        modulation = 1.0 + config.diurnal_amplitude * np.sin(
+            2.0 * np.pi * ((hour_indices % 24) / 24.0) - np.pi / 2.0
+        )
+        lambdas = base_per_hour * modulation
+        counts = rng.poisson(lambdas)
+        pieces: list[np.ndarray] = []
+        end = config.duration_days * DAY
+        for hour, count in enumerate(counts):
+            if count == 0:
+                continue
+            start = hour * HOUR
+            stop = min(start + HOUR, end)
+            if stop <= start:
+                continue
+            pieces.append(rng.uniform(start, stop, size=count))
+        if not pieces:
+            return np.empty(0, dtype=np.float64)
+        times = np.concatenate(pieces)
+        times = times[times < end]
+        times.sort()
+        return times

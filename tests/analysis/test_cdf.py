@@ -1,0 +1,62 @@
+"""Unit + property tests for empirical CDFs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import Cdf
+
+
+class TestCdf:
+    def test_probability_at_or_below(self):
+        cdf = Cdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf.probability_at_or_below(0.5) == 0.0
+        assert cdf.probability_at_or_below(2.0) == 0.5
+        assert cdf.probability_at_or_below(10.0) == 1.0
+
+    def test_empty_cdf(self):
+        cdf = Cdf.from_samples([])
+        assert cdf.probability_at_or_below(5.0) == 0.0
+        assert cdf.mean() == 0.0
+        with pytest.raises(ValueError):
+            cdf.percentile(0.5)
+
+    def test_percentile(self):
+        cdf = Cdf.from_samples(range(1, 101))
+        assert cdf.percentile(0.5) == 50
+        assert cdf.percentile(0.0) == 1
+        assert cdf.percentile(1.0) == 100
+
+    def test_percentile_bounds(self):
+        cdf = Cdf.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.percentile(1.5)
+
+    def test_evaluate_produces_series(self):
+        cdf = Cdf.from_samples([1.0, 2.0])
+        series = cdf.evaluate([0.0, 1.0, 3.0])
+        assert series == [(0.0, 0.0), (1.0, 0.5), (3.0, 1.0)]
+
+    def test_mean(self):
+        assert Cdf.from_samples([1.0, 3.0]).mean() == 2.0
+
+
+class TestCdfProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100))
+    def test_monotone_and_bounded(self, samples):
+        cdf = Cdf.from_samples(samples)
+        points = sorted(set(samples))
+        previous = 0.0
+        for point in points:
+            probability = cdf.probability_at_or_below(point)
+            assert 0.0 <= probability <= 1.0
+            assert probability >= previous
+            previous = probability
+        assert cdf.probability_at_or_below(max(samples)) == 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_percentile_is_a_sample(self, samples, fraction):
+        cdf = Cdf.from_samples(samples)
+        assert cdf.percentile(fraction) in samples

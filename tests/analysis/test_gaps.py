@@ -1,0 +1,48 @@
+"""Tests for time-gap tracking (Figure 3)."""
+
+import pytest
+
+from repro.analysis.gaps import DAY, GapSample, GapTracker
+from repro.dns.name import Name
+
+ZONE = Name.from_text("x.test")
+
+
+class TestGapSample:
+    def test_day_conversion(self):
+        sample = GapSample(ZONE, gap_seconds=2 * DAY, published_ttl=3600.0)
+        assert sample.gap_days == 2.0
+
+    def test_ttl_fraction(self):
+        sample = GapSample(ZONE, gap_seconds=7200.0, published_ttl=3600.0)
+        assert sample.gap_as_ttl_fraction == 2.0
+
+    def test_zero_ttl_gives_infinite_fraction(self):
+        sample = GapSample(ZONE, gap_seconds=10.0, published_ttl=0.0)
+        assert sample.gap_as_ttl_fraction == float("inf")
+
+
+class TestGapTracker:
+    def test_collects_via_call(self):
+        tracker = GapTracker()
+        tracker(ZONE, 100.0, 50.0)
+        tracker(ZONE, 200.0, 50.0)
+        assert len(tracker) == 2
+
+    def test_negative_gap_rejected(self):
+        tracker = GapTracker()
+        with pytest.raises(ValueError):
+            tracker(ZONE, -1.0, 50.0)
+
+    def test_cdfs(self):
+        tracker = GapTracker()
+        tracker(ZONE, 1 * DAY, DAY / 2)  # 1 day gap, fraction 2
+        tracker(ZONE, 3 * DAY, DAY)      # 3 day gap, fraction 3
+        assert tracker.cdf_days().probability_at_or_below(1.0) == 0.5
+        assert tracker.cdf_ttl_fraction().probability_at_or_below(2.0) == 0.5
+
+    def test_fraction_below_days(self):
+        tracker = GapTracker()
+        tracker(ZONE, 1 * DAY, 100.0)
+        tracker(ZONE, 10 * DAY, 100.0)
+        assert tracker.fraction_below_days(5.0) == 0.5

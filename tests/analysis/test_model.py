@@ -1,0 +1,109 @@
+"""Tests for the analytical IRR-availability model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.model import (
+    SchemeModel,
+    predict_cached_zone_count,
+    renewal_cached_fraction,
+    refresh_cached_fraction,
+    vanilla_cached_fraction,
+)
+from repro.dns.name import Name
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+ttls = st.floats(min_value=1.0, max_value=7 * 86400.0, allow_nan=False)
+
+
+class TestFormulas:
+    def test_vanilla_known_value(self):
+        # lam*ttl = 1 -> 1/2
+        assert vanilla_cached_fraction(1 / 3600, 3600) == pytest.approx(0.5)
+
+    def test_refresh_known_value(self):
+        assert refresh_cached_fraction(1 / 3600, 3600) == pytest.approx(
+            1 - math.exp(-1)
+        )
+
+    def test_renewal_zero_credit_equals_refresh(self):
+        assert renewal_cached_fraction(0.001, 600, 0) == pytest.approx(
+            refresh_cached_fraction(0.001, 600)
+        )
+
+    def test_zero_rate(self):
+        assert vanilla_cached_fraction(0.0, 3600) == 0.0
+        assert refresh_cached_fraction(0.0, 3600) == 0.0
+
+    @pytest.mark.parametrize("func", [vanilla_cached_fraction,
+                                      refresh_cached_fraction])
+    def test_invalid_inputs(self, func):
+        with pytest.raises(ValueError):
+            func(-1.0, 3600)
+        with pytest.raises(ValueError):
+            func(0.1, 0.0)
+
+    def test_negative_credit_rejected(self):
+        with pytest.raises(ValueError):
+            renewal_cached_fraction(0.1, 60, -1)
+
+
+class TestFormulaProperties:
+    @given(rates, ttls)
+    def test_all_fractions_are_probabilities(self, lam, ttl):
+        for value in (
+            vanilla_cached_fraction(lam, ttl),
+            refresh_cached_fraction(lam, ttl),
+            renewal_cached_fraction(lam, ttl, 3),
+        ):
+            assert 0.0 <= value <= 1.0
+
+    @given(rates, ttls)
+    def test_scheme_ordering(self, lam, ttl):
+        # The paper's ordering falls out of the formulas: refresh beats
+        # vanilla, renewal beats refresh.
+        vanilla = vanilla_cached_fraction(lam, ttl)
+        refresh = refresh_cached_fraction(lam, ttl)
+        renewal = renewal_cached_fraction(lam, ttl, 3)
+        assert refresh >= vanilla - 1e-12
+        assert renewal >= refresh - 1e-12
+
+    @given(rates, ttls, ttls)
+    def test_monotone_in_ttl(self, lam, ttl_a, ttl_b):
+        low, high = sorted((ttl_a, ttl_b))
+        assert refresh_cached_fraction(lam, high) >= \
+            refresh_cached_fraction(lam, low) - 1e-12
+
+    @given(rates, ttls, st.floats(min_value=0, max_value=10))
+    def test_monotone_in_credit(self, lam, ttl, credit):
+        assert renewal_cached_fraction(lam, ttl, credit + 1) >= \
+            renewal_cached_fraction(lam, ttl, credit) - 1e-12
+
+
+class TestSchemeModel:
+    def test_ttl_override(self):
+        model = SchemeModel("x", "refresh", ttl_override=7200.0)
+        assert model.cached_fraction(0.001, 60.0) == pytest.approx(
+            refresh_cached_fraction(0.001, 7200.0)
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SchemeModel("x", "magic").cached_fraction(0.1, 60)
+
+    def test_predict_cached_zone_count(self):
+        model = SchemeModel("x", "refresh")
+        zones = {Name.from_text(f"z{i}.test"): 0.001 for i in range(4)}
+        ttls = {zone: 3600.0 for zone in zones}
+        expected = 4 * refresh_cached_fraction(0.001, 3600.0)
+        assert predict_cached_zone_count(model, zones, ttls) == \
+            pytest.approx(expected)
+
+    def test_predict_skips_unknown_ttls(self):
+        model = SchemeModel("x", "refresh")
+        zones = {Name.from_text("a.test"): 0.1, Name.from_text("b.test"): 0.1}
+        ttls = {Name.from_text("a.test"): 3600.0}
+        assert predict_cached_zone_count(model, zones, ttls) == \
+            pytest.approx(refresh_cached_fraction(0.1, 3600.0))

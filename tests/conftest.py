@@ -1,0 +1,46 @@
+"""Shared fixtures: the mini hand-built internet and a resolver stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.caching_server import CachingServer
+from repro.core.config import ResilienceConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import ReplayMetrics
+from repro.simulation.network import Network
+
+from tests.helpers import MiniInternet, build_mini_internet
+
+
+@pytest.fixture
+def mini() -> MiniInternet:
+    """A fresh hand-built miniature hierarchy."""
+    return build_mini_internet()
+
+
+@pytest.fixture
+def resolver_stack(mini):
+    """(server, engine, network, metrics) running the vanilla config."""
+    return make_stack(mini, ResilienceConfig.vanilla())
+
+
+def make_stack(
+    mini: MiniInternet,
+    config: ResilienceConfig,
+    attacks=None,
+    gap_observer=None,
+):
+    """Build a CachingServer wired to the mini internet."""
+    engine = SimulationEngine()
+    network = Network(mini.tree, attacks=attacks)
+    metrics = ReplayMetrics()
+    server = CachingServer(
+        root_hints=mini.tree.root_hints(),
+        network=network,
+        engine=engine,
+        config=config,
+        metrics=metrics,
+        gap_observer=gap_observer,
+    )
+    return server, engine, network, metrics

@@ -1,0 +1,238 @@
+"""Unit + property tests for the ranked TTL cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cache import DnsCache
+from repro.dns.name import Name
+from repro.dns.ranking import Rank
+from repro.dns.records import ResourceRecord, RRset
+from repro.dns.rrtypes import RRType
+
+
+def a_set(owner="www.x.test", ttl=300.0, address="10.0.0.1"):
+    return RRset.from_records(
+        [ResourceRecord(Name.from_text(owner), RRType.A, ttl, address)]
+    )
+
+
+def ns_set(zone="x.test", ttl=3600.0, server="ns1.x.test"):
+    return RRset.from_records(
+        [ResourceRecord(Name.from_text(zone), RRType.NS, ttl,
+                        Name.from_text(server))]
+    )
+
+
+class TestBasicLifecycle:
+    def test_put_get(self):
+        cache = DnsCache()
+        cache.put(a_set(), Rank.AUTH_ANSWER, now=0.0)
+        assert cache.get(Name.from_text("www.x.test"), RRType.A, 100.0) is not None
+
+    def test_expiry(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=300), Rank.AUTH_ANSWER, now=0.0)
+        assert cache.get(Name.from_text("www.x.test"), RRType.A, 299.9) is not None
+        assert cache.get(Name.from_text("www.x.test"), RRType.A, 300.0) is None
+
+    def test_stale_still_readable(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=300), Rank.AUTH_ANSWER, now=0.0)
+        assert cache.get_stale(Name.from_text("www.x.test"), RRType.A, 999.0) is not None
+
+    def test_expires_at(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=300), Rank.AUTH_ANSWER, now=10.0)
+        assert cache.expires_at(Name.from_text("www.x.test"), RRType.A, 20.0) == 310.0
+        assert cache.expires_at(Name.from_text("www.x.test"), RRType.A, 400.0) is None
+
+    def test_remove(self):
+        cache = DnsCache()
+        cache.put(a_set(), Rank.AUTH_ANSWER, now=0.0)
+        assert cache.remove(Name.from_text("www.x.test"), RRType.A)
+        assert not cache.remove(Name.from_text("www.x.test"), RRType.A)
+        assert cache.get(Name.from_text("www.x.test"), RRType.A, 0.0) is None
+
+    def test_max_effective_ttl_caps_lifetime(self):
+        cache = DnsCache(max_effective_ttl=100.0)
+        cache.put(a_set(ttl=10_000), Rank.AUTH_ANSWER, now=0.0)
+        assert cache.get(Name.from_text("www.x.test"), RRType.A, 99.0) is not None
+        assert cache.get(Name.from_text("www.x.test"), RRType.A, 101.0) is None
+        # published_ttl preserves the original value for gap analysis
+        entry = cache.entry(Name.from_text("www.x.test"), RRType.A)
+        assert entry.published_ttl == 10_000
+
+
+class TestRanking:
+    def test_higher_rank_replaces(self):
+        cache = DnsCache()
+        cache.put(a_set(address="10.0.0.1"), Rank.ADDITIONAL, now=0.0)
+        result = cache.put(a_set(address="10.0.0.2"), Rank.AUTH_ANSWER, now=0.0)
+        assert result.stored
+        cached = cache.get(Name.from_text("www.x.test"), RRType.A, 1.0)
+        assert cached.data_values() == ("10.0.0.2",)
+
+    def test_lower_rank_ignored(self):
+        cache = DnsCache()
+        cache.put(a_set(address="10.0.0.1"), Rank.AUTH_ANSWER, now=0.0)
+        result = cache.put(a_set(address="10.0.0.2"), Rank.ADDITIONAL, now=0.0)
+        assert not result.stored
+        cached = cache.get(Name.from_text("www.x.test"), RRType.A, 1.0)
+        assert cached.data_values() == ("10.0.0.1",)
+
+    def test_lower_rank_accepted_after_expiry(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=10, address="10.0.0.1"), Rank.AUTH_ANSWER, now=0.0)
+        result = cache.put(a_set(address="10.0.0.2"), Rank.ADDITIONAL, now=20.0)
+        assert result.stored
+        assert result.replaced_expired
+        assert result.previous_expiry == 10.0
+
+    def test_child_irrs_replace_parent_copy(self):
+        # The exact RFC 2181 scenario from the paper.
+        cache = DnsCache()
+        cache.put(ns_set(ttl=100), Rank.NON_AUTH_AUTHORITY, now=0.0)
+        result = cache.put(ns_set(ttl=3600), Rank.AUTH_AUTHORITY, now=0.0)
+        assert result.stored
+        assert cache.expires_at(Name.from_text("x.test"), RRType.NS, 0.0) == 3600.0
+
+
+class TestRefreshSemantics:
+    def test_vanilla_same_data_does_not_restart_ttl(self):
+        cache = DnsCache()
+        cache.put(ns_set(ttl=100), Rank.AUTH_AUTHORITY, now=0.0)
+        result = cache.put(ns_set(ttl=100), Rank.AUTH_AUTHORITY, now=50.0)
+        assert not result.stored
+        assert cache.expires_at(Name.from_text("x.test"), RRType.NS, 50.0) == 100.0
+
+    def test_refresh_restarts_ttl(self):
+        cache = DnsCache()
+        cache.put(ns_set(ttl=100), Rank.AUTH_AUTHORITY, now=0.0)
+        result = cache.put(ns_set(ttl=100), Rank.AUTH_AUTHORITY, now=50.0,
+                           refresh=True)
+        assert result.stored
+        assert result.refreshed
+        assert cache.expires_at(Name.from_text("x.test"), RRType.NS, 50.0) == 150.0
+
+    def test_changed_data_replaces_even_without_refresh(self):
+        cache = DnsCache()
+        cache.put(ns_set(server="ns1.x.test", ttl=100), Rank.AUTH_AUTHORITY, 0.0)
+        result = cache.put(ns_set(server="ns2.x.test", ttl=100),
+                           Rank.AUTH_AUTHORITY, 50.0)
+        assert result.stored
+        assert not result.refreshed
+        cached = cache.get(Name.from_text("x.test"), RRType.NS, 60.0)
+        assert str(cached.records[0].data) == "ns2.x.test."
+
+
+class TestNegativeCache:
+    def test_negative_roundtrip(self):
+        cache = DnsCache()
+        cache.put_negative(Name.from_text("ghost.x.test"), RRType.A, 0.0, 300.0)
+        assert cache.get_negative(Name.from_text("ghost.x.test"), RRType.A, 299.0)
+        assert not cache.get_negative(Name.from_text("ghost.x.test"), RRType.A, 301.0)
+
+    def test_negative_is_per_type(self):
+        cache = DnsCache()
+        cache.put_negative(Name.from_text("a.x.test"), RRType.MX, 0.0, 300.0)
+        assert not cache.get_negative(Name.from_text("a.x.test"), RRType.A, 10.0)
+
+
+class TestZoneViews:
+    def test_zone_ns_expiry(self):
+        cache = DnsCache()
+        cache.put(ns_set(ttl=500), Rank.AUTH_AUTHORITY, now=0.0)
+        assert cache.zone_ns_expiry(Name.from_text("x.test"), 10.0) == 500.0
+        assert cache.zone_ns_expiry(Name.from_text("x.test"), 600.0) is None
+
+    def test_best_zone_prefers_deepest(self):
+        cache = DnsCache()
+        cache.put(ns_set(zone="test", server="ns1.test"), Rank.AUTH_AUTHORITY, 0.0)
+        cache.put(ns_set(zone="x.test", server="ns1.x.test"), Rank.AUTH_AUTHORITY, 0.0)
+        best = cache.best_zone_for(Name.from_text("www.x.test"), 10.0)
+        assert best == Name.from_text("x.test")
+
+    def test_best_zone_skips_expired(self):
+        cache = DnsCache()
+        cache.put(ns_set(zone="test", server="ns1.test", ttl=9999),
+                  Rank.AUTH_AUTHORITY, 0.0)
+        cache.put(ns_set(zone="x.test", server="ns1.x.test", ttl=10),
+                  Rank.AUTH_AUTHORITY, 0.0)
+        best = cache.best_zone_for(Name.from_text("www.x.test"), 100.0)
+        assert best == Name.from_text("test")
+
+    def test_best_zone_allows_stale_when_asked(self):
+        cache = DnsCache()
+        cache.put(ns_set(zone="x.test", server="ns1.x.test", ttl=10),
+                  Rank.AUTH_AUTHORITY, 0.0)
+        assert cache.best_zone_for(Name.from_text("www.x.test"), 100.0) is None
+        stale = cache.best_zone_for(Name.from_text("www.x.test"), 100.0,
+                                    allow_stale=True)
+        assert stale == Name.from_text("x.test")
+
+    def test_best_zone_respects_exclusion(self):
+        cache = DnsCache()
+        cache.put(ns_set(zone="x.test", server="ns1.x.test"), Rank.AUTH_AUTHORITY, 0.0)
+        best = cache.best_zone_for(
+            Name.from_text("www.x.test"), 1.0,
+            exclude={Name.from_text("x.test")},
+        )
+        assert best is None
+
+    def test_best_zone_returns_none_for_root_only(self):
+        cache = DnsCache()
+        assert cache.best_zone_for(Name.from_text("a.b.c"), 0.0) is None
+
+
+class TestOccupancy:
+    def test_live_counts(self):
+        cache = DnsCache()
+        cache.put(ns_set(ttl=100), Rank.AUTH_AUTHORITY, now=0.0)
+        cache.put(a_set(ttl=10), Rank.AUTH_ANSWER, now=0.0)
+        assert cache.live_entry_count(5.0) == 2
+        assert cache.live_entry_count(50.0) == 1
+        assert cache.live_zone_count(5.0) == 1
+        assert cache.live_record_count(5.0) == 2
+
+    def test_purge_expired(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=10), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(ns_set(ttl=1000), Rank.AUTH_AUTHORITY, now=0.0)
+        removed = cache.purge_expired(now=500.0)
+        assert removed == 1
+        assert cache.total_entry_count() == 1
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1000, allow_nan=False),  # put time
+                st.floats(min_value=1, max_value=1000, allow_nan=False),  # ttl
+                st.sampled_from(list(Rank)),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_entry_never_live_beyond_its_ttl(self, puts):
+        cache = DnsCache()
+        owner = Name.from_text("p.x.test")
+        last_time = 0.0
+        for put_time, ttl, rank in sorted(puts, key=lambda item: item[0]):
+            cache.put(a_set(owner="p.x.test", ttl=ttl), rank, now=put_time)
+            last_time = put_time
+            entry = cache.entry(owner, RRType.A)
+            # Invariant: whatever happened, the live window never exceeds
+            # the stored rrset's TTL from its storage time.
+            assert entry.expires_at <= entry.stored_at + entry.rrset.ttl + 1e-9
+        # And a get far in the future is always a miss.
+        assert cache.get(owner, RRType.A, last_time + 2000.0) is None
+
+    @given(st.floats(min_value=1, max_value=10_000, allow_nan=False))
+    def test_get_respects_exact_expiry(self, ttl):
+        cache = DnsCache()
+        cache.put(a_set(ttl=ttl), Rank.AUTH_ANSWER, now=0.0)
+        owner = Name.from_text("www.x.test")
+        assert cache.get(owner, RRType.A, ttl * 0.999) is not None
+        assert cache.get(owner, RRType.A, ttl) is None

@@ -1,0 +1,118 @@
+"""Tests for the capacity-bounded cache (LRU eviction)."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import DnsCache
+from repro.core.config import ResilienceConfig
+from repro.dns.name import Name
+from repro.dns.ranking import Rank
+from repro.dns.records import ResourceRecord, RRset
+from repro.dns.rrtypes import RRType
+
+from tests.conftest import make_stack
+from tests.helpers import build_mini_internet, name
+
+
+def a_set(index, ttl=3600.0):
+    owner = Name.from_text(f"h{index}.cap.test")
+    return RRset.from_records(
+        [ResourceRecord(owner, RRType.A, ttl, f"10.3.0.{index % 250}")]
+    )
+
+
+class TestBoundedCache:
+    def test_capacity_enforced(self):
+        cache = DnsCache(max_entries=5)
+        for index in range(10):
+            cache.put(a_set(index), Rank.AUTH_ANSWER, now=0.0)
+        assert cache.total_entry_count() == 5
+        assert cache.evictions == 5
+
+    def test_lru_entry_evicted_first(self):
+        cache = DnsCache(max_entries=3)
+        for index in range(3):
+            cache.put(a_set(index), Rank.AUTH_ANSWER, now=0.0)
+        # Touch entries 0 and 1; entry 2 becomes the LRU victim.
+        cache.get(Name.from_text("h0.cap.test"), RRType.A, 1.0)
+        cache.get(Name.from_text("h1.cap.test"), RRType.A, 1.0)
+        cache.put(a_set(99), Rank.AUTH_ANSWER, now=2.0)
+        assert cache.get(Name.from_text("h2.cap.test"), RRType.A, 2.0) is None
+        assert cache.get(Name.from_text("h0.cap.test"), RRType.A, 2.0) is not None
+
+    def test_expired_tombstones_evicted_before_live_entries(self):
+        cache = DnsCache(max_entries=3)
+        cache.put(a_set(0, ttl=10.0), Rank.AUTH_ANSWER, now=0.0)   # dies at 10
+        cache.put(a_set(1), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(a_set(2), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(a_set(3), Rank.AUTH_ANSWER, now=50.0)  # h0 is expired
+        assert cache.get(Name.from_text("h1.cap.test"), RRType.A, 50.0) is not None
+        assert cache.get(Name.from_text("h2.cap.test"), RRType.A, 50.0) is not None
+        assert cache.entry(Name.from_text("h0.cap.test"), RRType.A) is None
+
+    def test_update_of_existing_key_needs_no_room(self):
+        cache = DnsCache(max_entries=2)
+        cache.put(a_set(0), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(a_set(1), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(a_set(0), Rank.AUTH_ANSWER, now=1.0, refresh=True)
+        assert cache.total_entry_count() == 2
+        assert cache.evictions == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DnsCache(max_entries=0)
+
+    def test_unbounded_never_evicts(self):
+        cache = DnsCache()
+        for index in range(500):
+            cache.put(a_set(index), Rank.AUTH_ANSWER, now=0.0)
+        assert cache.evictions == 0
+        assert cache.total_entry_count() == 500
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                 max_size=120),
+    )
+    def test_capacity_invariant_under_any_sequence(self, capacity, indices):
+        cache = DnsCache(max_entries=capacity)
+        for step, index in enumerate(indices):
+            cache.put(a_set(index), Rank.AUTH_ANSWER, now=float(step))
+            assert cache.total_entry_count() <= capacity
+
+
+class TestBoundedCacheEndToEnd:
+    def test_resolver_survives_tiny_cache(self):
+        mini = build_mini_internet()
+        config = replace(ResilienceConfig.refresh(), cache_capacity=8)
+        server, engine, network, metrics = make_stack(mini, config)
+        names = ["www.example.test.", "www.hosted.test.", "www.provider.test.",
+                 "www.dept.example.test."]
+        for step in range(20):
+            result = server.handle_stub_query(
+                name(names[step % 4]), RRType.A, float(step)
+            )
+            assert not result.failed
+        assert server.cache.total_entry_count() <= 8
+        assert server.cache.evictions > 0
+
+    def test_eviction_degrades_but_does_not_break_renewal(self):
+        mini = build_mini_internet()
+        config = replace(ResilienceConfig.refresh_renew("lru", 3),
+                         cache_capacity=4)
+        server, engine, *_ = make_stack(mini, config)
+        server.handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+        # Churn the cache so the zone's IRRs get evicted, then let the
+        # renewal timer fire on the missing entry: must not blow up.
+        for step in range(10):
+            server.handle_stub_query(name("www.hosted.test."), RRType.A,
+                                     1.0 + step)
+            server.handle_stub_query(name("www.provider.test."), RRType.A,
+                                     20.0 + step)
+        engine.advance_to(2 * 3600.0)
+        result = server.handle_stub_query(name("www.example.test."), RRType.A,
+                                          2 * 3600.0 + 1)
+        assert not result.failed

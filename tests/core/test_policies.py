@@ -1,0 +1,167 @@
+"""Unit + property tests for the renewal credit policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policies import (
+    AdaptiveLFUPolicy,
+    AdaptiveLRUPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    make_policy,
+    policy_names,
+)
+from repro.dns.name import Name
+
+DAY = 86400.0
+ZONE = Name.from_text("ucla.edu")
+OTHER = Name.from_text("mit.edu")
+
+
+class TestLRU:
+    def test_use_resets_credit(self):
+        policy = LRUPolicy(credit=3)
+        policy.on_zone_use(ZONE, irr_ttl=3600, now=0.0)
+        assert policy.credit_of(ZONE) == 3
+        policy.take_renewal_credit(ZONE)
+        policy.take_renewal_credit(ZONE)
+        assert policy.credit_of(ZONE) == 1
+        policy.on_zone_use(ZONE, irr_ttl=3600, now=10.0)
+        assert policy.credit_of(ZONE) == 3  # reset, not accumulate
+
+    def test_credit_exhaustion(self):
+        policy = LRUPolicy(credit=2)
+        policy.on_zone_use(ZONE, 3600, 0.0)
+        assert policy.take_renewal_credit(ZONE)
+        assert policy.take_renewal_credit(ZONE)
+        assert not policy.take_renewal_credit(ZONE)
+
+    def test_unknown_zone_has_no_credit(self):
+        assert not LRUPolicy(3).take_renewal_credit(ZONE)
+
+    def test_negative_credit_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(credit=-1)
+
+
+class TestLFU:
+    def test_credit_accumulates(self):
+        policy = LFUPolicy(credit=3, max_credit=100)
+        for _ in range(4):
+            policy.on_zone_use(ZONE, 3600, 0.0)
+        assert policy.credit_of(ZONE) == 12
+
+    def test_cap_enforced(self):
+        policy = LFUPolicy(credit=3, max_credit=7)
+        for _ in range(10):
+            policy.on_zone_use(ZONE, 3600, 0.0)
+        assert policy.credit_of(ZONE) == 7
+
+    def test_default_cap_is_ten_times_credit(self):
+        policy = LFUPolicy(credit=5)
+        assert policy.max_credit == 50
+
+    def test_cap_below_credit_rejected(self):
+        with pytest.raises(ValueError):
+            LFUPolicy(credit=5, max_credit=2)
+
+
+class TestAdaptive:
+    def test_alru_credit_scales_inversely_with_ttl(self):
+        policy = AdaptiveLRUPolicy(credit=3)
+        policy.on_zone_use(ZONE, irr_ttl=DAY, now=0.0)
+        assert policy.credit_of(ZONE) == pytest.approx(3.0)
+        policy.on_zone_use(OTHER, irr_ttl=DAY / 2, now=0.0)
+        assert policy.credit_of(OTHER) == pytest.approx(6.0)
+
+    def test_alru_extra_cache_time_is_ttl_independent(self):
+        # credit * ttl == C days for every zone: the adaptive property.
+        policy = AdaptiveLRUPolicy(credit=3)
+        for ttl in (300.0, 3600.0, DAY):
+            policy.on_zone_use(ZONE, irr_ttl=ttl, now=0.0)
+            assert policy.credit_of(ZONE) * ttl == pytest.approx(3 * DAY)
+
+    def test_alfu_accumulates_scaled_credit_with_cap(self):
+        policy = AdaptiveLFUPolicy(credit=3, max_credit=10)
+        policy.on_zone_use(ZONE, irr_ttl=DAY, now=0.0)
+        policy.on_zone_use(ZONE, irr_ttl=DAY, now=1.0)
+        assert policy.credit_of(ZONE) == pytest.approx(6.0)
+        for _ in range(10):
+            policy.on_zone_use(ZONE, irr_ttl=DAY, now=2.0)
+        assert policy.credit_of(ZONE) == 10
+
+    def test_non_positive_ttl_rejected(self):
+        policy = AdaptiveLRUPolicy(credit=3)
+        with pytest.raises(ValueError):
+            policy.on_zone_use(ZONE, irr_ttl=0.0, now=0.0)
+
+    def test_fractional_credit_buys_whole_renewals_only(self):
+        policy = AdaptiveLRUPolicy(credit=1)
+        policy.on_zone_use(ZONE, irr_ttl=2 * DAY, now=0.0)  # credit 0.5
+        assert not policy.take_renewal_credit(ZONE)
+        policy = AdaptiveLRUPolicy(credit=3)
+        policy.on_zone_use(ZONE, irr_ttl=2 * DAY, now=0.0)  # credit 1.5
+        assert policy.take_renewal_credit(ZONE)
+        assert not policy.take_renewal_credit(ZONE)  # 0.5 left
+
+
+class TestLifecycle:
+    def test_forget_drops_state(self):
+        policy = LFUPolicy(credit=3)
+        policy.on_zone_use(ZONE, 3600, 0.0)
+        policy.forget(ZONE)
+        assert policy.credit_of(ZONE) == 0
+        assert policy.tracked_zones() == 0
+
+    def test_tracked_zones(self):
+        policy = LRUPolicy(3)
+        policy.on_zone_use(ZONE, 3600, 0.0)
+        policy.on_zone_use(OTHER, 3600, 0.0)
+        assert policy.tracked_zones() == 2
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("lru", LRUPolicy), ("lfu", LFUPolicy),
+        ("a-lru", AdaptiveLRUPolicy), ("a-lfu", AdaptiveLFUPolicy),
+        ("A-LFU", AdaptiveLFUPolicy),  # case-insensitive
+    ])
+    def test_make_policy(self, kind, cls):
+        assert isinstance(make_policy(kind, 3), cls)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("mru", 3)
+
+    def test_policy_names_listed(self):
+        assert set(policy_names()) == {"lru", "lfu", "a-lru", "a-lfu"}
+
+
+class TestPolicyProperties:
+    @given(
+        st.sampled_from(list(policy_names())),
+        st.floats(min_value=0.5, max_value=10, allow_nan=False),
+        st.lists(st.sampled_from(["use", "take"]), min_size=1, max_size=50),
+    )
+    def test_credit_never_negative_and_spends_are_funded(self, kind, credit, ops):
+        policy = make_policy(kind, credit)
+        taken = 0
+        for op in ops:
+            if op == "use":
+                policy.on_zone_use(ZONE, irr_ttl=3600.0, now=0.0)
+            else:
+                if policy.take_renewal_credit(ZONE):
+                    taken += 1
+            assert policy.credit_of(ZONE) >= 0.0
+        # Every successful take consumed exactly one credit; total granted
+        # is bounded by uses * per-use grant (pre-cap).
+        uses = ops.count("use")
+        per_use = credit * (86400.0 / 3600.0 if kind.startswith("a-") else 1.0)
+        assert taken <= uses * per_use
+
+    @given(st.floats(min_value=60, max_value=7 * 86400, allow_nan=False))
+    def test_adaptive_lifetime_extension_constant(self, ttl):
+        policy = AdaptiveLRUPolicy(credit=2)
+        policy.on_zone_use(ZONE, irr_ttl=ttl, now=0.0)
+        extension = policy.credit_of(ZONE) * ttl
+        assert extension == pytest.approx(2 * 86400.0)

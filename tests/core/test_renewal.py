@@ -1,0 +1,145 @@
+"""Tests for the renewal manager (timers + credits + refetch)."""
+
+import pytest
+
+from repro.core.cache import DnsCache
+from repro.core.policies import LRUPolicy
+from repro.core.renewal import RENEWAL_LEAD, RenewalManager
+from repro.dns.name import Name
+from repro.dns.ranking import Rank
+from repro.dns.records import ResourceRecord, RRset
+from repro.dns.rrtypes import RRType
+from repro.simulation.engine import SimulationEngine
+
+ZONE = Name.from_text("ucla.edu")
+
+
+def ns_set(ttl=100.0):
+    return RRset.from_records(
+        [ResourceRecord(ZONE, RRType.NS, ttl, Name.from_text("ns1.ucla.edu"))]
+    )
+
+
+class Harness:
+    """A renewal manager wired to a scriptable refetch."""
+
+    def __init__(self, credit=2, refetch_succeeds=True):
+        self.engine = SimulationEngine()
+        self.cache = DnsCache()
+        self.policy = LRUPolicy(credit=credit)
+        self.refetch_calls = []
+        self.refetch_succeeds = refetch_succeeds
+        self.manager = RenewalManager(
+            policy=self.policy,
+            engine=self.engine,
+            cache=self.cache,
+            refetch=self._refetch,
+        )
+
+    def _refetch(self, zone, now):
+        self.refetch_calls.append((zone, now))
+        if self.refetch_succeeds:
+            # Simulate the ingest path: re-store the NS set, restarting
+            # the countdown, and notify the manager.
+            result = self.cache.put(ns_set(ttl=100.0), Rank.AUTH_ANSWER, now,
+                                    refresh=True)
+            self.manager.note_irrs_cached(ZONE, result.expires_at)
+            return True
+        return False
+
+    def cache_irrs(self, now=0.0, ttl=100.0):
+        result = self.cache.put(ns_set(ttl=ttl), Rank.AUTH_AUTHORITY, now)
+        self.manager.note_irrs_cached(ZONE, result.expires_at)
+        return result.expires_at
+
+
+class TestRenewalTimers:
+    def test_refetch_fires_just_before_expiry(self):
+        h = Harness(credit=1)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        h.engine.advance_to(100.0 - RENEWAL_LEAD - 0.001)
+        assert h.refetch_calls == []
+        h.engine.advance_to(100.0)
+        assert len(h.refetch_calls) == 1
+        assert h.refetch_calls[0][1] == pytest.approx(100.0 - RENEWAL_LEAD)
+
+    def test_credit_limits_renewal_count(self):
+        h = Harness(credit=2)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        h.engine.advance_to(1000.0)
+        # 2 credits -> 2 refetches, then the records lapse.
+        assert len(h.refetch_calls) == 2
+        assert h.manager.lapses >= 1
+        assert h.cache.zone_ns_expiry(ZONE, 1000.0) is None
+
+    def test_no_credit_means_no_refetch(self):
+        h = Harness(credit=2)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        # No on_zone_use -> no credit.
+        h.engine.advance_to(500.0)
+        assert h.refetch_calls == []
+        assert h.manager.lapses == 1
+
+    def test_failed_refetch_lets_records_lapse(self):
+        h = Harness(credit=5, refetch_succeeds=False)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        h.engine.advance_to(500.0)
+        assert len(h.refetch_calls) == 1  # one attempt, then lapse
+        assert h.manager.renewals_succeeded == 0
+        assert h.cache.zone_ns_expiry(ZONE, 500.0) is None
+
+    def test_refreshed_entry_rearms_without_spending_credit(self):
+        h = Harness(credit=1)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        # At t=50 a demand response refreshes the IRRs to expire at 150.
+        result = h.cache.put(ns_set(ttl=100.0), Rank.AUTH_ANSWER, 50.0,
+                             refresh=True)
+        h.manager.note_irrs_cached(ZONE, result.expires_at)
+        h.engine.advance_to(120.0)
+        assert h.refetch_calls == []  # old timer noticed the refresh
+        assert h.policy.credit_of(ZONE) == 1  # credit untouched
+        h.engine.advance_to(200.0)
+        assert len(h.refetch_calls) == 1  # renewal happened at ~150
+
+    def test_rearm_with_same_expiry_is_noop(self):
+        h = Harness(credit=1)
+        expiry = h.cache_irrs(now=0.0, ttl=100.0)
+        before = h.engine.pending_events()
+        h.manager.note_irrs_cached(ZONE, expiry)
+        assert h.engine.pending_events() == before
+
+    def test_forget_zone_cancels_timer(self):
+        h = Harness(credit=3)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        h.manager.forget_zone(ZONE)
+        h.engine.advance_to(500.0)
+        assert h.refetch_calls == []
+        assert h.policy.credit_of(ZONE) == 0
+
+    def test_timer_on_evicted_zone_lapses_quietly(self):
+        h = Harness(credit=3)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        h.cache.remove(ZONE, RRType.NS)
+        h.engine.advance_to(500.0)
+        assert h.refetch_calls == []
+
+    def test_armed_timer_count(self):
+        h = Harness()
+        assert h.manager.armed_timer_count() == 0
+        h.cache_irrs()
+        assert h.manager.armed_timer_count() == 1
+
+    def test_successful_renewals_keep_zone_alive(self):
+        h = Harness(credit=3)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        h.engine.advance_to(250.0)
+        # After two renewals (at ~99 and ~198) the IRRs are still live.
+        assert h.cache.zone_ns_expiry(ZONE, 250.0) is not None
+        assert h.manager.renewals_succeeded == 2

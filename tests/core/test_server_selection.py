@@ -1,0 +1,109 @@
+"""Tests for dead-server hold-down and RTT-based server selection."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import ResilienceConfig
+from repro.simulation.attack import attack_on_zones
+from repro.dns.rrtypes import RRType
+
+from tests.conftest import make_stack
+from tests.helpers import HOUR, build_mini_internet, name
+
+
+@pytest.fixture
+def mini():
+    return build_mini_internet()
+
+
+class TestHolddown:
+    def test_failed_server_not_retried_within_holddown(self, mini):
+        attacks = attack_on_zones(mini.tree, [name("example.test.")],
+                                  start=0.0, duration=10 * HOUR)
+        config = replace(ResilienceConfig.vanilla(), server_holddown=600.0)
+        server, engine, network, metrics = make_stack(mini, config,
+                                                      attacks=attacks)
+        server.handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+        first_round = metrics.cs_demand_failures
+        assert first_round >= 2  # both SLD servers tried and failed
+        # Within the hold-down window the dead servers are skipped: the
+        # retry generates strictly fewer failed queries.
+        server.handle_stub_query(name("www.example.test."), RRType.A, 100.0)
+        second_round = metrics.cs_demand_failures - first_round
+        assert second_round < first_round
+
+    def test_holddown_expires(self, mini):
+        # Attack ends at 1 h; after hold-down expiry the server works.
+        attacks = attack_on_zones(mini.tree, [name("example.test.")],
+                                  start=0.0, duration=HOUR)
+        config = replace(ResilienceConfig.vanilla(), server_holddown=600.0)
+        server, *_ = make_stack(mini, config, attacks=attacks)
+        server.handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+        late = server.handle_stub_query(name("www.example.test."), RRType.A,
+                                        1.5 * HOUR)
+        assert not late.failed
+
+    def test_success_clears_holddown(self, mini):
+        attacks = attack_on_zones(mini.tree, [name("example.test.")],
+                                  start=0.0, duration=100.0)
+        config = replace(ResilienceConfig.vanilla(), server_holddown=50.0)
+        server, *_ = make_stack(mini, config, attacks=attacks)
+        server.handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+        # Attack over at 100; hold-down (till ~50-150) may still apply,
+        # but once any query succeeds the state is cleared.
+        ok = server.handle_stub_query(name("www.example.test."), RRType.A, 200.0)
+        assert not ok.failed
+        assert not server._held_down or all(
+            deadline <= 200.0 for deadline in server._held_down.values()
+        )
+
+    def test_disabled_by_default(self, mini):
+        attacks = attack_on_zones(mini.tree, [name("example.test.")],
+                                  start=0.0, duration=10 * HOUR)
+        server, engine, network, metrics = make_stack(
+            mini, ResilienceConfig.vanilla(), attacks=attacks
+        )
+        server.handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+        first = metrics.cs_demand_failures
+        server.handle_stub_query(name("www.example.test."), RRType.A, 100.0)
+        # Without hold-down, the same dead servers are retried in full.
+        assert metrics.cs_demand_failures - first >= 2
+
+
+class TestRttSelection:
+    def test_prefers_faster_server_after_learning(self, mini):
+        config = replace(ResilienceConfig.vanilla(), prefer_fast_servers=True)
+        server, engine, network, metrics = make_stack(mini, config)
+        # Warm up RTT estimates for both example.test. servers: the data
+        # TTL is 600 s, so re-resolve repeatedly.
+        for step in range(8):
+            server.handle_stub_query(name("www.example.test."), RRType.A,
+                                     step * 700.0)
+        addresses = [
+            mini.address_of("ns1.example.test."),
+            mini.address_of("ns2.example.test."),
+        ]
+        known = [a for a in addresses if a in server._srtt]
+        assert known, "no RTT estimates learned"
+        fast = min(addresses, key=network.latency.rtt_for)
+        # Once both are known, further queries should go to the fast one;
+        # its estimate converges towards its true RTT.
+        if len(known) == 2:
+            assert server._srtt[fast] <= server._srtt[
+                max(addresses, key=network.latency.rtt_for)
+            ] + 1e-9
+
+    def test_rtt_for_is_stable_and_spread(self, mini):
+        from repro.simulation.network import LatencyModel
+        model = LatencyModel(rtt=0.04, rtt_spread=0.5)
+        a = model.rtt_for("10.0.0.1")
+        assert a == model.rtt_for("10.0.0.1")
+        values = {model.rtt_for(f"10.0.0.{i}") for i in range(1, 20)}
+        assert len(values) > 10
+        assert all(0.02 - 1e-9 <= v <= 0.06 + 1e-9 for v in values)
+
+    def test_zero_spread_uniform(self):
+        from repro.simulation.network import LatencyModel
+        model = LatencyModel(rtt=0.04, rtt_spread=0.0)
+        assert model.rtt_for("10.0.0.1") == 0.04

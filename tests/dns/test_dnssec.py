@@ -1,0 +1,81 @@
+"""Tests for the simulated DNSSEC material and its IRR integration."""
+
+import pytest
+
+from repro.dns.dnssec import (
+    chain_is_verifiable,
+    make_dnskey_rrset,
+    make_ds_rrset,
+    sign_irrs,
+)
+from repro.dns.name import Name
+from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
+from repro.dns.rrtypes import RRType
+
+from tests.helpers import _irrs, name
+
+
+class TestMaterial:
+    def test_dnskey_rrset_has_ksk_and_zsk(self):
+        rrset = make_dnskey_rrset(name("x.test."), ttl=3600)
+        assert rrset.rrtype is RRType.DNSKEY
+        assert len(rrset) == 2
+        values = " ".join(str(v) for v in rrset.data_values())
+        assert "ksk-" in values and "zsk-" in values
+
+    def test_ds_rrset(self):
+        rrset = make_ds_rrset(name("x.test."), ttl=60)
+        assert rrset.rrtype is RRType.DS
+        assert rrset.ttl == 60
+
+    def test_generations_differ(self):
+        g0 = make_dnskey_rrset(name("x.test."), 60, generation=0)
+        g1 = make_dnskey_rrset(name("x.test."), 60, generation=1)
+        assert not g0.same_data(g1)
+
+
+class TestSignIrrs:
+    def test_sign_attaches_dnskey_and_ds(self):
+        irrs = _irrs("x.test.", [("ns1.x.test.", "10.0.0.1")], 3600)
+        signed = sign_irrs(irrs)
+        assert signed.is_signed
+        types = {rrset.rrtype for rrset in signed.dnssec}
+        assert types == {RRType.DNSKEY, RRType.DS}
+        assert not irrs.is_signed  # original untouched
+
+    def test_dnssec_ttls_follow_ns(self):
+        irrs = _irrs("x.test.", [("ns1.x.test.", "10.0.0.1")], 1234)
+        signed = sign_irrs(irrs)
+        assert all(rrset.ttl == 1234 for rrset in signed.dnssec)
+
+    def test_with_ttl_covers_dnssec(self):
+        signed = sign_irrs(_irrs("x.test.", [("ns1.x.test.", "10.0.0.1")], 60))
+        longer = signed.with_ttl(86400)
+        assert all(rrset.ttl == 86400 for rrset in longer.dnssec)
+
+    def test_record_count_includes_dnssec(self):
+        irrs = _irrs("x.test.", [("ns1.x.test.", "10.0.0.1")], 60)
+        assert sign_irrs(irrs).record_count() == irrs.record_count() + 3
+
+    def test_non_dnssec_rrset_rejected(self):
+        irrs = _irrs("x.test.", [("ns1.x.test.", "10.0.0.1")], 60)
+        bogus = RRset.from_records(
+            [ResourceRecord(name("x.test."), RRType.TXT, 60, "nope")]
+        )
+        with pytest.raises(ValueError):
+            InfrastructureRecordSet(irrs.zone, irrs.ns, irrs.glue, (bogus,))
+
+
+class TestChainCheck:
+    def test_verifiable_when_all_keys_present(self):
+        signed = {name("test."), name("x.test.")}
+        cached = {name("test."), name("x.test.")}
+        assert chain_is_verifiable(cached, name("www.x.test."), signed)
+
+    def test_broken_when_ancestor_key_missing(self):
+        signed = {name("test."), name("x.test.")}
+        cached = {name("x.test.")}
+        assert not chain_is_verifiable(cached, name("www.x.test."), signed)
+
+    def test_unsigned_zones_need_no_keys(self):
+        assert chain_is_verifiable(set(), name("www.x.test."), set())

@@ -1,0 +1,97 @@
+"""Tests for DNS message classification."""
+
+from repro.dns.message import Message, Question, Rcode
+from repro.dns.name import Name
+from repro.dns.records import ResourceRecord, RRset
+from repro.dns.rrtypes import RRType
+
+
+def ns_rrset(zone="example.test", ttl=3600):
+    return RRset.from_records(
+        [
+            ResourceRecord(
+                Name.from_text(zone), RRType.NS, ttl,
+                Name.from_text(f"ns1.{zone}"),
+            )
+        ]
+    )
+
+
+def a_rrset(owner="www.example.test", ttl=300):
+    return RRset.from_records(
+        [ResourceRecord(Name.from_text(owner), RRType.A, ttl, "10.9.9.9")]
+    )
+
+
+def question(name="www.example.test", rrtype=RRType.A):
+    return Question(Name.from_text(name), rrtype)
+
+
+class TestClassification:
+    def test_referral_detection(self):
+        message = Message(
+            question=question(), authoritative=False, authority=(ns_rrset(),)
+        )
+        assert message.is_referral()
+        assert not message.is_nodata()
+        assert message.referral_zone() == Name.from_text("example.test")
+
+    def test_authoritative_nodata_is_not_referral(self):
+        # An authoritative NODATA carries the zone's NS in authority but
+        # must be terminal (this was a real resolver-loop bug).
+        message = Message(
+            question=question(rrtype=RRType.MX),
+            authoritative=True,
+            authority=(ns_rrset(),),
+        )
+        assert not message.is_referral()
+        assert message.is_nodata()
+
+    def test_answer_is_neither_referral_nor_nodata(self):
+        message = Message(
+            question=question(),
+            authoritative=True,
+            answer=(a_rrset(),),
+            authority=(ns_rrset(),),
+        )
+        assert not message.is_referral()
+        assert not message.is_nodata()
+
+    def test_nxdomain(self):
+        message = Message(question=question(), rcode=Rcode.NXDOMAIN,
+                          authoritative=True)
+        assert message.is_name_error()
+        assert not message.is_referral()
+
+    def test_referral_zone_none_without_ns(self):
+        message = Message(question=question())
+        assert message.referral_zone() is None
+
+
+class TestAccounting:
+    def test_all_rrsets_order(self):
+        answer, authority, additional = a_rrset(), ns_rrset(), a_rrset("ns1.example.test")
+        message = Message(
+            question=question(),
+            answer=(answer,),
+            authority=(authority,),
+            additional=(additional,),
+        )
+        assert message.all_rrsets() == (answer, authority, additional)
+
+    def test_record_count(self):
+        message = Message(
+            question=question(), answer=(a_rrset(),), authority=(ns_rrset(),)
+        )
+        assert message.record_count() == 2
+
+    def test_message_ids_unique(self):
+        first = Message(question=question())
+        second = Message(question=question())
+        assert first.message_id != second.message_id
+
+    def test_str_rendering(self):
+        message = Message(question=question(), answer=(a_rrset(),),
+                          authoritative=True)
+        text = str(message)
+        assert "NOERROR" in text and "aa" in text and "10.9.9.9" in text

@@ -1,0 +1,51 @@
+"""Tests for RFC 2181 trust ranking."""
+
+import pytest
+
+from repro.dns.ranking import Rank, section_rank
+
+
+class TestRankOrdering:
+    def test_full_order(self):
+        assert (
+            Rank.ADDITIONAL
+            < Rank.NON_AUTH_AUTHORITY
+            < Rank.AUTH_AUTHORITY
+            < Rank.AUTH_ANSWER
+        )
+
+    def test_higher_rank_may_replace_lower(self):
+        assert Rank.AUTH_AUTHORITY.may_replace(Rank.NON_AUTH_AUTHORITY)
+
+    def test_equal_rank_may_replace(self):
+        assert Rank.AUTH_ANSWER.may_replace(Rank.AUTH_ANSWER)
+
+    def test_lower_rank_may_not_replace(self):
+        assert not Rank.ADDITIONAL.may_replace(Rank.AUTH_AUTHORITY)
+
+
+class TestSectionRank:
+    @pytest.mark.parametrize(
+        "section,authoritative,expected",
+        [
+            ("answer", True, Rank.AUTH_ANSWER),
+            ("answer", False, Rank.NON_AUTH_AUTHORITY),
+            ("authority", True, Rank.AUTH_AUTHORITY),
+            ("authority", False, Rank.NON_AUTH_AUTHORITY),
+            ("additional", True, Rank.AUTH_AUTHORITY),
+            ("additional", False, Rank.ADDITIONAL),
+        ],
+    )
+    def test_matrix(self, section, authoritative, expected):
+        assert section_rank(section, authoritative) == expected
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            section_rank("extra", True)
+
+    def test_child_outranks_parent_copy(self):
+        # The paper's RFC 2181 rule: child-side IRRs replace parent-side.
+        parent = section_rank("authority", authoritative=False)
+        child = section_rank("authority", authoritative=True)
+        assert child.may_replace(parent)
+        assert not parent.may_replace(child)

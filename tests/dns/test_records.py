@@ -1,0 +1,152 @@
+"""Tests for resource records, RRsets and IRR bundles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.name import Name
+from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
+from repro.dns.rrtypes import RRType
+
+
+def rr(name_text, rrtype, ttl, data):
+    data_value = Name.from_text(data) if rrtype in (RRType.NS, RRType.CNAME) else data
+    return ResourceRecord(Name.from_text(name_text), rrtype, ttl, data_value)
+
+
+class TestResourceRecord:
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            rr("a.com", RRType.A, -1, "1.2.3.4")
+
+    def test_ns_requires_name_rdata(self):
+        with pytest.raises(TypeError):
+            ResourceRecord(Name.from_text("a.com"), RRType.NS, 60, "not-a-name")
+
+    def test_with_ttl_copies(self):
+        original = rr("a.com", RRType.A, 60, "1.2.3.4")
+        longer = original.with_ttl(3600)
+        assert longer.ttl == 3600
+        assert original.ttl == 60
+        assert longer.data == original.data
+
+    def test_key(self):
+        record = rr("a.com", RRType.A, 60, "1.2.3.4")
+        assert record.key() == (Name.from_text("a.com"), RRType.A)
+
+    def test_str_contains_fields(self):
+        text = str(rr("a.com", RRType.A, 60, "1.2.3.4"))
+        assert "a.com." in text and "A" in text and "1.2.3.4" in text
+
+
+class TestRRset:
+    def test_from_records_normalises_ttl_to_minimum(self):
+        rrset = RRset.from_records(
+            [rr("a.com", RRType.A, 300, "1.1.1.1"), rr("a.com", RRType.A, 60, "2.2.2.2")]
+        )
+        assert rrset.ttl == 60
+        assert all(record.ttl == 60 for record in rrset)
+
+    def test_from_records_sorts_canonically(self):
+        rrset = RRset.from_records(
+            [rr("a.com", RRType.A, 60, "9.9.9.9"), rr("a.com", RRType.A, 60, "1.1.1.1")]
+        )
+        assert rrset.data_values() == ("1.1.1.1", "9.9.9.9")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RRset.from_records([])
+
+    def test_mixed_owner_rejected(self):
+        with pytest.raises(ValueError):
+            RRset(
+                name=Name.from_text("a.com"),
+                rrtype=RRType.A,
+                ttl=60,
+                records=(rr("b.com", RRType.A, 60, "1.1.1.1"),),
+            )
+
+    def test_same_data_ignores_ttl(self):
+        one = RRset.from_records([rr("a.com", RRType.A, 60, "1.1.1.1")])
+        two = RRset.from_records([rr("a.com", RRType.A, 999, "1.1.1.1")])
+        assert one.same_data(two)
+
+    def test_same_data_detects_change(self):
+        one = RRset.from_records([rr("a.com", RRType.A, 60, "1.1.1.1")])
+        two = RRset.from_records([rr("a.com", RRType.A, 60, "2.2.2.2")])
+        assert not one.same_data(two)
+
+    def test_with_ttl_restamps_members(self):
+        rrset = RRset.from_records([rr("a.com", RRType.A, 60, "1.1.1.1")])
+        assert all(record.ttl == 500 for record in rrset.with_ttl(500))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=8))
+    def test_ttl_is_always_minimum(self, ttls):
+        records = [
+            rr("a.com", RRType.A, ttl, f"10.0.0.{index}")
+            for index, ttl in enumerate(ttls)
+        ]
+        assert RRset.from_records(records).ttl == min(ttls)
+
+
+def make_irrs(ttl=3600.0, glue=True):
+    zone = Name.from_text("example.test")
+    ns = RRset.from_records(
+        [
+            rr("example.test", RRType.NS, ttl, "ns1.example.test"),
+            rr("example.test", RRType.NS, ttl, "ns2.example.test"),
+        ]
+    )
+    glue_sets = ()
+    if glue:
+        glue_sets = (
+            RRset.from_records([rr("ns1.example.test", RRType.A, ttl, "10.0.0.1")]),
+            RRset.from_records([rr("ns2.example.test", RRType.A, ttl, "10.0.0.2")]),
+        )
+    return InfrastructureRecordSet(zone, ns, glue_sets)
+
+
+class TestInfrastructureRecordSet:
+    def test_server_names(self):
+        irrs = make_irrs()
+        assert set(map(str, irrs.server_names())) == {
+            "ns1.example.test.",
+            "ns2.example.test.",
+        }
+
+    def test_glue_lookup(self):
+        irrs = make_irrs()
+        glue = irrs.glue_for(Name.from_text("ns1.example.test"))
+        assert glue is not None
+        assert glue.data_values() == ("10.0.0.1",)
+        assert irrs.glue_for(Name.from_text("missing.example.test")) is None
+
+    def test_record_count(self):
+        assert make_irrs().record_count() == 4
+        assert make_irrs(glue=False).record_count() == 2
+
+    def test_min_ttl(self):
+        assert make_irrs(ttl=1234).min_ttl() == 1234
+
+    def test_with_ttl_applies_everywhere(self):
+        longer = make_irrs(ttl=60).with_ttl(86400)
+        assert longer.ns.ttl == 86400
+        assert all(g.ttl == 86400 for g in longer.glue)
+
+    def test_requires_ns_rrset(self):
+        a_set = RRset.from_records([rr("x.test", RRType.A, 60, "1.1.1.1")])
+        with pytest.raises(ValueError):
+            InfrastructureRecordSet(Name.from_text("x.test"), a_set)
+
+    def test_rejects_mismatched_zone(self):
+        irrs = make_irrs()
+        with pytest.raises(ValueError):
+            InfrastructureRecordSet(Name.from_text("other.test"), irrs.ns)
+
+    def test_rejects_non_address_glue(self):
+        irrs = make_irrs()
+        bad_glue = RRset.from_records(
+            [rr("ns1.example.test", RRType.NS, 60, "x.test")]
+        )
+        with pytest.raises(ValueError):
+            InfrastructureRecordSet(irrs.zone, irrs.ns, (bad_glue,))

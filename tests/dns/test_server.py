@@ -1,0 +1,111 @@
+"""Tests for the authoritative server answering algorithm."""
+
+import pytest
+
+from repro.dns.errors import LameDelegationError
+from repro.dns.message import Question, Rcode
+from repro.dns.rrtypes import RRType
+
+from tests.helpers import build_mini_internet, name
+
+
+@pytest.fixture
+def mini():
+    return build_mini_internet()
+
+
+def server_for(mini, hostname):
+    server = mini.tree.server_by_name(name(hostname))
+    assert server is not None
+    return server
+
+
+class TestReferrals:
+    def test_root_refers_to_tld(self, mini):
+        root = server_for(mini, "a.root.")
+        response = root.respond(Question(name("www.example.test."), RRType.A))
+        assert response.is_referral()
+        assert not response.authoritative
+        assert response.referral_zone() == name("test.")
+        # Referral carries glue for the TLD servers.
+        glue_owners = {str(rrset.name) for rrset in response.additional}
+        assert glue_owners == {"ns1.test.", "ns2.test."}
+
+    def test_tld_refers_to_sld(self, mini):
+        tld = server_for(mini, "ns1.test.")
+        response = tld.respond(Question(name("www.example.test."), RRType.A))
+        assert response.is_referral()
+        assert response.referral_zone() == name("example.test.")
+
+    def test_referral_for_glueless_delegation_has_no_additional(self, mini):
+        tld = server_for(mini, "ns1.test.")
+        response = tld.respond(Question(name("www.hosted.test."), RRType.A))
+        assert response.is_referral()
+        assert response.additional == ()
+
+
+class TestAuthoritativeAnswers:
+    def test_answer_with_irrs_in_authority(self, mini):
+        sld = server_for(mini, "ns1.example.test.")
+        response = sld.respond(Question(name("www.example.test."), RRType.A))
+        assert response.authoritative
+        assert response.answer
+        # The refresh vehicle: the zone's own NS in authority + glue.
+        assert any(r.rrtype == RRType.NS for r in response.authority)
+        assert response.additional  # glue for ns1/ns2
+
+    def test_cname_chased_within_zone(self, mini):
+        sld = server_for(mini, "ns1.example.test.")
+        response = sld.respond(Question(name("web.example.test."), RRType.A))
+        types = [rrset.rrtype for rrset in response.answer]
+        assert RRType.CNAME in types and RRType.A in types
+
+    def test_nodata_for_missing_type(self, mini):
+        sld = server_for(mini, "ns1.example.test.")
+        response = sld.respond(Question(name("www.example.test."), RRType.MX))
+        assert response.rcode == Rcode.NOERROR
+        assert response.is_nodata()
+        assert response.authoritative
+
+    def test_nxdomain_for_missing_name(self, mini):
+        sld = server_for(mini, "ns1.example.test.")
+        response = sld.respond(Question(name("ghost.example.test."), RRType.A))
+        assert response.rcode == Rcode.NXDOMAIN
+
+    def test_apex_ns_answered_authoritatively_by_child(self, mini):
+        sld = server_for(mini, "ns1.example.test.")
+        response = sld.respond(Question(name("example.test."), RRType.NS))
+        assert response.authoritative
+        assert response.answer[0].rrtype == RRType.NS
+
+    def test_deepest_zone_selected_when_hosting_parent_and_child(self, mini):
+        # example.test.'s servers also serve dept.example.test.
+        server = server_for(mini, "ns1.example.test.")
+        response = server.respond(
+            Question(name("www.dept.example.test."), RRType.A)
+        )
+        assert response.authoritative
+        assert response.answer
+
+    def test_provider_server_answers_for_hosted_customer(self, mini):
+        provider = server_for(mini, "ns1.provider.test.")
+        response = provider.respond(Question(name("www.hosted.test."), RRType.A))
+        assert response.authoritative
+        assert response.answer
+
+
+class TestLameness:
+    def test_lame_query_raises(self, mini):
+        sld = server_for(mini, "ns1.example.test.")
+        with pytest.raises(LameDelegationError):
+            sld.respond(Question(name("www.unrelated.alt."), RRType.A))
+
+    def test_zones_served_listing(self, mini):
+        provider = server_for(mini, "ns1.provider.test.")
+        served = {str(zone) for zone in provider.zones_served()}
+        assert served == {"provider.test.", "hosted.test."}
+
+    def test_is_authoritative_for(self, mini):
+        root = server_for(mini, "a.root.")
+        assert root.is_authoritative_for(name("."))
+        assert not root.is_authoritative_for(name("test."))

@@ -1,0 +1,152 @@
+"""Tests for zone-file parsing and serialisation."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rrtypes import RRType
+from repro.dns.zonefile import (
+    ZoneFileError,
+    dump_zone,
+    load_zone,
+    load_zone_file,
+    parse_zone_text,
+    records_to_text,
+)
+
+from tests.helpers import name
+
+EXAMPLE_ZONE = """\
+$ORIGIN example.test.
+$TTL 3600
+@       IN NS ns1.example.test.
+@       IN NS ns2.example.test.
+ns1     IN A 10.0.0.1
+ns2     IN A 10.0.0.2
+www 300 IN A 10.0.0.10
+        IN AAAA fd00::10
+web     IN CNAME www
+mail    IN MX 10 www.example.test.
+txt     IN TXT "hello world"
+; a delegated child with glue
+child      IN NS ns1.child.example.test.
+ns1.child  IN A 10.0.1.1
+"""
+
+
+class TestParsing:
+    def test_full_zone_parses(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        assert len(records) == 11
+
+    def test_origin_and_relative_names(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        owners = {str(record.name) for record in records}
+        assert "www.example.test." in owners
+        assert "example.test." in owners
+
+    def test_blank_owner_inherits(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        aaaa = [r for r in records if r.rrtype is RRType.AAAA]
+        assert aaaa[0].name == name("www.example.test.")
+
+    def test_per_record_ttl_overrides_default(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        www = [r for r in records
+               if r.name == name("www.example.test.") and r.rrtype is RRType.A]
+        assert www[0].ttl == 300
+        ns = [r for r in records if r.rrtype is RRType.NS][0]
+        assert ns.ttl == 3600
+
+    def test_external_origin_argument(self):
+        records = parse_zone_text("www IN A 1.2.3.4", origin="other.test.")
+        assert records[0].name == name("www.other.test.")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "; leading comment\n\nwww.x.test. 60 IN A 1.1.1.1 ; trailing\n"
+        assert len(parse_zone_text(text)) == 1
+
+    @pytest.mark.parametrize("bad,fragment", [
+        ("$ORIGIN", "one argument"),
+        ("$TTL abc", "bad TTL"),
+        ("$INCLUDE other.zone", "unsupported directive"),
+        ("www.x.test. IN A 1.2.3.4 (", "multi-line"),
+        ("www.x.test. IN SRV 0 0 80 x.test.", "unsupported type"),
+        ("www.x.test. CH A 1.2.3.4", "class IN"),
+        ("www.x.test. IN CNAME a. b.", "one target"),
+        ("www.x.test. IN MX ten www.x.test.", "priority"),
+        ("relative IN A 1.2.3.4", "without"),
+        ("  IN A 1.2.3.4", "previous owner"),
+    ])
+    def test_malformed_inputs_rejected(self, bad, fragment):
+        with pytest.raises(ZoneFileError, match=fragment):
+            parse_zone_text(bad)
+
+    def test_line_numbers_reported(self):
+        text = "www.x.test. IN A 1.1.1.1\nbroken line here\n"
+        with pytest.raises(ZoneFileError, match="line 2"):
+            parse_zone_text(text)
+
+
+class TestLoadZone:
+    def test_zone_serves_data(self):
+        zone = load_zone(EXAMPLE_ZONE, origin="example.test.")
+        assert zone.lookup(name("www.example.test."), RRType.A) is not None
+        assert zone.lookup(name("web.example.test."), RRType.CNAME) is not None
+
+    def test_apex_irrs_with_glue(self):
+        zone = load_zone(EXAMPLE_ZONE, origin="example.test.")
+        irrs = zone.infrastructure_records
+        assert len(irrs.server_names()) == 2
+        assert irrs.glue_for(name("ns1.example.test.")) is not None
+
+    def test_delegation_extracted(self):
+        zone = load_zone(EXAMPLE_ZONE, origin="example.test.")
+        delegation = zone.delegation_covering(name("x.child.example.test."))
+        assert delegation is not None
+        assert delegation.zone == name("child.example.test.")
+        assert delegation.glue_for(name("ns1.child.example.test.")) is not None
+
+    def test_missing_apex_ns_rejected(self):
+        with pytest.raises(Exception, match="no apex NS"):
+            load_zone("www IN A 1.1.1.1", origin="x.test.")
+
+    def test_dnssec_records_become_irrs(self):
+        text = (
+            "$ORIGIN s.test.\n"
+            "@ IN NS ns1.s.test.\n"
+            "ns1 IN A 10.0.0.9\n"
+            "@ IN DNSKEY ksk-token\n"
+            "@ IN DS ds-token\n"
+        )
+        zone = load_zone(text, origin="s.test.")
+        assert zone.infrastructure_records.is_signed
+        assert zone.lookup(name("s.test."), RRType.DNSKEY) is not None
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "example.zone"
+        path.write_text(EXAMPLE_ZONE, encoding="ascii")
+        zone = load_zone_file(path, origin="example.test.")
+        assert zone.name == name("example.test.")
+
+
+class TestRoundTrip:
+    def test_dump_and_reload(self):
+        zone = load_zone(EXAMPLE_ZONE, origin="example.test.")
+        text = dump_zone(zone)
+        reloaded = load_zone(text, origin="example.test.")
+        assert reloaded.record_count() == zone.record_count()
+        assert reloaded.lookup(name("www.example.test."), RRType.A) is not None
+        assert reloaded.delegation_covering(name("child.example.test.")) is not None
+
+    def test_mini_internet_zones_roundtrip(self):
+        from tests.helpers import build_mini_internet
+        mini = build_mini_internet()
+        for zone_name in ("example.test.", "test.", "provider.test."):
+            zone = mini.tree.zone(name(zone_name))
+            text = dump_zone(zone)
+            reloaded = load_zone(text, origin=zone_name)
+            assert reloaded.record_count() == zone.record_count(), zone_name
+
+    def test_records_to_text(self):
+        records = parse_zone_text("www.x.test. 60 IN A 1.1.1.1")
+        assert "www.x.test. 60 IN A 1.1.1.1" in records_to_text(records)

@@ -1,0 +1,106 @@
+"""Tests for the ablation / extension experiments."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    capacity_ablation,
+    holddown_ablation,
+    mechanism_ablation,
+    other_attack_classes,
+    scale_sensitivity,
+    stale_comparison,
+)
+from repro.experiments.scenarios import Scale, make_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_scenario(Scale.TINY)
+
+
+class TestMechanismAblation:
+    def test_rows_and_ordering(self, scenario):
+        result = mechanism_ablation(scenario)
+        labels = [row[0] for row in result.rows]
+        assert labels[0] == "vanilla"
+        assert "combination" in labels
+        # Stacked mechanisms never do worse than vanilla.
+        vanilla = result.sr_rate("vanilla")
+        assert result.sr_rate("refresh only") <= vanilla
+        assert result.sr_rate("refresh + renew") <= vanilla
+        assert result.sr_rate("combination") <= vanilla
+
+    def test_render(self, scenario):
+        assert "Ablation" in mechanism_ablation(scenario).render()
+
+    def test_unknown_label_raises(self, scenario):
+        with pytest.raises(KeyError):
+            mechanism_ablation(scenario).sr_rate("nope")
+
+
+class TestStaleComparison:
+    def test_stale_beats_vanilla(self, scenario):
+        result = stale_comparison(scenario)
+        assert result.sr_rate("serve-stale") <= result.sr_rate("vanilla")
+
+
+class TestOtherAttackClasses:
+    def test_single_zone_attacks_have_limited_blast_radius(self, scenario):
+        result = other_attack_classes(scenario)
+        # An attack on one SLD/provider hurts far fewer queries than the
+        # root+TLD attack does (which is >30% SR failures at this scale).
+        for label, sr, _, _ in result.rows:
+            assert sr < 0.30, label
+
+    def test_render(self, scenario):
+        assert "attack classes" in other_attack_classes(scenario).render()
+
+
+class TestHolddownAblation:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        return holddown_ablation(scenario)
+
+    def test_holddown_does_not_change_sr_outcome(self, result):
+        assert result.sr_rate("vanilla + holddown 10m") == pytest.approx(
+            result.sr_rate("vanilla"), abs=0.05
+        )
+
+    def test_holddown_reduces_message_volume(self, result):
+        rows = {label: messages for label, _, _, messages in result.rows}
+        assert rows["vanilla + holddown 10m"] < rows["vanilla"]
+
+    def test_fast_select_preserves_availability(self, result):
+        assert result.sr_rate("refresh + fast-select") == pytest.approx(
+            result.sr_rate("refresh + holddown 10m"), abs=0.10
+        )
+
+
+class TestCapacityAblation:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        return capacity_ablation(scenario)
+
+    def test_generous_capacity_matches_unbounded(self, result):
+        assert result.sr_rate("combination / 4x zones") == pytest.approx(
+            result.sr_rate("combination / unbounded"), abs=0.02
+        )
+
+    def test_starved_cache_degrades(self, result):
+        assert result.sr_rate("combination / 0.25x zones") > \
+            result.sr_rate("combination / 4x zones")
+
+    def test_render(self, result):
+        assert "cache capacity" in result.render()
+
+
+class TestScaleSensitivity:
+    def test_runs_at_tiny_only(self):
+        # Single-scale invocation keeps this a unit test; the cross-scale
+        # claim is exercised by the dedicated bench.
+        result = scale_sensitivity(scales=(Scale.TINY,))
+        assert len(result.rows) == 3
+        assert {row[1] for row in result.rows} == {
+            "vanilla", "refresh", "combination"
+        }
+        assert "Scale sensitivity" in result.render()

@@ -1,0 +1,64 @@
+"""Tests for the churn and response-time experiments."""
+
+import pytest
+
+from repro.experiments.churn import churn_experiment
+from repro.experiments.latency import latency_experiment
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.hierarchy.builder import HierarchyConfig
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def churn_result():
+    return churn_experiment(
+        hierarchy_config=HierarchyConfig(num_tlds=6, num_slds=80,
+                                         num_providers=2),
+        workload_config=WorkloadConfig(duration_days=7.0,
+                                       queries_per_day=1_500, num_clients=40),
+        churn_fraction=0.3,
+    )
+
+
+class TestChurnExperiment:
+    def test_availability_unharmed_by_churn(self, churn_result):
+        # Paper §4: the long-TTL downside is latency, not correctness —
+        # the parent fallback resets obsolete IRRs.
+        for row in churn_result.rows:
+            assert row.sr_failure_rate < 0.005, row.label
+
+    def test_longer_ttls_touch_more_obsolete_servers(self, churn_result):
+        vanilla = churn_result.row("vanilla").stale_touches
+        seven = churn_result.row("refresh+ttl7d").stale_touches
+        assert seven >= vanilla
+
+    def test_render(self, churn_result):
+        text = churn_result.render()
+        assert "IRR churn" in text and "vanilla" in text
+
+    def test_unknown_row(self, churn_result):
+        with pytest.raises(KeyError):
+            churn_result.row("nope")
+
+
+class TestLatencyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return latency_experiment(make_scenario(Scale.TINY))
+
+    def test_long_ttl_lowers_latency(self, result):
+        # Fewer tree walks => lower mean wait (paper §4).
+        assert result.row("refresh+ttl7d").mean_latency <= \
+            result.row("vanilla").mean_latency
+
+    def test_refresh_reduces_queries_per_lookup(self, result):
+        assert result.row("refresh").cs_queries_per_lookup <= \
+            result.row("vanilla").cs_queries_per_lookup
+
+    def test_hit_rates_sane(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.cache_hit_rate <= 1.0
+            assert row.cs_queries_per_lookup >= 0.0
+
+    def test_render(self, result):
+        assert "Response time" in result.render()

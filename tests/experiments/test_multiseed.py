@@ -1,0 +1,115 @@
+"""Tests for multi-seed replication, traffic bytes and failure blame."""
+
+import pytest
+
+from repro.core.config import ResilienceConfig
+from repro.dns.name import root_name
+from repro.experiments.harness import AttackSpec, run_replay
+from repro.experiments.multiseed import (
+    SeedStatistics,
+    multiseed_experiment,
+)
+from repro.experiments.scenarios import Scale, make_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_scenario(Scale.TINY)
+
+
+class TestSeedStatistics:
+    def test_mean_and_std(self):
+        stats = SeedStatistics.from_samples([0.1, 0.2, 0.3])
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.std == pytest.approx(0.1)
+
+    def test_single_sample(self):
+        stats = SeedStatistics.from_samples([0.5])
+        assert stats.mean == 0.5
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeedStatistics.from_samples([])
+
+    def test_str_is_percent(self):
+        assert "±" in str(SeedStatistics.from_samples([0.1, 0.2]))
+
+
+class TestMultiSeed:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        return multiseed_experiment(
+            scenario,
+            schemes=(ResilienceConfig.vanilla(), ResilienceConfig.combination()),
+            seeds=(0, 1, 2),
+        )
+
+    def test_scheme_ordering_holds_in_means(self, result):
+        assert result.row("combo+a-lfu3+ttl3d").sr.mean < \
+            result.row("vanilla").sr.mean
+
+    def test_spread_is_bounded(self, result):
+        # Seeds only change server-rotation/jitter choices, so the seed
+        # spread should stay within a few percentage points.
+        for row in result.rows:
+            assert row.sr.std < 0.08, row.scheme
+
+    def test_render(self, result):
+        assert "Multi-seed" in result.render()
+
+    def test_requires_seeds(self, scenario):
+        with pytest.raises(ValueError):
+            multiseed_experiment(scenario, seeds=())
+
+
+class TestTrafficBytes:
+    def test_bytes_counted_per_replay(self, scenario):
+        result = run_replay(scenario.built, scenario.trace("TRC1"),
+                            ResilienceConfig.vanilla())
+        metrics = result.metrics
+        assert metrics.bytes_out > 0
+        assert metrics.bytes_in > metrics.bytes_out  # answers are bigger
+        assert metrics.total_bytes == metrics.bytes_out + metrics.bytes_in
+
+    def test_byte_overhead_tracks_message_overhead_sign(self, scenario):
+        trace = scenario.trace("TRC1")
+        baseline = run_replay(scenario.built, trace, ResilienceConfig.vanilla())
+        long_ttl = run_replay(scenario.built, trace,
+                              ResilienceConfig.refresh_long_ttl(7))
+        assert long_ttl.metrics.byte_overhead_vs(baseline.metrics) < 0.0
+
+    def test_empty_baseline_rejected(self):
+        from repro.simulation.metrics import ReplayMetrics
+        with pytest.raises(ValueError):
+            ReplayMetrics().byte_overhead_vs(ReplayMetrics())
+
+
+class TestFailureBlame:
+    def test_attack_blames_root_and_tlds(self, scenario):
+        result = run_replay(
+            scenario.built, scenario.trace("TRC1"),
+            ResilienceConfig.vanilla(), attack=AttackSpec(),
+        )
+        blamed = dict(result.server.top_blamed_zones(50))
+        assert blamed, "no blame recorded despite attack failures"
+        tlds = set(scenario.built.tree.tld_names())
+        blamed_infra = sum(
+            count for zone, count in blamed.items()
+            if zone in tlds or zone == root_name()
+        )
+        assert blamed_infra / sum(blamed.values()) > 0.9
+
+    def test_no_blame_without_attack(self, scenario):
+        result = run_replay(scenario.built, scenario.trace("TRC1"),
+                            ResilienceConfig.vanilla())
+        assert result.server.failure_blame == {}
+
+    def test_top_blamed_is_sorted(self, scenario):
+        result = run_replay(
+            scenario.built, scenario.trace("TRC1"),
+            ResilienceConfig.vanilla(), attack=AttackSpec(),
+        )
+        top = result.server.top_blamed_zones(5)
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,113 @@
+"""Tests for the zone tree."""
+
+import pytest
+
+from repro.dns.rrtypes import RRType
+from tests.helpers import build_mini_internet, name
+
+
+@pytest.fixture
+def mini():
+    return build_mini_internet()
+
+
+class TestLookups:
+    def test_zone_by_name(self, mini):
+        assert mini.tree.zone(name("test.")).name == name("test.")
+        with pytest.raises(KeyError):
+            mini.tree.zone(name("missing."))
+
+    def test_has_zone(self, mini):
+        assert mini.tree.has_zone(name("example.test."))
+        assert not mini.tree.has_zone(name("www.example.test."))
+
+    def test_counts(self, mini):
+        assert mini.tree.zone_count() == 7
+        assert mini.tree.server_count() == 9
+
+    def test_server_by_address_and_name(self, mini):
+        address = mini.address_of("ns1.test.")
+        server = mini.tree.server_by_address(address)
+        assert server is mini.tree.server_by_name(name("ns1.test."))
+        assert mini.tree.server_by_address("203.0.113.1") is None
+
+    def test_servers_for_zone(self, mini):
+        servers = mini.tree.servers_for_zone(name("test."))
+        assert {str(s.name) for s in servers} == {"ns1.test.", "ns2.test."}
+        assert mini.tree.servers_for_zone(name("nope.")) == []
+
+    def test_addresses_for_zone(self, mini):
+        addresses = mini.tree.addresses_for_zone(name("hosted.test."))
+        assert addresses == [
+            mini.address_of("ns1.provider.test."),
+            mini.address_of("ns2.provider.test."),
+        ]
+
+    def test_enclosing_zone(self, mini):
+        assert mini.tree.enclosing_zone(name("www.dept.example.test.")).name == \
+            name("dept.example.test.")
+        assert mini.tree.enclosing_zone(name("anything.unknown.")).name == name(".")
+
+    def test_parent_zone(self, mini):
+        assert mini.tree.parent_zone(name("example.test.")).name == name("test.")
+        assert mini.tree.parent_zone(name(".")) is None
+
+    def test_root_hints(self, mini):
+        hints = mini.tree.root_hints()
+        assert hints.zone == name(".")
+        assert len(hints.server_names()) == 2
+
+
+class TestStructure:
+    def test_children_and_descendants(self, mini):
+        tlds = set(mini.tree.children_of(name(".")))
+        assert tlds == {name("test."), name("alt.")}
+        descendants = set(mini.tree.descendants_of(name("test.")))
+        assert name("example.test.") in descendants
+        assert name("dept.example.test.") in descendants
+        assert name("alt.") not in descendants
+
+    def test_tld_names(self, mini):
+        assert set(mini.tree.tld_names()) == {name("test."), name("alt.")}
+
+    def test_total_record_count_positive(self, mini):
+        assert mini.tree.total_record_count() > 20
+
+    def test_duplicate_zone_rejected(self, mini):
+        zone = mini.tree.zone(name("alt."))
+        with pytest.raises(ValueError):
+            mini.tree.add_zone(zone, mini.tree.servers_for_zone(name("alt.")))
+
+
+class TestLongTtl:
+    def test_apply_long_ttl_changes_child_and_parent_copies(self, mini):
+        changed = mini.tree.apply_long_ttl(3 * 86400.0)
+        assert changed == 7
+        sld = mini.tree.zone(name("example.test."))
+        assert sld.infrastructure_records.ns.ttl == 3 * 86400.0
+        tld = mini.tree.zone(name("test."))
+        delegation = tld.delegation_covering(name("example.test."))
+        assert delegation.ns.ttl == 3 * 86400.0
+
+    def test_apply_long_ttl_leaves_data_records(self, mini):
+        mini.tree.apply_long_ttl(3 * 86400.0)
+        sld = mini.tree.zone(name("example.test."))
+        data = sld.lookup(name("www.example.test."), RRType.A)
+        assert data.ttl == 600.0
+
+    def test_apply_long_ttl_with_filter(self, mini):
+        changed = mini.tree.apply_long_ttl(
+            3 * 86400.0, zone_filter=[name("example.test."), name("ghost.")]
+        )
+        assert changed == 1
+        untouched = mini.tree.zone(name("provider.test."))
+        assert untouched.infrastructure_records.ns.ttl == 3600.0
+
+    def test_capture_restore_roundtrip(self, mini):
+        state = mini.tree.capture_irr_state()
+        mini.tree.apply_long_ttl(5 * 86400.0)
+        mini.tree.restore_irr_state(state)
+        sld = mini.tree.zone(name("example.test."))
+        assert sld.infrastructure_records.ns.ttl == 3600.0
+        tld = mini.tree.zone(name("test."))
+        assert tld.delegation_covering(name("example.test.")).ns.ttl == 3600.0

@@ -1,0 +1,44 @@
+"""Tests for the TTL distribution model."""
+
+import random
+
+from repro.hierarchy.ttlmodel import DAY, HOUR, MINUTE, TtlBucket, TtlModel
+
+
+class TestTtlModel:
+    def test_root_and_tld_ttls_fixed(self):
+        model = TtlModel()
+        rng = random.Random(0)
+        assert model.sample_irr_ttl(rng, depth=0) == model.root_irr_ttl
+        assert model.sample_irr_ttl(rng, depth=1) == model.tld_irr_ttl
+        assert model.root_irr_ttl > model.tld_irr_ttl > DAY
+
+    def test_sld_irr_ttls_span_minutes_to_days(self):
+        model = TtlModel()
+        rng = random.Random(1)
+        samples = [model.sample_irr_ttl(rng, depth=2) for _ in range(2000)]
+        assert min(samples) < HOUR
+        assert max(samples) > DAY
+        # Paper: "most zones have a TTL value less or equal to 12 hours".
+        at_most_12h = sum(1 for ttl in samples if ttl <= 12 * HOUR)
+        assert at_most_12h / len(samples) > 0.5
+
+    def test_data_ttls_skew_shorter_than_irr_ttls(self):
+        model = TtlModel()
+        rng = random.Random(2)
+        data = [model.sample_data_ttl(rng) for _ in range(2000)]
+        irrs = [model.sample_irr_ttl(rng, depth=2) for _ in range(2000)]
+        assert sum(data) / len(data) < sum(irrs) / len(irrs)
+
+    def test_samples_within_bucket_bounds(self):
+        bucket = TtlBucket(1.0, 5 * MINUTE, 30 * MINUTE)
+        rng = random.Random(3)
+        for _ in range(100):
+            value = bucket.sample(rng)
+            assert 5 * MINUTE <= value <= 30 * MINUTE
+
+    def test_deterministic_given_rng(self):
+        model = TtlModel()
+        first = [model.sample_irr_ttl(random.Random(7), 2) for _ in range(5)]
+        second = [model.sample_irr_ttl(random.Random(7), 2) for _ in range(5)]
+        assert first == second

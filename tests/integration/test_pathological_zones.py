@@ -1,0 +1,168 @@
+"""Failure injection: the resolver against broken/adversarial zone setups.
+
+A production resolver's worth is measured on broken configurations —
+CNAME loops, lame delegations, unresolvable glue — all of which the 2004
+SIGCOMM study by the same authors found rampant.  The resolver must
+degrade to clean failures in bounded work, never hang or crash.
+"""
+
+import pytest
+
+from repro.core.caching_server import CachingServer, ResolutionOutcome
+from repro.core.config import ResilienceConfig
+from repro.dns.name import Name, root_name
+from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
+from repro.dns.rrtypes import RRType
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import ZoneBuilder
+from repro.hierarchy.tree import ZoneTree
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import ReplayMetrics
+from repro.simulation.network import Network
+
+from tests.helpers import _irrs, _ns_only_irrs, name
+
+
+def build_pathological_internet() -> ZoneTree:
+    """Root + 'bad.' TLD with several deliberately broken children."""
+    tree = ZoneTree()
+
+    root_irrs = _irrs(".", [("a.root.", "10.9.0.1")], 86400 * 6)
+    tld_irrs = _irrs("bad.", [("ns1.bad.", "10.9.0.2")], 86400 * 2)
+
+    # Child 1: CNAME loop inside the zone.
+    loop_irrs = _irrs("loop.bad.", [("ns1.loop.bad.", "10.9.0.3")], 3600)
+    loop_builder = ZoneBuilder(name("loop.bad."), default_ttl=3600)
+    loop_builder.add_ns("ns1.loop.bad.", "10.9.0.3")
+    loop_builder.add_record(
+        ResourceRecord(name("a.loop.bad."), RRType.CNAME, 300, name("b.loop.bad."))
+    )
+    loop_builder.add_record(
+        ResourceRecord(name("b.loop.bad."), RRType.CNAME, 300, name("a.loop.bad."))
+    )
+
+    # Child 2: lame delegation — the parent points at a server that does
+    # not serve the zone at all.
+    lame_irrs = _ns_only_irrs("lame.bad.", ["ns1.loop.bad."], 3600)
+
+    # Child 3: delegation whose server address does not exist.
+    dead_irrs = _irrs("dead.bad.", [("ns1.dead.bad.", "10.9.99.99")], 3600)
+
+    # Child 4: glue-less delegation whose NS name lives inside itself —
+    # an unresolvable chicken-and-egg cut.
+    cyclic_irrs = _ns_only_irrs("cyclic.bad.", ["ns1.cyclic.bad."], 3600)
+
+    # Child 5: healthy control zone.
+    good_irrs = _irrs("good.bad.", [("ns1.good.bad.", "10.9.0.4")], 3600)
+    good_builder = ZoneBuilder(name("good.bad."), default_ttl=3600)
+    good_builder.add_ns("ns1.good.bad.", "10.9.0.4")
+    good_builder.add_address("www.good.bad.", "10.9.1.1", ttl=300)
+
+    root_builder = ZoneBuilder(root_name(), default_ttl=86400 * 6)
+    root_builder.add_ns("a.root.", "10.9.0.1")
+    root_builder.delegate(tld_irrs)
+    tree.add_zone(root_builder.build(),
+                  [AuthoritativeServer(name("a.root."), "10.9.0.1")])
+
+    tld_builder = ZoneBuilder(name("bad."), default_ttl=86400 * 2)
+    tld_builder.add_ns("ns1.bad.", "10.9.0.2")
+    for irrs in (loop_irrs, lame_irrs, dead_irrs, cyclic_irrs, good_irrs):
+        tld_builder.delegate(irrs)
+    tree.add_zone(tld_builder.build(),
+                  [AuthoritativeServer(name("ns1.bad."), "10.9.0.2")])
+
+    loop_server = AuthoritativeServer(name("ns1.loop.bad."), "10.9.0.3")
+    tree.add_zone(loop_builder.build(), [loop_server])
+    tree.add_zone(good_builder.build(),
+                  [AuthoritativeServer(name("ns1.good.bad."), "10.9.0.4")])
+    # dead.bad., lame.bad., cyclic.bad. are intentionally not added: their
+    # "servers" either don't exist or never serve them.
+    return tree
+
+
+@pytest.fixture
+def stack():
+    tree = build_pathological_internet()
+    engine = SimulationEngine()
+    metrics = ReplayMetrics()
+    server = CachingServer(
+        root_hints=tree.root_hints(),
+        network=Network(tree),
+        engine=engine,
+        config=ResilienceConfig.vanilla(),
+        metrics=metrics,
+    )
+    return server, metrics
+
+
+class TestPathologies:
+    def test_cname_loop_fails_cleanly(self, stack):
+        server, metrics = stack
+        result = server.handle_stub_query(name("a.loop.bad."), RRType.A, 0.0)
+        assert result.outcome is ResolutionOutcome.FAILURE
+        # Bounded work despite the loop.
+        assert metrics.cs_demand_queries < 25
+
+    def test_lame_delegation_fails_cleanly(self, stack):
+        server, metrics = stack
+        result = server.handle_stub_query(name("www.lame.bad."), RRType.A, 0.0)
+        assert result.outcome is ResolutionOutcome.FAILURE
+        assert metrics.cs_demand_queries < 25
+
+    def test_dead_server_fails_cleanly(self, stack):
+        server, metrics = stack
+        result = server.handle_stub_query(name("www.dead.bad."), RRType.A, 0.0)
+        assert result.outcome is ResolutionOutcome.FAILURE
+
+    def test_glueless_self_cycle_fails_cleanly(self, stack):
+        server, metrics = stack
+        result = server.handle_stub_query(name("www.cyclic.bad."), RRType.A, 0.0)
+        assert result.outcome is ResolutionOutcome.FAILURE
+        assert metrics.cs_demand_queries < 25
+
+    def test_healthy_sibling_unaffected(self, stack):
+        server, _ = stack
+        for broken in ("a.loop.bad.", "www.lame.bad.", "www.dead.bad.",
+                       "www.cyclic.bad."):
+            server.handle_stub_query(name(broken), RRType.A, 0.0)
+        result = server.handle_stub_query(name("www.good.bad."), RRType.A, 1.0)
+        assert result.outcome is ResolutionOutcome.ANSWERED
+
+    def test_repeated_pathological_queries_stay_bounded(self, stack):
+        server, metrics = stack
+        for step in range(10):
+            server.handle_stub_query(name("www.dead.bad."), RRType.A,
+                                     float(step))
+        # Each retry costs a bounded number of queries (no amplification).
+        assert metrics.cs_demand_queries < 10 * 12
+
+    def test_out_of_zone_cname_tail_chased(self):
+        """A CNAME pointing out of the zone is chased across zones."""
+        tree = build_pathological_internet()
+        # Add a zone with an external CNAME into good.bad.
+        irrs = _irrs("x.bad.", [("ns1.x.bad.", "10.9.0.5")], 3600)
+        builder = ZoneBuilder(name("x.bad."), default_ttl=3600)
+        builder.add_ns("ns1.x.bad.", "10.9.0.5")
+        builder.add_record(
+            ResourceRecord(name("alias.x.bad."), RRType.CNAME, 300,
+                           name("www.good.bad."))
+        )
+        tree.add_zone(builder.build(),
+                      [AuthoritativeServer(name("ns1.x.bad."), "10.9.0.5")])
+        # The TLD's delegation set is fixed at build time, so seed the
+        # resolver's cache with x.bad.'s IRRs as if a referral had
+        # delivered them.
+        engine = SimulationEngine()
+        server = CachingServer(
+            root_hints=tree.root_hints(),
+            network=Network(tree),
+            engine=engine,
+            config=ResilienceConfig.vanilla(),
+            metrics=ReplayMetrics(),
+        )
+        from repro.dns.ranking import Rank
+        for rrset in irrs.all_rrsets():
+            server.cache.put(rrset, Rank.NON_AUTH_AUTHORITY, now=0.0)
+        result = server.handle_stub_query(name("alias.x.bad."), RRType.A, 0.0)
+        assert result.outcome is ResolutionOutcome.ANSWERED
+        assert result.answer.rrtype is RRType.A

@@ -1,0 +1,154 @@
+"""Property-based tests of resolver-level invariants (hypothesis).
+
+Random query sequences over the deterministic mini internet, checking
+invariants that must hold for *any* workload:
+
+* with all servers up, no lookup ever fails;
+* metrics are internally consistent;
+* identical (seed, sequence) pairs behave identically;
+* the cache never grows without bound relative to the universe size.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.caching_server import CachingServer, ResolutionOutcome
+from repro.core.config import ResilienceConfig
+from repro.dns.rrtypes import RRType
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import ReplayMetrics
+from repro.simulation.network import Network
+
+from tests.helpers import build_mini_internet, name
+
+_ALL_NAMES = [
+    "www.example.test.",
+    "mail.example.test.",
+    "web.example.test.",
+    "www.dept.example.test.",
+    "www.hosted.test.",
+    "www.provider.test.",
+    "ghost.example.test.",      # NXDOMAIN
+    "nope.hosted.test.",        # NXDOMAIN
+]
+
+_QTYPES = [RRType.A, RRType.AAAA, RRType.MX]
+
+query_sequences = st.lists(
+    st.tuples(
+        st.sampled_from(_ALL_NAMES),
+        st.sampled_from(_QTYPES),
+        st.floats(min_value=0.1, max_value=3600.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+configs = st.sampled_from([
+    ResilienceConfig.vanilla(),
+    ResilienceConfig.refresh(),
+    ResilienceConfig.refresh_renew("a-lfu", 3),
+    ResilienceConfig.refresh_long_ttl(3),
+    ResilienceConfig.combination(),
+    ResilienceConfig.stale_serving(),
+])
+
+
+def run_sequence(sequence, config, seed=0):
+    mini = build_mini_internet()
+    engine = SimulationEngine()
+    metrics = ReplayMetrics()
+    server = CachingServer(
+        root_hints=mini.tree.root_hints(),
+        network=Network(mini.tree),
+        engine=engine,
+        config=config,
+        metrics=metrics,
+        seed=seed,
+    )
+    outcomes = []
+    now = 0.0
+    for qname, qtype, gap in sequence:
+        now += gap
+        engine.advance_to(now)
+        outcomes.append(
+            server.handle_stub_query(name(qname), qtype, now).outcome
+        )
+    return server, metrics, outcomes
+
+
+class TestResolverInvariants:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(query_sequences, configs)
+    def test_no_failures_when_everything_is_up(self, sequence, config):
+        _, metrics, outcomes = run_sequence(sequence, config)
+        assert ResolutionOutcome.FAILURE not in outcomes
+        assert metrics.sr_failures == 0
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(query_sequences, configs)
+    def test_metrics_consistent(self, sequence, config):
+        _, metrics, outcomes = run_sequence(sequence, config)
+        assert metrics.sr_queries == len(sequence)
+        assert metrics.sr_cache_hits <= metrics.sr_queries
+        assert metrics.sr_failures <= metrics.sr_queries
+        assert metrics.cs_demand_failures <= metrics.cs_demand_queries
+        assert metrics.cs_renewal_failures <= metrics.cs_renewal_queries
+        assert metrics.total_latency >= 0.0
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(query_sequences, configs,
+           st.integers(min_value=0, max_value=1000))
+    def test_deterministic_given_seed(self, sequence, config, seed):
+        _, first_metrics, first = run_sequence(sequence, config, seed=seed)
+        _, second_metrics, second = run_sequence(sequence, config, seed=seed)
+        assert first == second
+        assert first_metrics.cs_demand_queries == second_metrics.cs_demand_queries
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(query_sequences, configs)
+    def test_cache_bounded_by_universe(self, sequence, config):
+        server, _, _ = run_sequence(sequence, config)
+        # The mini internet holds well under 100 distinct RRsets; no
+        # sequence of queries may conjure more entries than exist.
+        assert server.cache.total_entry_count() < 100
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(query_sequences)
+    def test_nxdomain_names_always_nxdomain(self, sequence):
+        augmented = sequence + [("ghost.example.test.", RRType.A, 1.0)]
+        _, _, outcomes = run_sequence(augmented, ResilienceConfig.vanilla())
+        assert outcomes[-1] is ResolutionOutcome.NXDOMAIN
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(query_sequences, configs)
+    def test_answers_carry_rrsets(self, sequence, config):
+        mini_outcomes_with_answers = (
+            ResolutionOutcome.CACHE_HIT,
+            ResolutionOutcome.ANSWERED,
+            ResolutionOutcome.STALE_HIT,
+        )
+        server, metrics, outcomes = run_sequence(sequence, config)
+        # Re-run capturing resolutions to inspect answers.
+        mini = build_mini_internet()
+        engine = SimulationEngine()
+        server = CachingServer(
+            root_hints=mini.tree.root_hints(),
+            network=Network(mini.tree),
+            engine=engine,
+            config=config,
+            metrics=ReplayMetrics(),
+        )
+        now = 0.0
+        for qname, qtype, gap in sequence:
+            now += gap
+            engine.advance_to(now)
+            resolution = server.handle_stub_query(name(qname), qtype, now)
+            if resolution.outcome in mini_outcomes_with_answers:
+                assert resolution.answer is not None
+                assert len(resolution.answer) >= 1

@@ -1,0 +1,95 @@
+"""Unit + property tests for the event queue."""
+
+from hypothesis import given, strategies as st
+
+from repro.simulation.events import EventQueue
+
+
+def noop(_):
+    pass
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, noop)
+        queue.push(1.0, noop)
+        queue.push(2.0, noop)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda t: order.append("first"))
+        queue.push(1.0, lambda t: order.append("second"))
+        while (handle := queue.pop()) is not None:
+            handle.action(handle.time)
+        assert order == ["first", "second"]
+
+    def test_cancel_prevents_delivery(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, noop)
+        queue.push(2.0, noop)
+        handle.cancel()
+        popped = queue.pop()
+        assert popped.time == 2.0
+        assert queue.pop() is None
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, noop)
+        handle.cancel()
+        handle.cancel()
+        assert queue.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, noop)
+        queue.push(5.0, noop)
+        first.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_len_counts_live_only(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, noop)
+        queue.push(2.0, noop)
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_empty_behaviour(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert not queue
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_pop_order_is_sorted(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, noop)
+        popped = []
+        while (handle := queue.pop()) is not None:
+            popped.append(handle.time)
+        assert popped == sorted(times)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                 min_size=2, max_size=30),
+        st.data(),
+    )
+    def test_cancelled_subset_never_delivered(self, times, data):
+        queue = EventQueue()
+        handles = [queue.push(time, noop) for time in times]
+        doomed = data.draw(st.sets(
+            st.integers(min_value=0, max_value=len(handles) - 1)))
+        for index in doomed:
+            handles[index].cancel()
+        survivors = sorted(
+            time for index, time in enumerate(times) if index not in doomed
+        )
+        popped = []
+        while (handle := queue.pop()) is not None:
+            popped.append(handle.time)
+        assert popped == survivors

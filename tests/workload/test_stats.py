@@ -1,0 +1,46 @@
+"""Tests for Table-1 statistics computation."""
+
+from repro.dns.name import Name
+from repro.workload.stats import compute_statistics
+from repro.workload.trace import Trace, TraceQuery
+
+from tests.helpers import build_mini_internet
+
+
+def make_trace():
+    queries = [
+        TraceQuery(1.0, 0, Name.from_text("www.example.test")),
+        TraceQuery(2.0, 1, Name.from_text("mail.example.test")),
+        TraceQuery(3.0, 0, Name.from_text("www.example.test")),
+        TraceQuery(4.0, 2, Name.from_text("www.hosted.test")),
+        TraceQuery(5.0, 2, Name.from_text("www.dept.example.test")),
+    ]
+    return Trace(name="TRC-X", duration=86400.0 * 2, queries=queries)
+
+
+class TestStatistics:
+    def test_counts_without_tree(self):
+        stats = compute_statistics(make_trace())
+        assert stats.requests_in == 5
+        assert stats.clients == 3
+        assert stats.distinct_names == 4
+        # Without a tree, zones are approximated by stripping one label.
+        assert stats.distinct_zones == 3
+        assert stats.duration_days == 2.0
+        assert stats.requests_out is None
+
+    def test_counts_with_tree_use_real_zones(self):
+        mini = build_mini_internet()
+        stats = compute_statistics(make_trace(), tree=mini.tree)
+        # example.test., hosted.test., dept.example.test.
+        assert stats.distinct_zones == 3
+
+    def test_requests_out_passthrough(self):
+        stats = compute_statistics(make_trace(), requests_out=42)
+        assert stats.requests_out == 42
+        assert stats.as_row()[4] == 42
+
+    def test_as_row_formats_missing_out(self):
+        stats = compute_statistics(make_trace())
+        assert stats.as_row()[4] == "-"
+        assert stats.as_row()[0] == "TRC-X"
