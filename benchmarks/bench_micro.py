@@ -59,6 +59,47 @@ def bench_best_zone_lookup(benchmark, warm_cache):
     assert result == Name.from_text("z.test")
 
 
+def bench_advance_to_idle(benchmark):
+    """Engine clock advance with an empty queue — the replay's inner loop
+    between trace queries is dominated by this call."""
+    engine = SimulationEngine()
+    times = iter(range(1, 50_000_000))
+
+    def advance():
+        engine.advance_to(float(next(times)))
+
+    benchmark(advance)
+
+
+def bench_ancestors_walk(benchmark):
+    """Name.ancestors() on a deep name (cached per interned instance)."""
+    qname = Name.from_text("www.deep.sub.zone.example.test")
+
+    def walk():
+        total = 0
+        for ancestor in qname.ancestors():
+            total += ancestor.depth()
+        return total
+
+    assert benchmark(walk) == 21
+
+
+def bench_name_wire_length(benchmark):
+    """wire_length() is called per outgoing message for byte accounting."""
+    qname = Name.from_text("www.deep.sub.zone.example.test")
+    assert benchmark(qname.wire_length) == 32
+
+
+def bench_live_record_count(benchmark, warm_cache):
+    """Figure 12's occupancy probe — incremental, no longer an O(n) scan."""
+    times = iter(range(1, 50_000_000))
+
+    def count():
+        return warm_cache.live_record_count(100.0 + next(times) * 1e-6)
+
+    assert benchmark(count) == 500
+
+
 def bench_cold_resolution(benchmark):
     mini = build_mini_internet()
 

@@ -12,6 +12,7 @@ so wall-clock is reported but repetition would only re-prove determinism.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -19,6 +20,10 @@ import pytest
 from repro.experiments.scenarios import Scale, make_scenario
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable bench outputs live next to the benches (committed, so
+#: the perf trajectory is visible across PRs).
+JSON_DIR = Path(__file__).parent
 
 
 @pytest.fixture(scope="session")
@@ -36,6 +41,26 @@ def record_artifact():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n{text}\n[artifact written to {path}]")
+
+    return _record
+
+
+@pytest.fixture
+def record_bench_json():
+    """Callable(name, payload): persist machine-readable bench numbers.
+
+    Writes ``benchmarks/<name>.json`` (e.g. ``BENCH_parallel.json``);
+    unlike the ``results/`` text artifacts these are meant to be diffed
+    across PRs.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        path = JSON_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\n[bench json written to {path}]")
 
     return _record
 

@@ -24,7 +24,12 @@ ESTIMATED_BYTES_PER_RECORD = 120
 
 @dataclass
 class MessageOverheadTable:
-    """Per-scheme message overhead vs a shared vanilla baseline."""
+    """Per-scheme message overhead vs a shared vanilla baseline.
+
+    ``baseline`` (and each recorded scheme) may be a full
+    :class:`ReplayMetrics` or the parallel runner's ``ReplaySummary`` —
+    anything exposing ``total_outgoing`` and ``message_overhead_vs``.
+    """
 
     baseline: ReplayMetrics
     rows: dict[str, float] = field(default_factory=dict)

@@ -14,6 +14,9 @@ Commands
     Produce a synthetic trace file / summarise an existing one.
 ``churn`` / ``latency`` / ``maxdamage``
     Run the extension experiments.
+``bench``
+    Time a TINY sweep through the serial and parallel replay paths and
+    print the speedup (smoke check for the batch runner).
 
 Scheme syntax (for ``--scheme``): ``vanilla``, ``refresh``,
 ``serve-stale``, ``combination``, ``<policy>:<credit>`` (e.g.
@@ -238,6 +241,47 @@ def _cmd_maxdamage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Smoke-check the parallel runner: serial vs fanned sweep, timed."""
+    import time
+
+    from repro.experiments.parallel import ReplaySpec, run_replays
+
+    scenario = make_scenario(Scale.TINY, seed=args.seed)
+    attack = AttackSpec(start=scenario.attack_start, duration=6 * HOUR)
+    schemes = (ResilienceConfig.vanilla(), ResilienceConfig.refresh())
+    trace_names = ("TRC1", "TRC2")
+    specs = [
+        ReplaySpec.for_scenario(scenario, trace_name, config, attack=attack)
+        for config in schemes
+        for trace_name in trace_names
+    ]
+    total_queries = len(schemes) * sum(
+        len(scenario.trace(trace_name)) for trace_name in trace_names
+    )
+    print(f"bench: {len(specs)} TINY replays "
+          f"({total_queries:,} stub queries), {args.workers} workers")
+
+    started = time.perf_counter()
+    serial = run_replays(specs, workers=1)
+    serial_seconds = time.perf_counter() - started
+    print(f"serial:   {serial_seconds:6.2f} s "
+          f"({total_queries / serial_seconds:,.0f} queries/s)")
+
+    started = time.perf_counter()
+    fanned = run_replays(specs, workers=args.workers)
+    parallel_seconds = time.perf_counter() - started
+    print(f"parallel: {parallel_seconds:6.2f} s "
+          f"({total_queries / parallel_seconds:,.0f} queries/s)")
+
+    print(f"speedup:  {serial_seconds / parallel_seconds:.2f}x")
+    if fanned != serial:
+        print("error: parallel results differ from serial", file=sys.stderr)
+        return 1
+    print("outputs:  bitwise-identical to serial")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -316,6 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
     maxdamage.add_argument("--seed", type=int, default=7)
     _add_scale_argument(maxdamage)
     maxdamage.set_defaults(func=_cmd_maxdamage)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time a TINY sweep serial vs parallel (smoke check)",
+    )
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker processes for the parallel leg")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

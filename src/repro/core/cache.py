@@ -16,6 +16,8 @@ Semantics that matter for the paper:
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass
 
 from repro.dns.name import Name
@@ -91,10 +93,103 @@ class DnsCache:
         self.max_effective_ttl = max_effective_ttl
         self.max_entries = max_entries
         self.evictions = 0
+        # Incremental occupancy accounting: the live entry/record/zone
+        # counts are maintained on every put/remove, with expirations
+        # applied lazily from a min-heap of (expires_at, token, key) as
+        # the clock (monotone during a replay) moves forward.  `_counted`
+        # maps each counted key to its (token, record_count) so stale
+        # heap entries for overwritten keys are recognised and skipped.
+        # The whole machinery stays off (`_counting=False`, zero put-path
+        # cost) until the first occupancy query builds it from the store.
+        self._counting = False
+        self._counted: dict[tuple[Name, RRType], tuple[int, int]] = {}
+        self._expiry_heap: list[tuple[float, int, tuple[Name, RRType]]] = []
+        self._tokens = itertools.count()
+        self._count_horizon = float("-inf")
+        self._live_entries = 0
+        self._live_records = 0
+        self._live_zones = 0
 
     def _touch(self, key: tuple[Name, RRType]) -> None:
         entry = self._entries.pop(key)
         self._entries[key] = entry
+
+    # -- incremental occupancy bookkeeping ----------------------------------
+
+    def _count_in(
+        self, key: tuple[Name, RRType], entry: CacheEntry, now: float
+    ) -> None:
+        """Start counting ``entry`` as live (replacing any prior count)."""
+        if not self._counting:
+            return
+        self._count_out(key)
+        if entry.expires_at > now:
+            token = next(self._tokens)
+            nrecords = len(entry.rrset.records)
+            self._counted[key] = (token, nrecords)
+            self._live_entries += 1
+            self._live_records += nrecords
+            if key[1] == RRType.NS:
+                self._live_zones += 1
+            heapq.heappush(self._expiry_heap, (entry.expires_at, token, key))
+
+    def _count_out(self, key: tuple[Name, RRType]) -> None:
+        """Stop counting ``key`` if it is currently counted as live."""
+        if not self._counting:
+            return
+        info = self._counted.pop(key, None)
+        if info is not None:
+            self._live_entries -= 1
+            self._live_records -= info[1]
+            if key[1] == RRType.NS:
+                self._live_zones -= 1
+
+    def _build_counts(self, now: float) -> None:
+        """Switch counting on: census the store, then maintain incrementally."""
+        self._counting = True
+        self._counted.clear()
+        heap = []
+        entries = records = zones = 0
+        for key, entry in self._entries.items():
+            expires_at = entry.expires_at
+            if expires_at <= now:
+                continue
+            token = next(self._tokens)
+            nrecords = len(entry.rrset.records)
+            self._counted[key] = (token, nrecords)
+            heap.append((expires_at, token, key))
+            entries += 1
+            records += nrecords
+            if key[1] == RRType.NS:
+                zones += 1
+        heapq.heapify(heap)
+        self._expiry_heap = heap
+        self._live_entries = entries
+        self._live_records = records
+        self._live_zones = zones
+        self._count_horizon = now
+
+    def _sync_counts(self, now: float) -> bool:
+        """Apply every expiry up to ``now``; False when time ran backwards
+        (the caller then falls back to an exact scan)."""
+        if not self._counting:
+            self._build_counts(now)
+            return True
+        if now < self._count_horizon:
+            return False
+        self._count_horizon = now
+        heap = self._expiry_heap
+        counted = self._counted
+        while heap and heap[0][0] <= now:
+            _, token, key = heapq.heappop(heap)
+            info = counted.get(key)
+            if info is not None and info[0] == token:
+                del counted[key]
+                self._live_entries -= 1
+                self._live_records -= info[1]
+                if key[1] == RRType.NS:
+                    self._live_zones -= 1
+        return True
 
     def _make_room(self, now: float) -> None:
         """Evict until there is space for one more entry."""
@@ -109,11 +204,13 @@ class DnsCache:
             if len(self._entries) < self.max_entries:
                 break
             del self._entries[key]
+            self._count_out(key)
             self.evictions += 1
         # Pass 2: evict live entries, LRU first.
         while len(self._entries) >= self.max_entries:
             oldest_key = next(iter(self._entries))
             del self._entries[oldest_key]
+            self._count_out(oldest_key)
             self.evictions += 1
 
     # -- positive entries ---------------------------------------------------
@@ -141,13 +238,15 @@ class DnsCache:
             replaced_expired = existing is not None
             if existing is None:
                 self._make_room(now)
-            self._entries[key] = CacheEntry(
+            entry = CacheEntry(
                 rrset=rrset,
                 rank=rank,
                 stored_at=now,
                 expires_at=new_expiry,
                 published_ttl=rrset.ttl,
             )
+            self._entries[key] = entry
+            self._count_in(key, entry, now)
             return PutResult(
                 stored=True,
                 refreshed=False,
@@ -173,13 +272,15 @@ class DnsCache:
 
         previous_expiry = existing.expires_at
         previous_ttl = existing.published_ttl
-        self._entries[key] = CacheEntry(
+        entry = CacheEntry(
             rrset=rrset,
             rank=rank,
             stored_at=now,
             expires_at=new_expiry,
             published_ttl=rrset.ttl,
         )
+        self._entries[key] = entry
+        self._count_in(key, entry, now)
         return PutResult(
             stored=True,
             refreshed=same_data,
@@ -193,16 +294,33 @@ class DnsCache:
         """The live RRset for (name, type), or None."""
         key = (name, rrtype)
         entry = self._entries.get(key)
-        if entry is None or not entry.is_live(now):
+        # `entry.is_live(now)` inlined: this is the hottest call in a
+        # replay and the method dispatch is measurable.
+        if entry is None or entry.expires_at <= now:
             return None
         if self.max_entries is not None:
             self._touch(key)
         return entry.rrset
 
-    def get_stale(self, name: Name, rrtype: RRType, now: float) -> RRset | None:
-        """The RRset even if expired (serve-stale comparator); None if unknown."""
+    def get_stale(
+        self,
+        name: Name,
+        rrtype: RRType,
+        now: float,
+        max_stale: float | None = None,
+    ) -> RRset | None:
+        """The RRset even if expired (serve-stale comparator); None if unknown.
+
+        ``max_stale`` bounds how long past expiry an entry may still be
+        served: entries that lapsed more than ``max_stale`` seconds before
+        ``now`` are treated as unknown.  None (the default) serves
+        arbitrarily stale data, the unbounded comparator from related
+        work.
+        """
         entry = self._entries.get((name, rrtype))
         if entry is None:
+            return None
+        if max_stale is not None and now - entry.expires_at > max_stale:
             return None
         return entry.rrset
 
@@ -219,7 +337,11 @@ class DnsCache:
 
     def remove(self, name: Name, rrtype: RRType) -> bool:
         """Drop an entry outright (used by delegation-change handling)."""
-        return self._entries.pop((name, rrtype), None) is not None
+        key = (name, rrtype)
+        if self._entries.pop(key, None) is None:
+            return False
+        self._count_out(key)
+        return True
 
     # -- negative entries ------------------------------------------------------
 
@@ -251,12 +373,14 @@ class DnsCache:
         falls back to root hints).  ``allow_stale`` admits lapsed NS sets,
         for the serve-stale comparator.
         """
+        entries = self._entries
+        ns = RRType.NS
         for ancestor in qname.ancestors():
             if ancestor.is_root:
                 return None
             if ancestor in exclude:
                 continue
-            entry = self._entries.get((ancestor, RRType.NS))
+            entry = entries.get((ancestor, ns))
             if entry is None:
                 continue
             if entry.is_live(now) or allow_stale:
@@ -266,11 +390,15 @@ class DnsCache:
     # -- occupancy -----------------------------------------------------------------
 
     def live_entry_count(self, now: float) -> int:
-        """Number of live RRset entries."""
+        """Number of live RRset entries (O(expired) amortised, not O(n))."""
+        if self._sync_counts(now):
+            return self._live_entries
         return sum(1 for entry in self._entries.values() if entry.is_live(now))
 
     def live_record_count(self, now: float) -> int:
         """Number of live individual records (Figure 12's currency)."""
+        if self._sync_counts(now):
+            return self._live_records
         return sum(
             len(entry.rrset)
             for entry in self._entries.values()
@@ -279,6 +407,8 @@ class DnsCache:
 
     def live_zone_count(self, now: float) -> int:
         """Zones whose NS set is currently live (Figure 12's zone series)."""
+        if self._sync_counts(now):
+            return self._live_zones
         return sum(
             1
             for (name, rrtype), entry in self._entries.items()
@@ -302,4 +432,5 @@ class DnsCache:
         ]
         for key in doomed:
             del self._entries[key]
+            self._count_out(key)
         return len(doomed)

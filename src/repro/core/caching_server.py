@@ -225,7 +225,10 @@ class CachingServer:
                     Question(qname, question.rrtype), now, depth, stack, stale=True
                 )
                 if verdict is _FAILURE:
-                    stale = self.cache.get_stale(qname, question.rrtype, now)
+                    stale = self.cache.get_stale(
+                        qname, question.rrtype, now,
+                        max_stale=self.config.serve_stale_max_age,
+                    )
                     if stale is not None:
                         return Resolution(ResolutionOutcome.STALE_HIT, stale)
             if verdict is _FAILURE:
@@ -456,7 +459,10 @@ class CachingServer:
         if cached is not None:
             return str(cached.records[0].data)
         if stale:
-            stale_set = self.cache.get_stale(server_name, RRType.A, now)
+            stale_set = self.cache.get_stale(
+                server_name, RRType.A, now,
+                max_stale=self.config.serve_stale_max_age,
+            )
             if stale_set is not None:
                 return str(stale_set.records[0].data)
         if server_name in stack or depth >= self.config.max_fetch_depth:

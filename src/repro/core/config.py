@@ -55,6 +55,11 @@ class ResilienceConfig:
     """Ballani-style comparator: keep expired records and fall back to
     them when authoritative servers are unreachable (related work §7)."""
 
+    serve_stale_max_age: Optional[float] = None
+    """Bound (seconds past expiry) on how stale a record may still be
+    served under ``serve_stale``; None serves arbitrarily stale data,
+    the related-work comparator's assumption."""
+
     dnssec_validation: bool = False
     """Validate lookups against the (simulated) DNSSEC chain: every
     signed zone on the query's chain must have a live cached DNSKEY, or
@@ -189,9 +194,25 @@ class ResilienceConfig:
         return " + ".join(parts)
 
 
+@dataclass(frozen=True)
+class _PolicyFactory:
+    """A picklable renewal-policy factory.
+
+    Configs cross process boundaries in the parallel replay runner, so
+    the factory must be a plain data object rather than a closure.
+    """
+
+    policy: str
+    credit: float
+    max_credit: Optional[float] = None
+
+    def __call__(self) -> RenewalPolicy:
+        return make_policy(self.policy, self.credit, self.max_credit)
+
+
 def _policy_factory(
     policy: str, credit: float, max_credit: float | None
 ) -> PolicyFactory:
     # Validate eagerly so a bad name fails at config time, not mid-replay.
     make_policy(policy, credit, max_credit)
-    return lambda: make_policy(policy, credit, max_credit)
+    return _PolicyFactory(policy, credit, max_credit)

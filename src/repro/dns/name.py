@@ -11,8 +11,6 @@ simulator's hot paths can compare and hash them cheaply.
 
 from __future__ import annotations
 
-from typing import Iterator
-
 from repro.dns.errors import NameParseError
 
 MAX_LABEL_LENGTH = 63
@@ -33,7 +31,7 @@ class Name:
     the raw constructor assumes already-validated lowercase labels.
     """
 
-    __slots__ = ("labels", "_hash")
+    __slots__ = ("labels", "_hash", "_ancestors", "_wire_length")
 
     labels: tuple[str, ...]
 
@@ -44,6 +42,10 @@ class Name:
         self = super().__new__(cls)
         object.__setattr__(self, "labels", labels)
         object.__setattr__(self, "_hash", hash(labels))
+        object.__setattr__(self, "_ancestors", None)
+        object.__setattr__(
+            self, "_wire_length", sum(len(label) + 1 for label in labels) + 1
+        )
         _INTERN[labels] = self
         return self
 
@@ -115,18 +117,22 @@ class Name:
             return False
         return n_other == 0 or self.labels[-n_other:] == other.labels
 
-    def ancestors(self) -> Iterator["Name"]:
-        """Yield every ancestor from this name itself up to the root.
+    def ancestors(self) -> tuple["Name", ...]:
+        """Every ancestor from this name itself up to the root, as a tuple.
 
-        ``Name.from_text("www.ucla.edu").ancestors()`` yields
-        ``www.ucla.edu``, ``ucla.edu``, ``edu``, ``.`` in that order.
+        ``Name.from_text("www.ucla.edu").ancestors()`` returns
+        ``(www.ucla.edu, ucla.edu, edu, .)`` in that order.  The chain is
+        computed once per interned name and reused — resolver hot paths
+        (``best_zone_for``, DNSSEC chain walks) call this per query.
         """
-        current = self
-        while True:
-            yield current
-            if current.is_root:
-                return
-            current = current.parent()
+        chain = self._ancestors
+        if chain is None:
+            labels = self.labels
+            chain = tuple(
+                Name(labels[index:]) for index in range(len(labels) + 1)
+            )
+            object.__setattr__(self, "_ancestors", chain)
+        return chain
 
     def common_ancestor(self, other: "Name") -> "Name":
         """The deepest name that is an ancestor of both names."""
@@ -143,9 +149,13 @@ class Name:
         return len(self.labels)
 
     def wire_length(self) -> int:
-        """Length of the RFC 1035 wire encoding in octets."""
-        # Each label costs len+1 (length octet), plus the terminating zero.
-        return sum(len(label) + 1 for label in self.labels) + 1
+        """Length of the RFC 1035 wire encoding in octets.
+
+        Each label costs len+1 (length octet), plus the terminating zero;
+        precomputed at intern time since message sizing sums this for
+        every record of every response.
+        """
+        return self._wire_length
 
     # -- value semantics -------------------------------------------------
 

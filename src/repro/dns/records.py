@@ -84,6 +84,7 @@ class RRset:
     ttl: float
     records: tuple[ResourceRecord, ...]
     _data_key: tuple = field(init=False, repr=False, compare=False, hash=False)
+    _key: tuple = field(init=False, repr=False, compare=False, hash=False)
 
     def __post_init__(self) -> None:
         if not self.records:
@@ -94,10 +95,12 @@ class RRset:
                     f"record {record} does not belong in RRset "
                     f"({self.name}, {self.rrtype.name})"
                 )
-        # Precomputed so the cache's hot same-data comparison is O(1)-ish.
+        # Precomputed so the cache's hot same-data comparison is O(1)-ish
+        # and ``key()`` allocates no tuple on the put path.
         object.__setattr__(
             self, "_data_key", tuple(record.data for record in self.records)
         )
+        object.__setattr__(self, "_key", (self.name, self.rrtype))
 
     @classmethod
     def from_records(cls, records: Iterable[ResourceRecord]) -> "RRset":
@@ -137,8 +140,8 @@ class RRset:
         )
 
     def key(self) -> tuple[Name, RRType]:
-        """The (owner name, type) cache key."""
-        return (self.name, self.rrtype)
+        """The (owner name, type) cache key (precomputed)."""
+        return self._key
 
     def __iter__(self) -> Iterator[ResourceRecord]:
         return iter(self.records)

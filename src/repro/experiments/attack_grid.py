@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 
 from repro.analysis.report import render_failure_block
 from repro.core.config import ResilienceConfig
-from repro.experiments.harness import AttackSpec, run_replay
+from repro.experiments.harness import AttackSpec
+from repro.experiments.parallel import ReplaySpec, run_replays
 from repro.experiments.scenarios import Scenario
 
 HOUR = 3600.0
@@ -74,6 +75,10 @@ class FailureGrid:
         return f"{top}\n\n{bottom}"
 
 
+def _week_trace_names(scenario: Scenario, limit: int | None) -> tuple[str, ...]:
+    return Scenario.WEEK_TRACES[: limit or scenario.parameters.week_trace_count]
+
+
 def run_duration_grid(
     scenario: Scenario,
     config: ResilienceConfig,
@@ -81,23 +86,35 @@ def run_duration_grid(
     durations_hours: tuple[int, ...] = DURATIONS_HOURS,
     trace_limit: int | None = None,
     seed: int = 0,
+    workers: int | None = None,
 ) -> FailureGrid:
-    """Figures 4 and 5: one scheme, attack durations as columns."""
+    """Figures 4 and 5: one scheme, attack durations as columns.
+
+    The (trace × duration) cells are independent replays and go through
+    the batch runner; ``workers`` (default ``$REPRO_WORKERS``) fans them
+    out over processes.
+    """
     columns = tuple(f"{hours} h" for hours in durations_hours)
     grid = FailureGrid(title=title, columns=columns)
-    for trace in scenario.week_traces(trace_limit):
-        for hours, column in zip(durations_hours, columns):
-            attack = AttackSpec(
-                start=scenario.attack_start, duration=hours * HOUR
-            )
-            result = run_replay(scenario.built, trace, config, attack=attack,
+    cells = [
+        (trace_name, column,
+         AttackSpec(start=scenario.attack_start, duration=hours * HOUR))
+        for trace_name in _week_trace_names(scenario, trace_limit)
+        for hours, column in zip(durations_hours, columns)
+    ]
+    specs = [
+        ReplaySpec.for_scenario(scenario, trace_name, config, attack=attack,
                                 seed=seed)
-            grid.record(
-                trace.name,
-                column,
-                result.sr_attack_failure_rate,
-                result.cs_attack_failure_rate,
-            )
+        for trace_name, _, attack in cells
+    ]
+    for (trace_name, column, _), summary in zip(cells,
+                                                run_replays(specs, workers)):
+        grid.record(
+            trace_name,
+            column,
+            summary.sr_attack_failure_rate,
+            summary.cs_attack_failure_rate,
+        )
     return grid
 
 
@@ -108,21 +125,30 @@ def run_scheme_grid(
     attack_hours: float = 6.0,
     trace_limit: int | None = None,
     seed: int = 0,
+    workers: int | None = None,
 ) -> FailureGrid:
     """Figures 6-11: fixed 6-hour attack, scheme variants as columns."""
     columns = tuple(label for label, _ in schemes)
     grid = FailureGrid(title=title, columns=columns)
     attack = AttackSpec(start=scenario.attack_start, duration=attack_hours * HOUR)
-    for trace in scenario.week_traces(trace_limit):
-        for label, config in schemes:
-            result = run_replay(scenario.built, trace, config, attack=attack,
+    cells = [
+        (trace_name, label, config)
+        for trace_name in _week_trace_names(scenario, trace_limit)
+        for label, config in schemes
+    ]
+    specs = [
+        ReplaySpec.for_scenario(scenario, trace_name, config, attack=attack,
                                 seed=seed)
-            grid.record(
-                trace.name,
-                label,
-                result.sr_attack_failure_rate,
-                result.cs_attack_failure_rate,
-            )
+        for trace_name, _, config in cells
+    ]
+    for (trace_name, label, _), summary in zip(cells,
+                                               run_replays(specs, workers)):
+        grid.record(
+            trace_name,
+            label,
+            summary.sr_attack_failure_rate,
+            summary.cs_attack_failure_rate,
+        )
     return grid
 
 

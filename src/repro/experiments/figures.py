@@ -22,7 +22,7 @@ from repro.experiments.attack_grid import (
     run_scheme_grid,
     vanilla_column,
 )
-from repro.experiments.harness import run_replay
+from repro.experiments.parallel import ReplaySpec, run_replays
 from repro.experiments.scenarios import Scenario
 from repro.workload.stats import TraceStatistics, compute_statistics
 
@@ -56,24 +56,25 @@ class Table1Result:
 
 
 def table1(scenario: Scenario, include_month: bool = True,
-           measure_requests_out: bool = True) -> Table1Result:
+           measure_requests_out: bool = True,
+           workers: int | None = None) -> Table1Result:
     """Table 1: per-trace statistics; requests-out measured by vanilla replay."""
     names = list(Scenario.WEEK_TRACES)
     if include_month:
         names.append(Scenario.MONTH_TRACE)
-    rows = []
-    for name in names:
-        trace = scenario.trace(name)
-        requests_out = None
-        if measure_requests_out:
-            result = run_replay(
-                scenario.built, trace, ResilienceConfig.vanilla()
-            )
-            requests_out = result.metrics.total_outgoing
-        rows.append(
-            compute_statistics(trace, tree=scenario.built.tree,
-                               requests_out=requests_out)
-        )
+    requests_out: dict[str, int | None] = {name: None for name in names}
+    if measure_requests_out:
+        specs = [
+            ReplaySpec.for_scenario(scenario, name, ResilienceConfig.vanilla())
+            for name in names
+        ]
+        for name, summary in zip(names, run_replays(specs, workers)):
+            requests_out[name] = summary.total_outgoing
+    rows = [
+        compute_statistics(scenario.trace(name), tree=scenario.built.tree,
+                           requests_out=requests_out[name])
+        for name in names
+    ]
     return Table1Result(rows=rows)
 
 
@@ -110,16 +111,21 @@ class Figure3Result:
         return f"{days}\n\n{fractions}\n\n{summary}"
 
 
-def figure3(scenario: Scenario, trace_limit: int | None = None) -> Figure3Result:
+def figure3(scenario: Scenario, trace_limit: int | None = None,
+            workers: int | None = None) -> Figure3Result:
     """Figure 3: expiry-to-next-query gap CDFs from vanilla replays."""
     day_samples: list[float] = []
     fraction_samples: list[float] = []
-    for trace in scenario.week_traces(trace_limit):
-        result = run_replay(
-            scenario.built, trace, ResilienceConfig.vanilla(), track_gaps=True
-        )
-        assert result.gap_tracker is not None
-        for sample in result.gap_tracker.samples:
+    names = Scenario.WEEK_TRACES[
+        : trace_limit or scenario.parameters.week_trace_count
+    ]
+    specs = [
+        ReplaySpec.for_scenario(scenario, name, ResilienceConfig.vanilla(),
+                                track_gaps=True)
+        for name in names
+    ]
+    for summary in run_replays(specs, workers):
+        for sample in summary.gap_samples:
             day_samples.append(sample.gap_days)
             fraction_samples.append(sample.gap_as_ttl_fraction)
     cdf_days = Cdf.from_samples(day_samples)
@@ -286,24 +292,36 @@ def table2(
     schemes: tuple[tuple[str, ResilienceConfig], ...] = TABLE2_SCHEMES,
     trace_limit: int | None = 3,
     seed: int = 0,
+    workers: int | None = None,
 ) -> Table2Result:
-    """Table 2: outgoing-message overhead of every scheme vs vanilla."""
+    """Table 2: outgoing-message overhead of every scheme vs vanilla.
+
+    The (trace × scheme) replays — baseline included — form one batch;
+    summaries stand in for metrics in the overhead tables.
+    """
     per_trace: dict[str, MessageOverheadTable] = {}
     sums: dict[str, float] = {label: 0.0 for label, _ in schemes}
     byte_sums: dict[str, float] = {label: 0.0 for label, _ in schemes}
-    traces = scenario.week_traces(trace_limit)
-    for trace in traces:
-        baseline = run_replay(
-            scenario.built, trace, ResilienceConfig.vanilla(), seed=seed
-        )
-        table = MessageOverheadTable(baseline=baseline.metrics)
-        for label, config in schemes:
-            result = run_replay(scenario.built, trace, config, seed=seed)
-            sums[label] += table.add_scheme(label, result.metrics)
-            byte_sums[label] += result.metrics.byte_overhead_vs(baseline.metrics)
-        per_trace[trace.name] = table
-    mean = {label: total / len(traces) for label, total in sums.items()}
-    byte_mean = {label: total / len(traces) for label, total in byte_sums.items()}
+    names = Scenario.WEEK_TRACES[
+        : trace_limit or scenario.parameters.week_trace_count
+    ]
+    columns = (("__baseline__", ResilienceConfig.vanilla()), *schemes)
+    specs = [
+        ReplaySpec.for_scenario(scenario, name, config, seed=seed)
+        for name in names
+        for _, config in columns
+    ]
+    summaries = iter(run_replays(specs, workers))
+    for name in names:
+        baseline = next(summaries)
+        table = MessageOverheadTable(baseline=baseline)
+        for label, _ in schemes:
+            summary = next(summaries)
+            sums[label] += table.add_scheme(label, summary)
+            byte_sums[label] += summary.byte_overhead_vs(baseline)
+        per_trace[name] = table
+    mean = {label: total / len(names) for label, total in sums.items()}
+    byte_mean = {label: total / len(names) for label, total in byte_sums.items()}
     return Table2Result(per_trace=per_trace, mean_overhead=mean,
                         mean_byte_overhead=byte_mean)
 
@@ -357,17 +375,20 @@ def figure12(
     schemes: tuple[tuple[str, ResilienceConfig], ...] = FIGURE12_SCHEMES,
     sample_interval: float = 6 * 3600.0,
     seed: int = 0,
+    workers: int | None = None,
 ) -> Figure12Result:
     """Figure 12: cached zones/records over time for each scheme (TRC6)."""
-    trace = scenario.trace(Scenario.MONTH_TRACE)
-    series: dict[str, MemoryOverheadSeries] = {}
-    for label, config in schemes:
-        result = run_replay(
-            scenario.built, trace, config,
+    specs = [
+        ReplaySpec.for_scenario(
+            scenario, Scenario.MONTH_TRACE, config,
             memory_sample_interval=sample_interval, seed=seed,
         )
+        for _, config in schemes
+    ]
+    series: dict[str, MemoryOverheadSeries] = {}
+    for (label, _), summary in zip(schemes, run_replays(specs, workers)):
         series[label] = MemoryOverheadSeries(
-            label=label, samples=result.metrics.memory_samples
+            label=label, samples=list(summary.memory_samples)
         )
     outcome = Figure12Result(series=series)
     baseline = series.get("DNS")

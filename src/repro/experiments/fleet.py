@@ -20,6 +20,7 @@ from repro.analysis.report import format_table
 from repro.core.caching_server import CachingServer
 from repro.core.config import ResilienceConfig
 from repro.experiments.harness import AttackSpec
+from repro.experiments.parallel import FleetSpec, FleetSummary, run_replays
 from repro.experiments.scenarios import Scenario
 from repro.hierarchy.builder import BuiltHierarchy
 from repro.simulation.engine import SimulationEngine
@@ -36,6 +37,42 @@ class FleetMemberResult:
     metrics: ReplayMetrics
     window: WindowCounters | None
     server: CachingServer
+
+    @property
+    def sr_queries(self) -> int:
+        return self.metrics.sr_queries
+
+
+def render_fleet_table(label: str, members, aggregate_rate: float) -> str:
+    """The fleet table shared by full results and picklable summaries.
+
+    ``members`` need ``trace_name``, ``sr_queries`` and ``window``.
+    """
+    body = []
+    for member in members:
+        window = member.window
+        body.append(
+            (
+                member.trace_name,
+                member.sr_queries,
+                f"{window.sr_failure_rate * 100:.1f} %" if window else "-",
+                f"{window.cs_failure_rate * 100:.1f} %" if window else "-",
+            )
+        )
+    body.append(
+        (
+            "fleet",
+            sum(member.sr_queries for member in members),
+            f"{aggregate_rate * 100:.1f} %",
+            "-",
+        )
+    )
+    return format_table(
+        ("Organisation", "Lookups", "SR failures (attack)",
+         "CS failures (attack)"),
+        body,
+        title=f"Fleet replay — scheme: {label}",
+    )
 
 
 @dataclass
@@ -73,30 +110,8 @@ class FleetReplayResult:
         raise KeyError(trace_name)
 
     def render(self) -> str:
-        body = []
-        for member in self.members:
-            window = member.window
-            body.append(
-                (
-                    member.trace_name,
-                    member.metrics.sr_queries,
-                    f"{window.sr_failure_rate * 100:.1f} %" if window else "-",
-                    f"{window.cs_failure_rate * 100:.1f} %" if window else "-",
-                )
-            )
-        body.append(
-            (
-                "fleet",
-                sum(member.metrics.sr_queries for member in self.members),
-                f"{self.aggregate_sr_failure_rate() * 100:.1f} %",
-                "-",
-            )
-        )
-        return format_table(
-            ("Organisation", "Lookups", "SR failures (attack)",
-             "CS failures (attack)"),
-            body,
-            title=f"Fleet replay — scheme: {self.label}",
+        return render_fleet_table(
+            self.label, self.members, self.aggregate_sr_failure_rate()
         )
 
 
@@ -182,19 +197,30 @@ def fleet_attack_comparison(
     attack_hours: float = 6.0,
     trace_limit: int | None = None,
     seed: int = 0,
-) -> dict[str, FleetReplayResult]:
-    """The standard fleet experiment: all organisations, per scheme."""
+    workers: int | None = None,
+) -> dict[str, FleetSummary]:
+    """The standard fleet experiment: all organisations, per scheme.
+
+    Each scheme's fleet replay is one job on the batch runner (a fleet
+    shares an engine internally, so it cannot be split further); with
+    several workers the schemes run concurrently.
+    """
     schemes = schemes or [
         ResilienceConfig.vanilla(),
         ResilienceConfig.refresh(),
         ResilienceConfig.combination(),
     ]
-    traces = scenario.week_traces(trace_limit)
+    trace_names = Scenario.WEEK_TRACES[
+        : trace_limit or scenario.parameters.week_trace_count
+    ]
     attack = AttackSpec(start=scenario.attack_start,
                         duration=attack_hours * 3600.0)
-    return {
-        config.label: run_fleet_replay(
-            scenario.built, traces, config, attack=attack, seed=seed
-        )
+    specs = [
+        FleetSpec.for_scenario(scenario, trace_names, config, attack=attack,
+                               seed=seed)
         for config in schemes
+    ]
+    summaries = run_replays(specs, workers=workers)
+    return {
+        summary.label: summary for summary in summaries
     }

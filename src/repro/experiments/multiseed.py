@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
-from repro.experiments.harness import AttackSpec, run_replay
+from repro.experiments.harness import AttackSpec
+from repro.experiments.parallel import ReplaySpec, run_replays
 from repro.experiments.scenarios import Scenario
 
 HOUR = 3600.0
@@ -89,27 +90,36 @@ def multiseed_experiment(
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
     trace_name: str = "TRC1",
     attack_hours: float = 6.0,
+    workers: int | None = None,
 ) -> MultiSeedResult:
-    """Replay one trace per scheme across several resolver seeds."""
+    """Replay one trace per scheme across several resolver seeds.
+
+    The scheme × seed replays are independent and run through the batch
+    runner (``workers`` defaults to ``$REPRO_WORKERS``).
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    trace = scenario.trace(trace_name)
     attack = AttackSpec(start=scenario.attack_start,
                         duration=attack_hours * HOUR)
+    specs = [
+        ReplaySpec.for_scenario(scenario, trace_name, config, attack=attack,
+                                seed=seed)
+        for config in schemes
+        for seed in seeds
+    ]
+    summaries = iter(run_replays(specs, workers))
     rows = []
     for config in schemes:
-        sr_samples = []
-        cs_samples = []
-        for seed in seeds:
-            result = run_replay(scenario.built, trace, config, attack=attack,
-                                seed=seed)
-            sr_samples.append(result.sr_attack_failure_rate)
-            cs_samples.append(result.cs_attack_failure_rate)
+        per_seed = [next(summaries) for _ in seeds]
         rows.append(
             MultiSeedRow(
                 scheme=config.label,
-                sr=SeedStatistics.from_samples(sr_samples),
-                cs=SeedStatistics.from_samples(cs_samples),
+                sr=SeedStatistics.from_samples(
+                    [s.sr_attack_failure_rate for s in per_seed]
+                ),
+                cs=SeedStatistics.from_samples(
+                    [s.cs_attack_failure_rate for s in per_seed]
+                ),
             )
         )
     return MultiSeedResult(seeds=tuple(seeds), rows=rows)

@@ -1,0 +1,452 @@
+"""Parallel trace replay: fan independent replays over worker processes.
+
+Every figure/table is a sweep of independent :func:`~repro.experiments.
+harness.run_replay` calls (schemes × traces × attack durations × seeds).
+:func:`run_replays` is the batch API those sweeps go through: it takes
+declarative :class:`ReplaySpec` / :class:`FleetSpec` descriptions and
+executes them either in-process (``workers=1``, the default) or across a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Three design rules keep this correct and cheap:
+
+* **Specs, not objects, cross the boundary.**  A spec carries only
+  ``(scale, scenario seed, trace name, config, attack, seed)``; each
+  worker rebuilds the scenario through the memoised
+  :func:`~repro.experiments.scenarios.make_scenario`, so the multi-MB
+  ``BuiltHierarchy`` is never pickled (and under the default ``fork``
+  start method it is shared copy-on-write with the parent).
+* **Summaries, not servers, come back.**  A replay's
+  :class:`CachingServer`/engine graph is full of closures and timers;
+  workers reduce it to a picklable :class:`ReplaySummary` holding the
+  numbers the figures need (failure rates, window counters, traffic,
+  gap and memory samples).
+* **Determinism is untouched.**  A replay's outcome depends only on its
+  spec; the serial and parallel paths run the identical code, so a sweep
+  produces bitwise-identical numbers at any worker count (covered by
+  tests/experiments/test_parallel.py).
+
+``REPRO_WORKERS`` selects the default worker count; ``workers=1`` (or an
+unset variable) preserves the original fully-serial behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.gaps import GapSample
+from repro.core.config import ResilienceConfig
+from repro.experiments.harness import AttackSpec, ReplayResult, run_replay
+from repro.experiments.scenarios import Scale, Scenario, make_scenario
+from repro.simulation.metrics import MemorySample, WindowCounters
+
+#: Environment variable selecting the default worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+class ReplayExecutionError(RuntimeError):
+    """A worker process died or exceeded the per-replay timeout."""
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """A declarative, picklable description of one replay.
+
+    Identifies the scenario by ``(scale, scenario_seed)`` — the
+    lightweight key :func:`make_scenario` memoises on — instead of
+    carrying the built hierarchy.
+    """
+
+    scale: Scale
+    scenario_seed: int
+    trace_name: str
+    config: ResilienceConfig
+    attack: AttackSpec | None = None
+    seed: int = 0
+    track_gaps: bool = False
+    memory_sample_interval: float | None = None
+
+    @classmethod
+    def for_scenario(
+        cls, scenario: Scenario, trace_name: str, config: ResilienceConfig,
+        **kwargs,
+    ) -> "ReplaySpec":
+        """A spec that replays ``trace_name`` of an existing scenario."""
+        return cls(
+            scale=scenario.scale,
+            scenario_seed=scenario.seed,
+            trace_name=trace_name,
+            config=config,
+            **kwargs,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.trace_name}/{self.config.label}"
+            f" (scale={self.scale.value}, seed={self.seed})"
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet replay (several traces over shared virtual time)."""
+
+    scale: Scale
+    scenario_seed: int
+    trace_names: tuple[str, ...]
+    config: ResilienceConfig
+    attack: AttackSpec | None = None
+    seed: int = 0
+
+    @classmethod
+    def for_scenario(
+        cls,
+        scenario: Scenario,
+        trace_names: Sequence[str],
+        config: ResilienceConfig,
+        **kwargs,
+    ) -> "FleetSpec":
+        return cls(
+            scale=scenario.scale,
+            scenario_seed=scenario.seed,
+            trace_names=tuple(trace_names),
+            config=config,
+            **kwargs,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"fleet[{','.join(self.trace_names)}]/{self.config.label}"
+            f" (scale={self.scale.value}, seed={self.seed})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplaySummary:
+    """The picklable extract of one :class:`ReplayResult`.
+
+    Carries every number the figures/tables consume; mirrors the metric
+    accessors of :class:`~repro.simulation.metrics.ReplayMetrics` so the
+    overhead tables can treat summaries and metrics interchangeably.
+    """
+
+    label: str
+    trace_name: str
+
+    sr_queries: int
+    sr_failures: int
+    sr_cache_hits: int
+    sr_nxdomain: int
+    sr_validation_failures: int
+
+    cs_demand_queries: int
+    cs_demand_failures: int
+    cs_renewal_queries: int
+    cs_renewal_failures: int
+
+    total_latency: float
+    bytes_out: int
+    bytes_in: int
+
+    window: WindowCounters | None = None
+    gap_samples: tuple[GapSample, ...] = ()
+    memory_samples: tuple[MemorySample, ...] = ()
+
+    # -- failure rates ------------------------------------------------------
+
+    @property
+    def sr_attack_failure_rate(self) -> float:
+        """SR failure fraction during the attack (0 without an attack)."""
+        if self.window is None:
+            return 0.0
+        return self.window.sr_failure_rate
+
+    @property
+    def cs_attack_failure_rate(self) -> float:
+        """CS failure fraction during the attack (0 without an attack)."""
+        if self.window is None:
+            return 0.0
+        return self.window.cs_failure_rate
+
+    @property
+    def sr_failure_rate(self) -> float:
+        if self.sr_queries == 0:
+            return 0.0
+        return self.sr_failures / self.sr_queries
+
+    @property
+    def cs_failure_rate(self) -> float:
+        if self.cs_demand_queries == 0:
+            return 0.0
+        return self.cs_demand_failures / self.cs_demand_queries
+
+    # -- traffic ------------------------------------------------------------
+
+    @property
+    def total_outgoing(self) -> int:
+        """All CS -> AN messages (demand + renewal): Table 2's currency."""
+        return self.cs_demand_queries + self.cs_renewal_queries
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_out + self.bytes_in
+
+    @property
+    def mean_latency(self) -> float:
+        if self.sr_queries == 0:
+            return 0.0
+        return self.total_latency / self.sr_queries
+
+    def message_overhead_vs(self, baseline) -> float:
+        """Relative change in outgoing messages vs ``baseline`` (summary
+        or :class:`ReplayMetrics` — anything with ``total_outgoing``)."""
+        if baseline.total_outgoing == 0:
+            raise ValueError("baseline replay sent no messages")
+        return (
+            (self.total_outgoing - baseline.total_outgoing)
+            / baseline.total_outgoing
+        )
+
+    def byte_overhead_vs(self, baseline) -> float:
+        """Relative change in total traffic bytes vs ``baseline``."""
+        if baseline.total_bytes == 0:
+            raise ValueError("baseline replay moved no bytes")
+        return (self.total_bytes - baseline.total_bytes) / baseline.total_bytes
+
+
+@dataclass(frozen=True)
+class FleetMemberSummary:
+    """One organisation's slice of a fleet replay."""
+
+    trace_name: str
+    sr_queries: int
+    window: WindowCounters | None = None
+
+
+@dataclass
+class FleetSummary:
+    """Picklable fleet outcome: per-member windows plus aggregates."""
+
+    label: str
+    members: list[FleetMemberSummary] = field(default_factory=list)
+
+    def aggregate_sr_failure_rate(self) -> float:
+        """Fleet-wide SR failure fraction inside the attack window."""
+        queries = sum(
+            member.window.sr_queries for member in self.members
+            if member.window is not None
+        )
+        failures = sum(
+            member.window.sr_failures for member in self.members
+            if member.window is not None
+        )
+        if queries == 0:
+            return 0.0
+        return failures / queries
+
+    def total_failed_lookups(self) -> int:
+        """The §6 damage currency: failed lookups across the fleet."""
+        return sum(
+            member.window.sr_failures for member in self.members
+            if member.window is not None
+        )
+
+    def member(self, trace_name: str) -> FleetMemberSummary:
+        for entry in self.members:
+            if entry.trace_name == trace_name:
+                return entry
+        raise KeyError(trace_name)
+
+    def render(self) -> str:
+        from repro.experiments.fleet import render_fleet_table
+
+        return render_fleet_table(self.label, self.members,
+                                  self.aggregate_sr_failure_rate())
+
+
+def summarize_replay(result: ReplayResult) -> ReplaySummary:
+    """Reduce a full replay result to its picklable summary."""
+    metrics = result.metrics
+    return ReplaySummary(
+        label=result.label,
+        trace_name=result.trace_name,
+        sr_queries=metrics.sr_queries,
+        sr_failures=metrics.sr_failures,
+        sr_cache_hits=metrics.sr_cache_hits,
+        sr_nxdomain=metrics.sr_nxdomain,
+        sr_validation_failures=metrics.sr_validation_failures,
+        cs_demand_queries=metrics.cs_demand_queries,
+        cs_demand_failures=metrics.cs_demand_failures,
+        cs_renewal_queries=metrics.cs_renewal_queries,
+        cs_renewal_failures=metrics.cs_renewal_failures,
+        total_latency=metrics.total_latency,
+        bytes_out=metrics.bytes_out,
+        bytes_in=metrics.bytes_in,
+        window=result.window,
+        gap_samples=(
+            tuple(result.gap_tracker.samples)
+            if result.gap_tracker is not None else ()
+        ),
+        memory_samples=tuple(metrics.memory_samples),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def default_worker_count() -> int:
+    """The worker count named by $REPRO_WORKERS (default 1 = serial).
+
+    Raises:
+        ValueError: when the variable is set but not a positive integer.
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR}={raw!r} is not an integer"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {value}")
+    return value
+
+
+def _warm_worker(scenario_keys: tuple[tuple[Scale, int], ...]) -> None:
+    """Worker initializer: pre-build (and memoise) the swept scenarios.
+
+    ``make_scenario`` is process-memoised, so after this runs every task
+    the worker receives finds its hierarchy and traces already built.
+    """
+    for scale, seed in scenario_keys:
+        make_scenario(scale, seed)
+
+
+def _execute_spec(spec: ReplaySpec | FleetSpec):
+    """Run one spec in this process and summarise the outcome."""
+    if isinstance(spec, FleetSpec):
+        # Imported lazily: fleet.py builds on this module's batch API.
+        from repro.experiments.fleet import run_fleet_replay
+
+        scenario = make_scenario(spec.scale, spec.scenario_seed)
+        traces = [scenario.trace(name) for name in spec.trace_names]
+        result = run_fleet_replay(
+            scenario.built, traces, spec.config, attack=spec.attack,
+            seed=spec.seed,
+        )
+        return FleetSummary(
+            label=result.label,
+            members=[
+                FleetMemberSummary(
+                    trace_name=member.trace_name,
+                    sr_queries=member.metrics.sr_queries,
+                    window=member.window,
+                )
+                for member in result.members
+            ],
+        )
+    scenario = make_scenario(spec.scale, spec.scenario_seed)
+    trace = scenario.trace(spec.trace_name)
+    result = run_replay(
+        scenario.built,
+        trace,
+        spec.config,
+        attack=spec.attack,
+        track_gaps=spec.track_gaps,
+        memory_sample_interval=spec.memory_sample_interval,
+        seed=spec.seed,
+    )
+    return summarize_replay(result)
+
+
+def run_replays(
+    specs: Iterable[ReplaySpec | FleetSpec],
+    workers: int | None = None,
+    timeout: float | None = None,
+) -> list:
+    """Execute every spec; results come back in spec order.
+
+    Args:
+        specs: replay / fleet specs; independent of each other.
+        workers: process count.  None reads ``$REPRO_WORKERS`` (default
+            1); 1 runs everything in-process with no executor involved.
+        timeout: optional per-replay wall-clock limit in seconds
+            (parallel mode only).
+
+    Raises:
+        ReplayExecutionError: when a worker process dies (e.g. OOM-kill)
+            or a replay exceeds ``timeout``.  Worker exceptions from the
+            replay itself propagate unchanged.
+    """
+    spec_list = list(specs)
+    if workers is None:
+        workers = default_worker_count()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(spec_list) <= 1:
+        return [_execute_spec(spec) for spec in spec_list]
+
+    scenario_keys = tuple(dict.fromkeys(
+        (spec.scale, spec.scenario_seed) for spec in spec_list
+    ))
+    pool = ProcessPoolExecutor(
+        max_workers=min(workers, len(spec_list)),
+        initializer=_warm_worker,
+        initargs=(scenario_keys,),
+    )
+    try:
+        futures: list[Future] = [
+            pool.submit(_execute_spec, spec) for spec in spec_list
+        ]
+        results = []
+        for spec, future in zip(spec_list, futures):
+            try:
+                results.append(future.result(timeout=timeout))
+            except FuturesTimeoutError:
+                _abort_pool(pool, futures)
+                raise ReplayExecutionError(
+                    f"replay {spec.describe()} exceeded the {timeout:g} s "
+                    f"timeout"
+                ) from None
+            except BrokenExecutor as error:
+                raise ReplayExecutionError(
+                    f"a worker process died while running "
+                    f"{spec.describe()} (killed or out of memory); "
+                    f"rerun with workers=1 to reproduce in-process"
+                ) from error
+        return results
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _abort_pool(pool: ProcessPoolExecutor, futures: list[Future]) -> None:
+    """Stop a pool hard after a timeout: cancel queued work, kill workers."""
+    for future in futures:
+        future.cancel()
+    # Terminate worker processes so a hung replay cannot block interpreter
+    # shutdown; ProcessPoolExecutor exposes no public kill, and the
+    # private map is absent once the pool is already broken.
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()

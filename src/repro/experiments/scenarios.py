@@ -43,7 +43,7 @@ class Scale(enum.Enum):
     """Table-1-sized traces (millions of queries); hours in pure Python."""
 
     @classmethod
-    def from_env(cls, default: "Scale" = None) -> "Scale":
+    def from_env(cls, default: "Scale | None" = None) -> "Scale":
         """The scale named by $REPRO_SCALE, else ``default`` (SMALL)."""
         fallback = default or cls.SMALL
         raw = os.environ.get(SCALE_ENV_VAR)

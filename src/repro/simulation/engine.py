@@ -48,12 +48,18 @@ class SimulationEngine:
         """
         if time < self.now:
             raise ValueError(f"cannot advance backwards: {time} < {self.now}")
+        queue = self._queue
+        if queue.is_empty():
+            # Fast path: no timers at all (vanilla replays schedule none),
+            # so the advance is just a clock assignment.
+            self.now = time
+            return 0
         fired = 0
         while True:
-            next_time = self._queue.peek_time()
+            next_time = queue.peek_time()
             if next_time is None or next_time > time:
                 break
-            handle = self._queue.pop()
+            handle = queue.pop()
             assert handle is not None
             self.now = handle.time
             handle.action(handle.time)

@@ -51,6 +51,15 @@ class EventQueue:
         heapq.heappush(self._heap, handle)
         return handle
 
+    def is_empty(self) -> bool:
+        """True when no entries remain, cancelled or not — O(1).
+
+        A queue holding only cancelled tombstones reports non-empty; the
+        caller's pop/peek loop discards those.  This is the fast-path
+        check ``SimulationEngine.advance_to`` runs once per trace query.
+        """
+        return not self._heap
+
     def peek_time(self) -> float | None:
         """The time of the next live event, or None when empty."""
         self._discard_cancelled()

@@ -236,3 +236,163 @@ class TestCacheProperties:
         owner = Name.from_text("www.x.test")
         assert cache.get(owner, RRType.A, ttl * 0.999) is not None
         assert cache.get(owner, RRType.A, ttl) is None
+
+
+class TestServeStaleBound:
+    """get_stale's optional max_stale bound (bounded serve-stale)."""
+
+    def setup_method(self):
+        self.cache = DnsCache()
+        self.cache.put(a_set(ttl=300), Rank.AUTH_ANSWER, now=0.0)
+        self.owner = Name.from_text("www.x.test")
+
+    def test_unbounded_by_default(self):
+        assert self.cache.get_stale(self.owner, RRType.A, 1e9) is not None
+
+    def test_within_bound_served(self):
+        # Expired at 300; 3000 s later is within a 3600 s bound.
+        assert self.cache.get_stale(
+            self.owner, RRType.A, 3300.0, max_stale=3600.0
+        ) is not None
+
+    def test_beyond_bound_refused(self):
+        assert self.cache.get_stale(
+            self.owner, RRType.A, 300.0 + 3600.1, max_stale=3600.0
+        ) is None
+
+    def test_live_entry_unaffected_by_bound(self):
+        assert self.cache.get_stale(
+            self.owner, RRType.A, 100.0, max_stale=0.0
+        ) is not None
+
+    def test_unknown_name_still_none(self):
+        assert self.cache.get_stale(
+            Name.from_text("nope.x.test"), RRType.A, 10.0, max_stale=60.0
+        ) is None
+
+
+def _scan_counts(cache: DnsCache, now: float) -> tuple[int, int, int]:
+    """Brute-force (entries, records, zones) oracle over the raw store."""
+    live = [
+        (key, entry)
+        for key, entry in cache._entries.items()
+        if entry.is_live(now)
+    ]
+    return (
+        len(live),
+        sum(len(entry.rrset) for _, entry in live),
+        sum(1 for (_, rrtype), _ in live if rrtype == RRType.NS),
+    )
+
+
+def _assert_counts_match(cache: DnsCache, now: float):
+    expected = _scan_counts(cache, now)
+    got = (
+        cache.live_entry_count(now),
+        cache.live_record_count(now),
+        cache.live_zone_count(now),
+    )
+    assert got == expected
+
+
+class TestIncrementalOccupancy:
+    """The O(1)-amortised counters must agree with an O(n) scan always."""
+
+    def test_expiry_decrements(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=10), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(ns_set(ttl=100), Rank.AUTH_AUTHORITY, now=0.0)
+        for now in (0.0, 5.0, 10.0, 50.0, 100.0, 200.0):
+            _assert_counts_match(cache, now)
+        assert cache.live_entry_count(200.0) == 0
+
+    def test_multi_record_sets_counted_fully(self):
+        cache = DnsCache()
+        rrset = RRset.from_records([
+            ResourceRecord(Name.from_text("lb.x.test"), RRType.A, 60.0,
+                           "10.0.0.1"),
+            ResourceRecord(Name.from_text("lb.x.test"), RRType.A, 60.0,
+                           "10.0.0.2"),
+        ])
+        cache.put(rrset, Rank.AUTH_ANSWER, now=0.0)
+        assert cache.live_record_count(1.0) == 2
+        _assert_counts_match(cache, 1.0)
+        _assert_counts_match(cache, 61.0)
+
+    def test_refresh_overwrite_does_not_double_count(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=300), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(a_set(ttl=300), Rank.AUTH_ANSWER, now=100.0, refresh=True)
+        assert cache.live_entry_count(150.0) == 1
+        _assert_counts_match(cache, 150.0)
+        # The refreshed expiry (400), not the stale heap entry (300), rules.
+        assert cache.live_entry_count(350.0) == 1
+        _assert_counts_match(cache, 350.0)
+        _assert_counts_match(cache, 400.0)
+        assert cache.live_entry_count(400.0) == 0
+
+    def test_remove_decrements(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=300), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(ns_set(ttl=300), Rank.AUTH_AUTHORITY, now=0.0)
+        cache.remove(Name.from_text("x.test"), RRType.NS)
+        _assert_counts_match(cache, 10.0)
+        assert cache.live_zone_count(10.0) == 0
+
+    def test_eviction_decrements(self):
+        cache = DnsCache(max_entries=2)
+        for index in range(5):
+            cache.put(a_set(owner=f"h{index}.x.test", ttl=300),
+                      Rank.AUTH_ANSWER, now=float(index))
+            _assert_counts_match(cache, float(index))
+        assert cache.live_entry_count(5.0) == 2
+
+    def test_purge_keeps_counts_consistent(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=10), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(ns_set(ttl=1000), Rank.AUTH_AUTHORITY, now=0.0)
+        cache.purge_expired(now=500.0)
+        _assert_counts_match(cache, 500.0)
+        assert cache.live_entry_count(500.0) == 1
+
+    def test_time_running_backwards_falls_back_to_scan(self):
+        cache = DnsCache()
+        cache.put(a_set(ttl=10), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(ns_set(ttl=100), Rank.AUTH_AUTHORITY, now=0.0)
+        assert cache.live_entry_count(50.0) == 1  # advances the horizon
+        # Asking about the past must still be exact (scan fallback).
+        assert cache.live_entry_count(5.0) == 2
+        assert cache.live_record_count(5.0) == 2
+        assert cache.live_zone_count(5.0) == 1
+        # And monotone queries keep working afterwards.
+        _assert_counts_match(cache, 60.0)
+        _assert_counts_match(cache, 120.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),   # owner index
+                st.floats(min_value=1, max_value=90, allow_nan=False),  # ttl
+                st.booleans(),                           # NS instead of A
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.lists(
+            st.floats(min_value=0, max_value=200, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_counts_always_match_scan(self, puts, probes):
+        cache = DnsCache()
+        for step, (owner, ttl, is_ns) in enumerate(puts):
+            now = step * 3.0
+            if is_ns:
+                cache.put(ns_set(zone=f"z{owner}.test", ttl=ttl),
+                          Rank.AUTH_AUTHORITY, now=now)
+            else:
+                cache.put(a_set(owner=f"h{owner}.x.test", ttl=ttl),
+                          Rank.AUTH_ANSWER, now=now)
+        for now in probes:  # deliberately unsorted: exercises the fallback
+            _assert_counts_match(cache, now)

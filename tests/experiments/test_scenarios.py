@@ -27,6 +27,22 @@ class TestScale:
         with pytest.raises(ValueError, match="galactic"):
             Scale.from_env()
 
+    def test_from_env_error_lists_valid_scales(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "galactic")
+        with pytest.raises(ValueError) as excinfo:
+            Scale.from_env()
+        message = str(excinfo.value)
+        assert SCALE_ENV_VAR in message
+        for scale in Scale:
+            assert scale.value in message
+
+    def test_from_env_ignores_explicit_default_when_set(self, monkeypatch):
+        # An invalid value must error even when a default is supplied:
+        # silently falling back would mask a typo'd REPRO_SCALE.
+        monkeypatch.setenv(SCALE_ENV_VAR, "galactic")
+        with pytest.raises(ValueError):
+            Scale.from_env(default=Scale.TINY)
+
 
 class TestScenario:
     def test_memoised_per_scale_and_seed(self):

@@ -88,3 +88,9 @@ class TestCommands:
     def test_latency(self, capsys):
         assert main(["latency", "--scale", "tiny"]) == 0
         assert "Response time" in capsys.readouterr().out
+
+    def test_bench_smoke(self, capsys):
+        assert main(["bench", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "bitwise-identical" in out
