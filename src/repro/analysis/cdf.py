@@ -36,7 +36,7 @@ class Cdf:
             raise ValueError("empty CDF has no percentiles")
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction {fraction} outside [0, 1]")
-        if fraction == 0.0:
+        if fraction <= 0.0:
             return self.sorted_values[0]
         rank = max(0, min(len(self.sorted_values) - 1,
                           int(round(fraction * len(self.sorted_values))) - 1))

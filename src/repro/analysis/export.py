@@ -10,10 +10,14 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.analysis.cdf import Cdf
 from repro.analysis.overhead import MemoryOverheadSeries
+
+if TYPE_CHECKING:  # imported for annotations only: avoids a cycle with
+    # repro.experiments, which imports this module for CSV export.
+    from repro.experiments.attack_grid import FailureGrid
 
 
 def write_csv(
@@ -37,13 +41,13 @@ def csv_text(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     return buffer.getvalue()
 
 
-def failure_grid_rows(grid) -> tuple[tuple[str, ...], list[tuple]]:
+def failure_grid_rows(grid: "FailureGrid") -> tuple[tuple[str, ...], list[tuple]]:
     """Flatten a :class:`~repro.experiments.attack_grid.FailureGrid`.
 
     One row per (trace, column): trace, column, sr_rate, cs_rate.
     """
     headers = ("trace", "column", "sr_failure_rate", "cs_failure_rate")
-    rows = []
+    rows: list[tuple] = []
     for trace_name, cells in grid.sr.items():
         for column in grid.columns:
             if column not in cells:

@@ -38,7 +38,7 @@ from repro.dns.name import Name
 def vanilla_cached_fraction(lam: float, ttl: float) -> float:
     """P(IRRs cached) without refresh: ``lam*ttl / (1 + lam*ttl)``."""
     _check(lam, ttl)
-    if lam == 0.0:
+    if lam <= 0.0:
         return 0.0
     return (lam * ttl) / (1.0 + lam * ttl)
 

@@ -17,6 +17,9 @@ Commands
 ``bench``
     Time a TINY sweep through the serial and parallel replay paths and
     print the speedup (smoke check for the batch runner).
+``check``
+    Run the determinism/static-analysis gate (custom AST lint rules
+    REP001...; ``--strict`` adds mypy/ruff when installed).
 
 Scheme syntax (for ``--scheme``): ``vanilla``, ``refresh``,
 ``serve-stale``, ``combination``, ``<policy>:<credit>`` (e.g.
@@ -28,7 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro import __version__
 from repro.analysis import export as csv_export
@@ -159,7 +162,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
               f"{sorted(_FIGURES)}", file=sys.stderr)
         return 2
     scenario = make_scenario(_resolve_scale(args), seed=args.seed)
-    kwargs = {}
+    kwargs: dict[str, Any] = {}
     if args.traces is not None and args.number != 12:
         kwargs["trace_limit"] = args.traces
     result = func(scenario, **kwargs)
@@ -170,7 +173,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _export_figure_csv(number: int, result, path: str) -> None:
+def _export_figure_csv(number: int, result: Any, path: str) -> None:
     if number == 3:
         headers, rows = csv_export.cdf_rows(
             result.cdf_days, figures.GAP_DAY_POINTS
@@ -262,15 +265,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"bench: {len(specs)} TINY replays "
           f"({total_queries:,} stub queries), {args.workers} workers")
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: ignore[REP001] — benchmarking
     serial = run_replays(specs, workers=1)
-    serial_seconds = time.perf_counter() - started
+    serial_seconds = time.perf_counter() - started  # repro: ignore[REP001]
     print(f"serial:   {serial_seconds:6.2f} s "
           f"({total_queries / serial_seconds:,.0f} queries/s)")
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: ignore[REP001] — benchmarking
     fanned = run_replays(specs, workers=args.workers)
-    parallel_seconds = time.perf_counter() - started
+    parallel_seconds = time.perf_counter() - started  # repro: ignore[REP001]
     print(f"parallel: {parallel_seconds:6.2f} s "
           f"({total_queries / parallel_seconds:,.0f} queries/s)")
 
@@ -369,6 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the parallel leg")
     bench.add_argument("--seed", type=int, default=7)
     bench.set_defaults(func=_cmd_bench)
+
+    from repro.devtools.cli import add_check_parser
+
+    add_check_parser(subparsers)
 
     return parser
 

@@ -29,7 +29,8 @@ from typing import Callable
 from repro.core.cache import DnsCache
 from repro.core.config import ResilienceConfig
 from repro.core.renewal import RenewalManager
-from repro.dns.message import Message, Question, Rcode
+from repro.dns.errors import InvariantError
+from repro.dns.message import Message, Question
 from repro.dns.name import Name, root_name
 from repro.dns.ranking import Rank, section_rank
 from repro.dns.records import InfrastructureRecordSet, RRset
@@ -213,7 +214,10 @@ class CachingServer:
                 cname = self.cache.get(qname, RRType.CNAME, now)
                 if cname is not None:
                     target = cname.records[0].data
-                    assert isinstance(target, Name)
+                    if not isinstance(target, Name):
+                        raise InvariantError(
+                            f"cached CNAME rdata {target!r} is not a name"
+                        )
                     qname = target
                     continue
 
@@ -289,7 +293,10 @@ class CachingServer:
                 return _ANSWERED
             if response.is_referral():
                 child = response.referral_zone()
-                assert child is not None
+                if child is None:
+                    raise InvariantError(
+                        "referral response carries no child zone"
+                    )
                 no_progress = (
                     child == zone
                     or child in visited

@@ -20,7 +20,7 @@ but it lives here so one object fully describes a scheme.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.core.policies import RenewalPolicy, make_policy

@@ -1,0 +1,35 @@
+"""Rule registry: every determinism/correctness invariant the gate enforces.
+
+Adding a rule means adding a module here and listing an instance in
+``ALL_RULES``.  Identifiers are stable and never reused; DESIGN.md's
+"Determinism invariants" section documents the rationale for each.
+"""
+
+from repro.devtools.rules.asserts import BareAssertRule
+from repro.devtools.rules.float_compare import FloatComparisonRule
+from repro.devtools.rules.name_mutation import NameMutationRule
+from repro.devtools.rules.picklable import PicklableSpecRule
+from repro.devtools.rules.randomness import UnseededRandomRule
+from repro.devtools.rules.set_iteration import SetIterationRule
+from repro.devtools.rules.wallclock import WallClockRule
+
+ALL_RULES = (
+    WallClockRule(),
+    UnseededRandomRule(),
+    SetIterationRule(),
+    PicklableSpecRule(),
+    FloatComparisonRule(),
+    NameMutationRule(),
+    BareAssertRule(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "BareAssertRule",
+    "FloatComparisonRule",
+    "NameMutationRule",
+    "PicklableSpecRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]

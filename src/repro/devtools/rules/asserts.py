@@ -1,0 +1,40 @@
+"""REP007 — no bare ``assert`` in library code.
+
+``python -O`` strips assert statements, so an invariant guarded by one
+silently stops being checked in optimised runs.  Library code raises
+typed errors from :mod:`repro.dns.errors` (or stdlib exceptions)
+instead; test and benchmark code keeps using asserts, which is what
+they are for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checks import ModuleSource, Rule, Violation
+
+
+class BareAssertRule(Rule):
+    rule_id = "REP007"
+    title = "no bare assert in library code"
+    rationale = (
+        "assert statements vanish under python -O; library invariants "
+        "must raise typed errors that survive optimisation"
+    )
+
+    def applies_to(self, display_path: str) -> bool:
+        name = display_path.rsplit("/", 1)[-1]
+        if name.startswith(("test_", "bench_", "conftest")):
+            return False
+        return "tests/" not in display_path and "benchmarks/" not in display_path
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    module,
+                    node,
+                    "bare assert is stripped under python -O; raise a "
+                    "typed error (see repro.dns.errors) instead",
+                )

@@ -1,0 +1,56 @@
+"""REP005 — no float equality in metric/analysis code.
+
+``x == 0.3`` silently depends on rounding history; in the modules that
+compute the paper's failure rates and availability model a drifting
+equality flips figure cells.  Compare with an inequality, an explicit
+tolerance (``math.isclose``) or restructure around integers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checks import ModuleSource, Rule, Violation
+
+
+def _is_float_operand(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_operand(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    return False
+
+
+class FloatComparisonRule(Rule):
+    rule_id = "REP005"
+    title = "no float ==/!= in metrics or analysis code"
+    rationale = (
+        "float equality depends on rounding history; a drifting comparison "
+        "flips figure cells silently — use inequalities or math.isclose"
+    )
+
+    def applies_to(self, display_path: str) -> bool:
+        return (
+            display_path.endswith("simulation/metrics.py")
+            or "analysis/" in display_path
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_operand(left) or _is_float_operand(right):
+                    yield self.violation(
+                        module,
+                        node,
+                        "float equality comparison; use an inequality, "
+                        "math.isclose, or integer arithmetic",
+                    )
+                    break

@@ -1,0 +1,137 @@
+"""REP006 — never mutate interned ``Name`` instances.
+
+:class:`repro.dns.name.Name` objects are process-wide interned: one
+mutated instance corrupts every holder of that name for the rest of the
+process.  ``Name.__setattr__`` raises, but ``object.__setattr__`` walks
+straight past the guard — so writes through it (and attribute stores on
+``Name``-typed variables) are banned outside ``__new__``/``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checks import ModuleSource, Rule, Violation
+
+_ALLOWED_METHODS = frozenset({"__new__", "__init__", "__post_init__"})
+
+#: Expressions that certainly construct/return a Name.
+_NAME_PRODUCERS = frozenset({"Name", "root_name"})
+
+
+def _produces_name(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _NAME_PRODUCERS
+    if isinstance(func, ast.Attribute):
+        # Name.from_text(...), Name(...).parent() style constructors.
+        if isinstance(func.value, ast.Name) and func.value.id == "Name":
+            return True
+    return False
+
+
+def _annotation_is_name(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "Name"
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == "Name"
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip() == "Name"
+    return False
+
+
+class NameMutationRule(Rule):
+    rule_id = "REP006"
+    title = "no mutation of interned Name instances"
+    rationale = (
+        "Name objects are interned process-wide; mutating one corrupts "
+        "every holder of that name for the rest of the process"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        yield from self._walk(module, module.tree, current_function=None)
+
+    def _walk(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        current_function: str | None,
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function_body(module, child)
+                yield from self._walk(module, child, child.name)
+            else:
+                yield from self._check_setattr_call(
+                    module, child, current_function
+                )
+                yield from self._walk(module, child, current_function)
+
+    def _check_setattr_call(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        current_function: str | None,
+    ) -> Iterator[Violation]:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        is_object_setattr = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        )
+        if is_object_setattr and current_function not in _ALLOWED_METHODS:
+            yield self.violation(
+                module,
+                node,
+                "object.__setattr__ outside __new__/__init__ can mutate "
+                "interned immutable instances",
+            )
+
+    def _check_function_body(
+        self, module: ModuleSource, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        """Flag attribute stores on variables known to hold a Name."""
+        name_vars: set[str] = set()
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if _annotation_is_name(arg.annotation):
+                name_vars.add(arg.arg)
+        for item in ast.walk(node):
+            if isinstance(item, ast.Assign) and _produces_name(item.value):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        name_vars.add(target.id)
+            elif isinstance(item, ast.AnnAssign) and _annotation_is_name(
+                item.annotation
+            ):
+                if isinstance(item.target, ast.Name):
+                    name_vars.add(item.target.id)
+        if not name_vars:
+            return
+        for item in ast.walk(node):
+            targets: list[ast.expr] = []
+            if isinstance(item, ast.Assign):
+                targets = item.targets
+            elif isinstance(item, (ast.AugAssign, ast.AnnAssign)):
+                targets = [item.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in name_vars
+                ):
+                    yield self.violation(
+                        module,
+                        target,
+                        f"attribute write to Name-typed variable "
+                        f"{target.value.id!r}; Name instances are interned "
+                        f"and must never be mutated",
+                    )

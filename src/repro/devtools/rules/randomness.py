@@ -1,0 +1,83 @@
+"""REP002 — all randomness through explicitly seeded generators.
+
+The module-level :mod:`random` functions share hidden global state, and
+``random.Random()`` / ``numpy.random.default_rng()`` without a seed pull
+entropy from the OS — either way a replay stops being a pure function of
+its spec.  Every RNG must be constructed with an explicit seed argument,
+the convention :mod:`repro.hierarchy.builder` documents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checks import ImportMap, ModuleSource, Rule, Violation
+
+#: Constructors that are fine *when given at least one argument* (the seed).
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+    }
+)
+
+#: Never acceptable: OS entropy by design.
+_ALWAYS_BANNED = frozenset({"random.SystemRandom", "secrets.SystemRandom"})
+
+
+class UnseededRandomRule(Rule):
+    rule_id = "REP002"
+    title = "no unseeded or module-level randomness"
+    rationale = (
+        "module-level random functions share global state and unseeded "
+        "generators draw OS entropy; replays must be pure functions of "
+        "their seeds"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = imports.qualified_name(node.func)
+            if qualified is None:
+                continue
+            if qualified in _ALWAYS_BANNED:
+                yield self.violation(
+                    module,
+                    node,
+                    f"{qualified} draws OS entropy and can never replay "
+                    f"deterministically",
+                )
+            elif qualified in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{qualified}() without a seed argument; pass an "
+                        f"explicit seed so replays are reproducible",
+                    )
+            elif _is_module_level_random(qualified):
+                yield self.violation(
+                    module,
+                    node,
+                    f"module-level {qualified}() uses hidden global RNG "
+                    f"state; draw from an explicitly seeded generator",
+                )
+
+
+def _is_module_level_random(qualified: str) -> bool:
+    if qualified.startswith("random."):
+        # random.Random is handled above; everything else on the module
+        # (random.random, random.choice, random.seed, ...) is global state.
+        return qualified.count(".") == 1
+    if qualified.startswith("numpy.random."):
+        # Legacy numpy global-state functions: np.random.rand, .seed, ...
+        tail = qualified.rsplit(".", 1)[-1]
+        return tail[:1].islower()
+    return False

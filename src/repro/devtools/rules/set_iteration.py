@@ -1,0 +1,184 @@
+"""REP003 — no iteration over bare sets.
+
+Set iteration order depends on insertion history and hash seeds; when a
+loop over a set feeds metrics, event scheduling or zone mutation, two
+identical replays can disagree in the last decimal.  Iterate
+``sorted(the_set)`` (``Name`` is totally ordered) or keep a list for
+order-bearing data.  Membership tests, ``len()``, and set algebra are
+all fine — only *iteration* is flagged.
+
+Detection is scope-local and name-based: a variable is set-typed when it
+is assigned a set literal/comprehension/constructor or annotated
+``set[...]``/``frozenset[...]``, including ``self.<attr>`` assignments
+inside a class.  Wrapping the iterable in ``sorted(...)`` clears the
+violation naturally (the iterable is then a call, not the set).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checks import ModuleSource, Rule, Violation
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+
+
+def _is_set_expression(node: ast.expr, set_names: frozenset[str]) -> bool:
+    """Whether ``node`` certainly evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _SET_CALLS
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "self":
+            return f"self.{node.attr}" in set_names
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expression(node.left, set_names) or _is_set_expression(
+            node.right, set_names
+        )
+    if isinstance(node, ast.IfExp):
+        return _is_set_expression(node.body, set_names) and _is_set_expression(
+            node.orelse, set_names
+        )
+    return False
+
+
+def _annotation_is_set(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SET_ANNOTATIONS
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _SET_ANNOTATIONS
+    return False
+
+
+def _target_name(target: ast.expr) -> str | None:
+    """``x`` for ``x = ...``, ``self.x`` for ``self.x = ...``."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return f"self.{target.attr}"
+    return None
+
+
+class _ScopeCollector(ast.NodeVisitor):
+    """Gather set-typed names within one scope (not nested functions)."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scope: analysed separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expression(node.value, frozenset(self.set_names)):
+            for target in node.targets:
+                name = _target_name(target)
+                if name is not None:
+                    self.set_names.add(name)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        name = _target_name(node.target)
+        if name is not None and _annotation_is_set(node.annotation):
+            self.set_names.add(name)
+        self.generic_visit(node)
+
+
+class SetIterationRule(Rule):
+    rule_id = "REP003"
+    title = "no iteration over bare sets"
+    rationale = (
+        "set iteration order is insertion- and hash-dependent; loops that "
+        "feed metrics or event scheduling must run in a defined order "
+        "(iterate sorted(...) instead)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        yield from self._check_scope(module, module.tree, frozenset())
+
+    def _check_scope(
+        self,
+        module: ModuleSource,
+        scope: ast.AST,
+        inherited: frozenset[str],
+    ) -> Iterator[Violation]:
+        collector = _ScopeCollector()
+        body = getattr(scope, "body", [])
+        for statement in body:
+            collector.visit(statement)
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if _annotation_is_set(arg.annotation):
+                    collector.set_names.add(arg.arg)
+        set_names = inherited | frozenset(collector.set_names)
+
+        for statement in body:
+            yield from self._check_statement(module, statement, set_names)
+
+    def _check_statement(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        set_names: frozenset[str],
+    ) -> Iterator[Violation]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._check_scope(module, node, set_names)
+            return
+        if isinstance(node, ast.ClassDef):
+            # Methods see the set-typed self attributes collected across
+            # the whole class body (constructor assignments included).
+            class_collector = _ScopeCollector()
+            for item in ast.walk(node):
+                if isinstance(item, (ast.Assign, ast.AnnAssign)):
+                    class_collector.visit(item)
+            class_names = set_names | frozenset(
+                name
+                for name in class_collector.set_names
+                if name.startswith("self.")
+            )
+            for item in node.body:
+                yield from self._check_statement(module, item, class_names)
+            return
+        if isinstance(node, ast.For) and _is_set_expression(node.iter, set_names):
+            yield self._iteration_violation(module, node.iter)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                yield from self._check_statement(module, child, set_names)
+                continue
+            if isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                  ast.GeneratorExp)):
+                for generator in child.generators:
+                    if _is_set_expression(generator.iter, set_names):
+                        yield self._iteration_violation(module, generator.iter)
+            yield from self._check_statement(module, child, set_names)
+
+    def _iteration_violation(
+        self, module: ModuleSource, node: ast.expr
+    ) -> Violation:
+        return self.violation(
+            module,
+            node,
+            "iteration over a bare set is order-unstable; iterate "
+            "sorted(...) or use an order-bearing container",
+        )

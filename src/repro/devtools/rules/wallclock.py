@@ -1,0 +1,59 @@
+"""REP001 — no wall-clock reads in simulation code.
+
+Virtual time flows from :class:`repro.simulation.engine.SimulationEngine`
+only.  A single ``time.time()`` in a replay path makes results depend on
+the host's clock and destroys the bitwise serial-vs-parallel guarantee.
+Benchmark harnesses (``benchmarks/bench_*.py``) legitimately measure
+wall-clock time and are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checks import ImportMap, ModuleSource, Rule, Violation
+
+_BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    rule_id = "REP001"
+    title = "no wall-clock reads in simulation code"
+    rationale = (
+        "sim time must flow from SimulationEngine; wall-clock reads make "
+        "replay results depend on the host and break bitwise determinism"
+    )
+
+    def applies_to(self, display_path: str) -> bool:
+        name = display_path.rsplit("/", 1)[-1]
+        return "benchmarks/" not in display_path and not name.startswith("bench_")
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = imports.qualified_name(node.func)
+            if qualified in _BANNED:
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock read {qualified}() in simulation code; "
+                    f"derive time from SimulationEngine.now instead",
+                )

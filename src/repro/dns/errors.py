@@ -23,3 +23,13 @@ class ZoneConfigError(DnsError, ValueError):
 
 class LameDelegationError(DnsError):
     """A server was asked about a zone it is not authoritative for."""
+
+
+class InvariantError(DnsError, RuntimeError):
+    """An internal consistency guarantee was broken.
+
+    Raised where the code used to ``assert``: unlike asserts, these
+    checks survive ``python -O``, so corrupted state (a CNAME whose
+    rdata is not a name, a referral without a child zone) fails loudly
+    instead of silently skewing figures.
+    """

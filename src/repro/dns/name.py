@@ -131,7 +131,9 @@ class Name:
             chain = tuple(
                 Name(labels[index:]) for index in range(len(labels) + 1)
             )
-            object.__setattr__(self, "_ancestors", chain)
+            # Memoised fill of a slot derived purely from the immutable
+            # labels; safe under interning.
+            object.__setattr__(self, "_ancestors", chain)  # repro: ignore[REP006]
         return chain
 
     def common_ancestor(self, other: "Name") -> "Name":
@@ -195,7 +197,9 @@ class Name:
     def __repr__(self) -> str:
         return f"Name({str(self)!r})"
 
-    def __reduce__(self):  # pragma: no cover - pickling support
+    def __reduce__(
+        self,
+    ) -> "tuple[type[Name], tuple[tuple[str, ...]]]":  # pragma: no cover
         return (Name, (self.labels,))
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.dns.errors import LameDelegationError
+from repro.dns.errors import LameDelegationError, ZoneConfigError
 from repro.dns.message import Message, Question, Rcode
 from repro.dns.name import Name
 from repro.dns.records import InfrastructureRecordSet, RRset
@@ -117,7 +117,10 @@ class AuthoritativeServer:
             if cname is not None and question.rrtype != RRType.CNAME:
                 answer_sets.append(cname)
                 target = cname.records[0].data
-                assert isinstance(target, Name)
+                if not isinstance(target, Name):
+                    raise ZoneConfigError(
+                        f"CNAME rdata {target!r} at {qname} is not a name"
+                    )
                 if not target.is_subdomain_of(zone.name):
                     break  # resolver must chase the tail elsewhere
                 qname = target

@@ -16,7 +16,7 @@ delegation invariants before the zone is used.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.dns.errors import ZoneConfigError
 from repro.dns.name import Name

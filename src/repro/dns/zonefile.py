@@ -23,7 +23,7 @@ from typing import Iterable
 from repro.dns.errors import ZoneConfigError
 from repro.dns.name import Name
 from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
-from repro.dns.rrtypes import RRClass, RRType
+from repro.dns.rrtypes import RRType
 from repro.dns.zone import Zone, ZoneBuilder
 
 _NAME_VALUED = (RRType.NS, RRType.CNAME, RRType.PTR)
@@ -189,7 +189,8 @@ def load_zone(
     glue_owners = set()
     for record in apex_ns:
         server = record.data
-        assert isinstance(server, Name)
+        if not isinstance(server, Name):
+            raise ZoneConfigError(f"NS rdata {server!r} is not a name")
         glue = by_key.get((server, RRType.A))
         if glue is not None and server.is_subdomain_of(origin_name):
             glue_owners.add(server)
@@ -215,7 +216,8 @@ def load_zone(
         glue_sets = []
         for record in ns_records:
             server = record.data
-            assert isinstance(server, Name)
+            if not isinstance(server, Name):
+                raise ZoneConfigError(f"NS rdata {server!r} is not a name")
             if not server.is_subdomain_of(child):
                 # Not glue: the server's address belongs to the enclosing
                 # zone (or another zone entirely), not to the delegation.

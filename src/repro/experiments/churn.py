@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.core.caching_server import CachingServer
 from repro.core.config import ResilienceConfig
-from repro.hierarchy.builder import HierarchyConfig, build_hierarchy
+from repro.hierarchy.builder import BuiltHierarchy, HierarchyConfig, build_hierarchy
 from repro.hierarchy.churn import ChurnSchedule, apply_churn_event, generate_churn
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import ReplayMetrics
@@ -85,7 +85,7 @@ class ChurnExperimentResult:
 
 
 def run_churn_replay(
-    built,
+    built: BuiltHierarchy,
     trace: Trace,
     config: ResilienceConfig,
     churn: ChurnSchedule,
@@ -175,7 +175,7 @@ def churn_experiment(
     return ChurnExperimentResult(churned_zones=churned, rows=rows)
 
 
-def _eligible_zone_count(built) -> int:
+def _eligible_zone_count(built: BuiltHierarchy) -> int:
     count = 0
     for zone in built.tree.zones():
         if zone.name.depth() != 2:

@@ -9,6 +9,7 @@ records it against the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.analysis.cdf import Cdf
 from repro.analysis.overhead import MemoryOverheadSeries, MessageOverheadTable
@@ -185,22 +186,22 @@ def renewal_figure(
                            seed=seed)
 
 
-def figure6(scenario: Scenario, **kwargs) -> FailureGrid:
+def figure6(scenario: Scenario, **kwargs: Any) -> FailureGrid:
     """Figure 6: refresh + LRU renewal."""
     return renewal_figure(scenario, "lru", **kwargs)
 
 
-def figure7(scenario: Scenario, **kwargs) -> FailureGrid:
+def figure7(scenario: Scenario, **kwargs: Any) -> FailureGrid:
     """Figure 7: refresh + LFU renewal."""
     return renewal_figure(scenario, "lfu", **kwargs)
 
 
-def figure8(scenario: Scenario, **kwargs) -> FailureGrid:
+def figure8(scenario: Scenario, **kwargs: Any) -> FailureGrid:
     """Figure 8: refresh + A-LRU renewal."""
     return renewal_figure(scenario, "a-lru", **kwargs)
 
 
-def figure9(scenario: Scenario, **kwargs) -> FailureGrid:
+def figure9(scenario: Scenario, **kwargs: Any) -> FailureGrid:
     """Figure 9: refresh + A-LFU renewal."""
     return renewal_figure(scenario, "a-lfu", **kwargs)
 

@@ -15,18 +15,24 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.analysis.report import format_table
 from repro.core.caching_server import CachingServer
 from repro.core.config import ResilienceConfig
 from repro.experiments.harness import AttackSpec
-from repro.experiments.parallel import FleetSpec, FleetSummary, run_replays
+from repro.experiments.parallel import (
+    FleetMemberSummary,
+    FleetSpec,
+    FleetSummary,
+    run_replays,
+)
 from repro.experiments.scenarios import Scenario
 from repro.hierarchy.builder import BuiltHierarchy
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import ReplayMetrics, WindowCounters
 from repro.simulation.network import Network
-from repro.workload.trace import Trace
+from repro.workload.trace import Trace, TraceQuery
 
 
 @dataclass
@@ -43,7 +49,11 @@ class FleetMemberResult:
         return self.metrics.sr_queries
 
 
-def render_fleet_table(label: str, members, aggregate_rate: float) -> str:
+def render_fleet_table(
+    label: str,
+    members: "Sequence[FleetMemberResult | FleetMemberSummary]",
+    aggregate_rate: float,
+) -> str:
     """The fleet table shared by full results and picklable summaries.
 
     ``members`` need ``trace_name``, ``sr_queries`` and ``window``.
@@ -178,7 +188,9 @@ def _run(
         servers.append(server)
 
     # Interleave all traces by timestamp; each query goes to its owner.
-    def tagged(index: int, trace: Trace):
+    def tagged(
+        index: int, trace: Trace
+    ) -> Iterator[tuple[float, int, TraceQuery]]:
         for query in trace:
             yield (query.time, index, query)
 

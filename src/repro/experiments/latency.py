@@ -12,6 +12,7 @@ other: fewer tree walks ⇒ fewer round trips ⇒ lower latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -65,7 +66,7 @@ DEFAULT_SCHEMES = (
 
 def latency_experiment(
     scenario: Scenario,
-    schemes=DEFAULT_SCHEMES,
+    schemes: Sequence[tuple[str, ResilienceConfig]] = DEFAULT_SCHEMES,
     trace_name: str = "TRC1",
     seed: int = 0,
 ) -> LatencyResult:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -86,7 +87,7 @@ DEFAULT_SCHEMES = (
 
 def multiseed_experiment(
     scenario: Scenario,
-    schemes=DEFAULT_SCHEMES,
+    schemes: Sequence[ResilienceConfig] = DEFAULT_SCHEMES,
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
     trace_name: str = "TRC1",
     attack_hours: float = 6.0,

@@ -39,7 +39,7 @@ from concurrent.futures import (
     TimeoutError as FuturesTimeoutError,
 )
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence
 
 from repro.analysis.gaps import GapSample
 from repro.core.config import ResilienceConfig
@@ -53,6 +53,20 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 class ReplayExecutionError(RuntimeError):
     """A worker process died or exceeded the per-replay timeout."""
+
+
+class OverheadComparable(Protocol):
+    """Anything the overhead tables can baseline against.
+
+    Satisfied by both :class:`~repro.simulation.metrics.ReplayMetrics`
+    and :class:`ReplaySummary`, so tables treat them interchangeably.
+    """
+
+    @property
+    def total_outgoing(self) -> int: ...
+
+    @property
+    def total_bytes(self) -> int: ...
 
 
 # ---------------------------------------------------------------------------
@@ -80,8 +94,15 @@ class ReplaySpec:
 
     @classmethod
     def for_scenario(
-        cls, scenario: Scenario, trace_name: str, config: ResilienceConfig,
-        **kwargs,
+        cls,
+        scenario: Scenario,
+        trace_name: str,
+        config: ResilienceConfig,
+        *,
+        attack: AttackSpec | None = None,
+        seed: int = 0,
+        track_gaps: bool = False,
+        memory_sample_interval: float | None = None,
     ) -> "ReplaySpec":
         """A spec that replays ``trace_name`` of an existing scenario."""
         return cls(
@@ -89,7 +110,10 @@ class ReplaySpec:
             scenario_seed=scenario.seed,
             trace_name=trace_name,
             config=config,
-            **kwargs,
+            attack=attack,
+            seed=seed,
+            track_gaps=track_gaps,
+            memory_sample_interval=memory_sample_interval,
         )
 
     def describe(self) -> str:
@@ -116,14 +140,17 @@ class FleetSpec:
         scenario: Scenario,
         trace_names: Sequence[str],
         config: ResilienceConfig,
-        **kwargs,
+        *,
+        attack: AttackSpec | None = None,
+        seed: int = 0,
     ) -> "FleetSpec":
         return cls(
             scale=scenario.scale,
             scenario_seed=scenario.seed,
             trace_names=tuple(trace_names),
             config=config,
-            **kwargs,
+            attack=attack,
+            seed=seed,
         )
 
     def describe(self) -> str:
@@ -214,7 +241,7 @@ class ReplaySummary:
             return 0.0
         return self.total_latency / self.sr_queries
 
-    def message_overhead_vs(self, baseline) -> float:
+    def message_overhead_vs(self, baseline: OverheadComparable) -> float:
         """Relative change in outgoing messages vs ``baseline`` (summary
         or :class:`ReplayMetrics` — anything with ``total_outgoing``)."""
         if baseline.total_outgoing == 0:
@@ -224,7 +251,7 @@ class ReplaySummary:
             / baseline.total_outgoing
         )
 
-    def byte_overhead_vs(self, baseline) -> float:
+    def byte_overhead_vs(self, baseline: OverheadComparable) -> float:
         """Relative change in total traffic bytes vs ``baseline``."""
         if baseline.total_bytes == 0:
             raise ValueError("baseline replay moved no bytes")
@@ -343,7 +370,7 @@ def _warm_worker(scenario_keys: tuple[tuple[Scale, int], ...]) -> None:
         make_scenario(scale, seed)
 
 
-def _execute_spec(spec: ReplaySpec | FleetSpec):
+def _execute_spec(spec: ReplaySpec | FleetSpec) -> "ReplaySummary | FleetSummary":
     """Run one spec in this process and summarise the outcome."""
     if isinstance(spec, FleetSpec):
         # Imported lazily: fleet.py builds on this module's batch API.
@@ -384,7 +411,7 @@ def run_replays(
     specs: Iterable[ReplaySpec | FleetSpec],
     workers: int | None = None,
     timeout: float | None = None,
-) -> list:
+) -> "list[ReplaySummary | FleetSummary]":
     """Execute every spec; results come back in spec order.
 
     Args:

@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.dns.dnssec import sign_irrs
+from repro.dns.errors import ZoneConfigError
 from repro.dns.name import Name, root_name
 from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
 from repro.dns.rrtypes import RRType
@@ -355,9 +356,15 @@ class HierarchyBuilder:
         servers = []
         for record in irrs.ns:
             server_name = record.data
-            assert isinstance(server_name, Name)
+            if not isinstance(server_name, Name):
+                raise ZoneConfigError(
+                    f"NS rdata {server_name!r} is not a name"
+                )
             glue = irrs.glue_for(server_name)
-            assert glue is not None, "in-bailiwick server without glue"
+            if glue is None:
+                raise ZoneConfigError(
+                    f"in-bailiwick server {server_name} without glue"
+                )
             address = str(glue.records[0].data)
             builder.add_ns(server_name, address, ttl=irrs.ns.ttl)
             existing = self._tree.server_by_name(server_name)

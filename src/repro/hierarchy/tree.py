@@ -218,7 +218,9 @@ class ZoneTree:
             set(zone_filter) if zone_filter is not None else set(self._zones)
         )
         changed = 0
-        for name in selected:
+        # Sorted so TTL re-stamping order (and thus any tie-breaking
+        # downstream) is independent of set iteration order.
+        for name in sorted(selected):
             zone = self._zones.get(name)
             if zone is None:
                 continue

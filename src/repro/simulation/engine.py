@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.dns.errors import InvariantError
 from repro.simulation.events import EventHandle, EventQueue
 
 
@@ -60,7 +61,10 @@ class SimulationEngine:
             if next_time is None or next_time > time:
                 break
             handle = queue.pop()
-            assert handle is not None
+            if handle is None:
+                raise InvariantError(
+                    "event queue emptied between peek and pop"
+                )
             self.now = handle.time
             handle.action(handle.time)
             fired += 1

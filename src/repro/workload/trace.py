@@ -14,7 +14,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import IO, Iterable, Iterator
 
 from repro.dns.name import Name
 from repro.dns.rrtypes import RRType
@@ -94,7 +94,7 @@ def trace_to_text(trace: Trace) -> str:
     return buffer.getvalue()
 
 
-def _write_stream(trace: Trace, handle) -> None:
+def _write_stream(trace: Trace, handle: IO[str]) -> None:
     handle.write(f"# trace {trace.name} duration {trace.duration}\n")
     handle.write("# time_seconds client_id qname qtype\n")
     for query in trace.queries:
