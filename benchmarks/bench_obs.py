@@ -1,0 +1,98 @@
+"""Observability overhead bench (writes BENCH_obs.json).
+
+Replays the same (trace, scheme, attack) three ways — observation off,
+flight-recorder only, and the full sink stack (ring + time series +
+JSONL + Prometheus) — and records the wall-clock overhead of each
+against the unobserved baseline, plus the per-stage timings and the
+determinism check (two fully-observed runs must produce byte-identical
+event logs).
+
+The acceptance bar lives on the *disabled* path: with no observation
+requested the simulator executes the same bytecode as before the
+subsystem existed, so the "off" leg is the control both for this bench
+and for ``bench_micro.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import ResilienceConfig
+from repro.experiments.harness import AttackSpec, run_replay
+from repro.obs import ObservationSpec, StageTimings
+
+HOUR = 3600.0
+
+
+def _timed_replay(scenario, observe, timings=None):
+    attack = AttackSpec(start=scenario.attack_start, duration=6 * HOUR)
+    started = time.perf_counter()
+    result = run_replay(
+        scenario.built,
+        scenario.trace("TRC1"),
+        ResilienceConfig.combination(),
+        attack=attack,
+        observe=observe,
+        timings=timings,
+    )
+    return result, time.perf_counter() - started
+
+
+def bench_observability_overhead(benchmark, scenario, record_bench_json):
+    def sweep():
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp_path = Path(tmp)
+            baseline, baseline_seconds = _timed_replay(scenario, observe=None)
+
+            ring_only = ObservationSpec(ring_size=512)
+            _, ring_seconds = _timed_replay(scenario, observe=ring_only)
+
+            def full_spec(tag):
+                return ObservationSpec(
+                    events_path=str(tmp_path / f"events-{tag}.jsonl"),
+                    metrics_path=str(tmp_path / f"metrics-{tag}.prom"),
+                    bin_width=HOUR,
+                )
+
+            timings = StageTimings()
+            full_result, full_seconds = _timed_replay(
+                scenario, observe=full_spec("a"), timings=timings
+            )
+            _timed_replay(scenario, observe=full_spec("b"))
+            identical = (
+                (tmp_path / "events-a.jsonl").read_bytes()
+                == (tmp_path / "events-b.jsonl").read_bytes()
+            ) and (
+                (tmp_path / "metrics-a.prom").read_bytes()
+                == (tmp_path / "metrics-b.prom").read_bytes()
+            )
+            return (baseline, baseline_seconds, ring_seconds, full_result,
+                    full_seconds, timings, identical)
+
+    (baseline, baseline_seconds, ring_seconds, full_result, full_seconds,
+     timings, identical) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    payload = {
+        "scale": scenario.scale.value,
+        "stub_queries": baseline.metrics.sr_queries,
+        "events_emitted": full_result.event_count,
+        "baseline_seconds": round(baseline_seconds, 3),
+        "ring_only_seconds": round(ring_seconds, 3),
+        "full_obs_seconds": round(full_seconds, 3),
+        "ring_only_overhead": round(ring_seconds / baseline_seconds - 1.0, 3),
+        "full_obs_overhead": round(full_seconds / baseline_seconds - 1.0, 3),
+        "stage_timings": timings.as_dict(),
+        "identical_event_logs": identical,
+    }
+    record_bench_json("BENCH_obs", payload)
+    print(
+        f"\nbaseline {baseline_seconds:.2f} s, ring {ring_seconds:.2f} s "
+        f"(+{payload['ring_only_overhead']:.1%}), full {full_seconds:.2f} s "
+        f"(+{payload['full_obs_overhead']:.1%}), "
+        f"{full_result.event_count:,} events "
+        f"(deterministic: {identical})"
+    )
+    assert identical
+    assert baseline.event_count == 0

@@ -1,0 +1,86 @@
+"""Stable programmatic facade for the reproduction library.
+
+Importing from ``repro.api`` is the supported way to drive replays and
+experiments from code; everything listed in ``__all__`` keeps working
+across internal refactors.  The deeper module paths
+(``repro.experiments.harness`` and friends) remain importable but may
+move between releases.
+
+Typical use::
+
+    from repro.api import EXPERIMENTS, ObservationSpec, ReplaySpec, run_replays
+
+    summary, = run_replays([
+        ReplaySpec.for_scenario(
+            scenario, "TRC1", config,
+            observe=ObservationSpec(events_path="events.jsonl"),
+        )
+    ])
+    result = EXPERIMENTS["latency"].run()
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ResilienceConfig
+from repro.core.schemes import parse_scheme, scheme_syntax
+from repro.experiments import EXPERIMENTS
+from repro.experiments.harness import AttackSpec, ReplayResult, run_replay
+from repro.experiments.parallel import (
+    FleetMemberSummary,
+    FleetSpec,
+    FleetSummary,
+    ReplayExecutionError,
+    ReplaySpec,
+    run_replays,
+    summarize_replay,
+)
+from repro.experiments.registry import ExperimentDef, resolve_scale
+from repro.experiments.scenarios import Scale, Scenario, make_scenario
+from repro.experiments.summary import ReplaySummary
+from repro.obs import (
+    Event,
+    EventBus,
+    EventKind,
+    FlightRecorder,
+    JsonlSink,
+    MetricSink,
+    ObservationContext,
+    ObservationSpec,
+    PrometheusSink,
+    StageTimings,
+    TimeSeriesSink,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "AttackSpec",
+    "Event",
+    "EventBus",
+    "EventKind",
+    "ExperimentDef",
+    "FleetMemberSummary",
+    "FleetSpec",
+    "FleetSummary",
+    "FlightRecorder",
+    "JsonlSink",
+    "MetricSink",
+    "ObservationContext",
+    "ObservationSpec",
+    "PrometheusSink",
+    "ReplayExecutionError",
+    "ReplayResult",
+    "ReplaySpec",
+    "ReplaySummary",
+    "ResilienceConfig",
+    "Scale",
+    "Scenario",
+    "StageTimings",
+    "TimeSeriesSink",
+    "make_scenario",
+    "parse_scheme",
+    "resolve_scale",
+    "run_replay",
+    "run_replays",
+    "scheme_syntax",
+    "summarize_replay",
+]

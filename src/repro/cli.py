@@ -12,8 +12,14 @@ Commands
     Regenerate one paper artifact and print it.
 ``trace generate`` / ``trace stats``
     Produce a synthetic trace file / summarise an existing one.
-``churn`` / ``latency`` / ``maxdamage``
-    Run the extension experiments.
+``churn`` / ``latency`` / ``dnssec`` / ``maxdamage`` / ``attack-grid`` /
+``multiseed``
+    Extension experiments.  These subcommands (and their flags) are
+    generated from the ``repro.experiments.EXPERIMENTS`` registry: each
+    spec-dataclass field becomes one ``--flag``.
+``events``
+    Replay a trace with the flight recorder attached and print the
+    event counts plus the tail of the event stream.
 ``bench``
     Time a TINY sweep through the serial and parallel replay paths and
     print the speedup (smoke check for the batch runner).
@@ -36,14 +42,16 @@ from typing import Any, Callable, Sequence
 from repro import __version__
 from repro.analysis import export as csv_export
 from repro.core.config import ResilienceConfig
-from repro.core.policies import policy_names
-from repro.experiments import figures
-from repro.experiments.churn import churn_experiment
+from repro.core.schemes import parse_scheme, scheme_syntax
+from repro.experiments import EXPERIMENTS, ExperimentDef, figures
 from repro.experiments.harness import AttackSpec, run_replay
-from repro.experiments.dnssec import dnssec_experiment
-from repro.experiments.latency import latency_experiment
-from repro.experiments.max_damage import max_damage_experiment
+from repro.experiments.registry import (
+    Renderable,
+    add_spec_arguments,
+    spec_from_args,
+)
 from repro.experiments.scenarios import Scale, make_scenario
+from repro.obs import ObservationSpec, StageTimings
 from repro.workload.generator import TraceGenerator, WorkloadConfig
 from repro.workload.stats import compute_statistics
 from repro.workload.trace import read_trace, write_trace
@@ -69,36 +77,9 @@ _TABLES: dict[int, Callable] = {
 }
 
 
-def parse_scheme(text: str) -> ResilienceConfig:
-    """Parse the CLI scheme syntax into a :class:`ResilienceConfig`.
-
-    Raises:
-        ValueError: for unknown scheme names or malformed parameters.
-    """
-    lowered = text.strip().lower()
-    if lowered == "vanilla":
-        return ResilienceConfig.vanilla()
-    if lowered == "refresh":
-        return ResilienceConfig.refresh()
-    if lowered == "serve-stale":
-        return ResilienceConfig.stale_serving()
-    if lowered == "combination":
-        return ResilienceConfig.combination()
-    if ":" in lowered:
-        kind, _, parameter = lowered.partition(":")
-        try:
-            value = float(parameter)
-        except ValueError:
-            raise ValueError(f"bad scheme parameter in {text!r}") from None
-        if kind == "long-ttl":
-            return ResilienceConfig.refresh_long_ttl(value)
-        if kind in policy_names():
-            return ResilienceConfig.refresh_renew(kind, value)
-    raise ValueError(
-        f"unknown scheme {text!r}; expected vanilla, refresh, serve-stale, "
-        f"combination, long-ttl:<days>, or one of "
-        f"{'/'.join(policy_names())}:<credit>"
-    )
+# Re-exported for compatibility: the parser lives in repro.core.schemes
+# so registry modules can use it without importing the CLI.
+__all__ = ["build_parser", "main", "parse_scheme"]
 
 
 def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
@@ -119,10 +100,13 @@ def _resolve_scale(args: argparse.Namespace) -> Scale:
 def _cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__} — DNS resilience reproduction (DSN 2007)")
     print(f"scales: {', '.join(scale.value for scale in Scale)}")
-    print("schemes: vanilla, refresh, serve-stale, combination, "
-          "long-ttl:<days>, " + ", ".join(f"{p}:<credit>" for p in policy_names()))
+    print(f"schemes: {scheme_syntax()}")
     print(f"figures: {', '.join(str(n) for n in sorted(_FIGURES))}")
     print(f"tables: {', '.join(str(n) for n in sorted(_TABLES))}")
+    print("experiments: " + ", ".join(
+        f"{name} ({definition.help})"
+        for name, definition in sorted(EXPERIMENTS.items())
+    ))
     return 0
 
 
@@ -137,8 +121,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.attack_hours > 0:
         attack = AttackSpec(start=scenario.attack_start,
                             duration=args.attack_hours * HOUR)
+    observe = None
+    if args.events or args.metrics:
+        observe = ObservationSpec(events_path=args.events,
+                                  metrics_path=args.metrics)
+    timings = StageTimings() if args.timings else None
     result = run_replay(scenario.built, trace, config, attack=attack,
-                        seed=args.seed)
+                        seed=args.seed, observe=observe, timings=timings)
     metrics = result.metrics
     print(f"trace {trace.name}: {metrics.sr_queries:,} stub queries, "
           f"{metrics.total_outgoing:,} outgoing messages")
@@ -151,6 +140,42 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"  CS failures: {result.cs_attack_failure_rate:.2%}")
     else:
         print(f"overall SR failures: {metrics.sr_failure_rate:.2%}")
+    if observe is not None:
+        print(f"observability: {result.event_count:,} events emitted")
+        if args.events:
+            print(f"  event log written to {args.events}")
+        if args.metrics:
+            print(f"  metrics dump written to {args.metrics}")
+    if timings is not None:
+        print(timings.render())
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    """Replay with the flight recorder on and show the event stream."""
+    config = parse_scheme(args.scheme)
+    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
+    trace = scenario.trace(args.trace)
+    attack = None
+    if args.attack_hours > 0:
+        attack = AttackSpec(start=scenario.attack_start,
+                            duration=args.attack_hours * HOUR)
+    observe = ObservationSpec(events_path=args.out, ring_size=args.last)
+    result = run_replay(scenario.built, trace, config, attack=attack,
+                        seed=args.seed, observe=observe)
+    recorder = result.recorder
+    if recorder is None:  # pragma: no cover - ring_size >= 1 is enforced
+        print("error: flight recorder was not attached", file=sys.stderr)
+        return 1
+    print(f"trace {trace.name}: {result.event_count:,} events "
+          f"({recorder.dropped:,} beyond the {args.last}-event ring)")
+    for kind_value, count in recorder.counts_by_kind().items():
+        print(f"  {kind_value:<16} {count:,}")
+    print(f"last {len(recorder.last(args.last))} events:")
+    for event in recorder.last(args.last):
+        print(f"  {event.to_json()}")
+    if args.out:
+        print(f"event log written to {args.out}")
     return 0
 
 
@@ -222,26 +247,21 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_churn(args: argparse.Namespace) -> int:
-    print(churn_experiment(seed=args.seed).render())
-    return 0
+def _experiment_command(
+    definition: ExperimentDef,
+) -> Callable[[argparse.Namespace], int]:
+    """One CLI handler per registry entry: args -> spec -> run -> print."""
 
+    def handler(args: argparse.Namespace) -> int:
+        spec = spec_from_args(definition.spec_type, args)
+        result = definition.run(spec)
+        if isinstance(result, Renderable):
+            print(result.render())
+        else:  # pragma: no cover - all current experiments render
+            print(result)
+        return 0
 
-def _cmd_latency(args: argparse.Namespace) -> int:
-    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
-    print(latency_experiment(scenario).render())
-    return 0
-
-
-def _cmd_dnssec(args: argparse.Namespace) -> int:
-    print(dnssec_experiment(seed=args.seed).render())
-    return 0
-
-
-def _cmd_maxdamage(args: argparse.Namespace) -> int:
-    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
-    print(max_damage_experiment(scenario, budget=args.budget).render())
-    return 0
+    return handler
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -306,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay a trace file instead of a built-in")
     replay.add_argument("--attack-hours", type=float, default=6.0,
                         help="root+TLD attack duration; 0 disables")
+    replay.add_argument("--events", default=None, metavar="PATH",
+                        help="stream structured events to a JSONL file")
+    replay.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write a Prometheus-style metrics dump")
+    replay.add_argument("--timings", action="store_true",
+                        help="report per-stage wall/CPU time")
     replay.add_argument("--seed", type=int, default=7)
     _add_scale_argument(replay)
     replay.set_defaults(func=_cmd_replay)
@@ -342,27 +368,28 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("file")
     stats.set_defaults(func=_cmd_trace_stats)
 
-    churn = subparsers.add_parser("churn", help="IRR-churn cost experiment")
-    churn.add_argument("--seed", type=int, default=3)
-    churn.set_defaults(func=_cmd_churn)
+    for name, definition in EXPERIMENTS.items():
+        experiment = subparsers.add_parser(name, help=definition.help)
+        add_spec_arguments(experiment, definition.spec_type)
+        experiment.set_defaults(func=_experiment_command(definition))
 
-    latency = subparsers.add_parser("latency", help="response-time experiment")
-    latency.add_argument("--seed", type=int, default=7)
-    _add_scale_argument(latency)
-    latency.set_defaults(func=_cmd_latency)
-
-    dnssec = subparsers.add_parser(
-        "dnssec", help="DNSSEC amplification experiment (paper §6)"
+    events = subparsers.add_parser(
+        "events",
+        help="replay with the flight recorder and print the event stream",
     )
-    dnssec.add_argument("--seed", type=int, default=5)
-    dnssec.set_defaults(func=_cmd_dnssec)
-
-    maxdamage = subparsers.add_parser("maxdamage",
-                                      help="maximum-damage exploration")
-    maxdamage.add_argument("--budget", type=int, default=None)
-    maxdamage.add_argument("--seed", type=int, default=7)
-    _add_scale_argument(maxdamage)
-    maxdamage.set_defaults(func=_cmd_maxdamage)
+    events.add_argument("--scheme", default="vanilla",
+                        help="e.g. vanilla, refresh, a-lfu:5, long-ttl:7")
+    events.add_argument("--trace", default="TRC1",
+                        help="built-in trace name (TRC1..TRC6)")
+    events.add_argument("--attack-hours", type=float, default=6.0,
+                        help="root+TLD attack duration; 0 disables")
+    events.add_argument("--last", type=int, default=20,
+                        help="flight-recorder ring size / tail length")
+    events.add_argument("--out", default=None,
+                        help="also stream every event to this JSONL file")
+    events.add_argument("--seed", type=int, default=7)
+    _add_scale_argument(events)
+    events.set_defaults(func=_cmd_events)
 
     bench = subparsers.add_parser(
         "bench",

@@ -19,11 +19,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.dns.name import Name
 from repro.dns.ranking import Rank
 from repro.dns.records import RRset
 from repro.dns.rrtypes import RRType
+from repro.obs.events import EventKind
+
+if TYPE_CHECKING:
+    from repro.obs.events import EventBus
 
 
 @dataclass(slots=True)
@@ -109,6 +114,18 @@ class DnsCache:
         self._live_entries = 0
         self._live_records = 0
         self._live_zones = 0
+        self._obs: "EventBus | None" = None
+
+    def attach_observer(self, bus: "EventBus") -> None:
+        """Route lookup/eviction events onto the observability bus.
+
+        ``get`` is the hottest call in a replay, so rather than pay an
+        inline ``is None`` guard on every lookup, the instrumented
+        variant is rebound onto *this instance* only when a bus
+        attaches — an unobserved cache keeps the original bytecode.
+        """
+        self._obs = bus
+        self.get = self._observed_get  # type: ignore[method-assign]
 
     def _touch(self, key: tuple[Name, RRType]) -> None:
         entry = self._entries.pop(key)
@@ -200,18 +217,26 @@ class DnsCache:
             key for key, entry in self._entries.items()
             if not entry.is_live(now)
         ]
+        obs = self._obs
         for key in doomed:
             if len(self._entries) < self.max_entries:
                 break
             del self._entries[key]
             self._count_out(key)
             self.evictions += 1
+            if obs is not None:
+                obs.emit(EventKind.CACHE_EVICTED, now,
+                         name=str(key[0]), rrtype=key[1].name, live=False)
         # Pass 2: evict live entries, LRU first.
         while len(self._entries) >= self.max_entries:
             oldest_key = next(iter(self._entries))
             del self._entries[oldest_key]
             self._count_out(oldest_key)
             self.evictions += 1
+            if obs is not None:
+                obs.emit(EventKind.CACHE_EVICTED, now,
+                         name=str(oldest_key[0]), rrtype=oldest_key[1].name,
+                         live=True)
 
     # -- positive entries ---------------------------------------------------
 
@@ -298,6 +323,30 @@ class DnsCache:
         # replay and the method dispatch is measurable.
         if entry is None or entry.expires_at <= now:
             return None
+        if self.max_entries is not None:
+            self._touch(key)
+        return entry.rrset
+
+    def _observed_get(self, name: Name, rrtype: RRType, now: float) -> RRset | None:
+        """``get`` with event emission; bound in by :meth:`attach_observer`."""
+        key = (name, rrtype)
+        entry = self._entries.get(key)
+        obs = self._obs
+        if entry is None:
+            if obs is not None:
+                obs.emit(EventKind.CACHE_MISS, now,
+                         name=str(name), rrtype=rrtype.name)
+            return None
+        if entry.expires_at <= now:
+            if obs is not None:
+                obs.emit(EventKind.CACHE_EXPIRED, now,
+                         name=str(name), rrtype=rrtype.name,
+                         expired_at=entry.expires_at)
+            return None
+        if obs is not None:
+            obs.emit(EventKind.CACHE_HIT, now,
+                     name=str(name), rrtype=rrtype.name,
+                     remaining=entry.expires_at - now)
         if self.max_entries is not None:
             self._touch(key)
         return entry.rrset

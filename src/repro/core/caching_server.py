@@ -35,6 +35,7 @@ from repro.dns.name import Name, root_name
 from repro.dns.ranking import Rank, section_rank
 from repro.dns.records import InfrastructureRecordSet, RRset
 from repro.dns.rrtypes import RRType
+from repro.obs.events import EventBus, EventKind
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import ReplayMetrics
 from repro.simulation.network import Network
@@ -97,6 +98,7 @@ class CachingServer:
         gap_observer: GapObserver | None = None,
         max_servers_per_zone: int = 3,
         seed: int = 0,
+        observer: EventBus | None = None,
     ) -> None:
         self.config = config or ResilienceConfig.vanilla()
         self.network = network
@@ -106,6 +108,9 @@ class CachingServer:
             max_effective_ttl=self.config.max_effective_ttl,
             max_entries=self.config.cache_capacity,
         )
+        self.observer = observer
+        if observer is not None:
+            self.cache.attach_observer(observer)
         self.gap_observer = gap_observer
         self.max_servers_per_zone = max_servers_per_zone
         self._rng = random.Random(seed)
@@ -138,6 +143,7 @@ class CachingServer:
                 refetch=self._renewal_refetch,
                 jitter_fraction=self.config.renewal_jitter,
                 rng=random.Random(seed + 0x5EED),
+                observer=observer,
             )
 
         # Zone -> last time its IRRs were learned through its parent
@@ -165,6 +171,10 @@ class CachingServer:
         self, qname: Name, rrtype: RRType, now: float
     ) -> Resolution:
         """Resolve one stub-resolver query, recording SR metrics."""
+        obs = self.observer
+        if obs is not None:
+            obs.emit(EventKind.STUB_QUERY, now,
+                     name=str(qname), rrtype=rrtype.name)
         question = Question(qname, rrtype)
         resolution = self.resolve(question, now)
         if (
@@ -183,6 +193,11 @@ class CachingServer:
                 resolution.outcome is ResolutionOutcome.VALIDATION_FAILURE
             ),
         )
+        if obs is not None:
+            obs.emit(EventKind.STUB_OUTCOME, now,
+                     name=str(qname), rrtype=rrtype.name,
+                     outcome=resolution.outcome.value,
+                     failed=resolution.failed)
         return resolution
 
     def resolve(
@@ -272,6 +287,12 @@ class CachingServer:
                 # the worst case ... the parent zone must be queried to
                 # reset the IRR" — climb and retry from above.
                 self.failure_blame[zone] = self.failure_blame.get(zone, 0) + 1
+                if self.observer is not None:
+                    self.observer.emit(
+                        EventKind.FETCH_RETRY, now,
+                        zone=str(zone), qname=str(question.name),
+                        stale=stale,
+                    )
                 failed_zones.add(zone)
                 if zone == self._root:
                     return _FAILURE
@@ -404,7 +425,12 @@ class CachingServer:
             candidates.sort(
                 key=lambda pair: self._srtt.get(pair[1], -1.0)
             )
+        obs = self.observer
         for server_name, address in candidates[: self.max_servers_per_zone]:
+            if obs is not None:
+                obs.emit(EventKind.QUERY_ISSUED, now,
+                         zone=str(zone), server=address,
+                         qname=str(question.name), renewal=renewal)
             result = self.network.query(address, question, now)
             self.metrics.record_cs_query(
                 now, failed=not result.answered, renewal=renewal
@@ -418,6 +444,10 @@ class CachingServer:
                 # traffic sits on a lookup's critical path.
                 self.metrics.record_latency(result.latency)
             if result.answered:
+                if obs is not None:
+                    obs.emit(EventKind.QUERY_ANSWERED, now,
+                             zone=str(zone), server=address,
+                             latency=result.latency, renewal=renewal)
                 previous = self._srtt.get(address)
                 self._srtt[address] = (
                     result.latency if previous is None
@@ -427,6 +457,10 @@ class CachingServer:
                 if not renewal:
                     self._note_zone_use(zone, published_ttl, now)
                 return result.message
+            if obs is not None:
+                obs.emit(EventKind.QUERY_FAILED, now,
+                         zone=str(zone), server=address,
+                         latency=result.latency, renewal=renewal)
             if self.config.server_holddown is not None:
                 self._held_down[address] = now + self.config.server_holddown
         return None

@@ -20,6 +20,7 @@ from typing import Callable
 from repro.core.cache import DnsCache
 from repro.core.policies import RenewalPolicy
 from repro.dns.name import Name
+from repro.obs.events import EventBus, EventKind
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import EventHandle
 
@@ -45,9 +46,11 @@ class RenewalManager:
         refetch: RefetchFn,
         jitter_fraction: float = 0.0,
         rng: "random.Random | None" = None,
+        observer: "EventBus | None" = None,
     ) -> None:
         if not 0.0 <= jitter_fraction < 1.0:
             raise ValueError("jitter_fraction must be in [0, 1)")
+        self.observer = observer
         self.policy = policy
         self._engine = engine
         self._cache = cache
@@ -106,18 +109,23 @@ class RenewalManager:
         current_expiry = self._cache.zone_ns_expiry(zone, now)
         if current_expiry is None:
             # Already lapsed or evicted; nothing to renew.
-            self._lapse(zone)
+            self._lapse(zone, now)
             return
         if armed_expiry is not None and current_expiry > armed_expiry + _EPSILON:
             # Something refreshed the IRRs since we armed; rearm silently.
             self.note_irrs_cached(zone, current_expiry)
             return
         if not self.policy.take_renewal_credit(zone):
-            self._lapse(zone)
+            self._lapse(zone, now)
             return
         self.renewals_attempted += 1
+        obs = self.observer
+        if obs is not None:
+            obs.emit(EventKind.RENEWAL_SPEND, now, zone=str(zone))
         if self._refetch(zone, now):
             self.renewals_succeeded += 1
+            if obs is not None:
+                obs.emit(EventKind.RENEWAL_RENEWED, now, zone=str(zone))
             # A successful refetch re-enters note_irrs_cached via the
             # caching server's ingest path; if it somehow did not (e.g.
             # equal-rank non-refresh edge), rearm from the cache state.
@@ -128,11 +136,13 @@ class RenewalManager:
         else:
             # Refetch failed (zone under attack / unreachable): the
             # records lapse at their natural expiry.
-            self._lapse(zone)
+            self._lapse(zone, now)
 
-    def _lapse(self, zone: Name) -> None:
+    def _lapse(self, zone: Name, now: float) -> None:
         self.lapses += 1
         self.policy.forget(zone)
+        if self.observer is not None:
+            self.observer.emit(EventKind.RENEWAL_LAPSE, now, zone=str(zone))
 
     # -- introspection -----------------------------------------------------------
 

@@ -1,0 +1,56 @@
+"""The textual scheme syntax shared by the CLI and the experiment specs.
+
+``vanilla``, ``refresh``, ``serve-stale``, ``combination``,
+``<policy>:<credit>`` (e.g. ``a-lfu:5``) for refresh+renewal, or
+``long-ttl:<days>`` for refresh+long-TTL.
+
+Lives in ``core`` (not ``cli``) so experiment spec dataclasses can carry
+a scheme as a plain string and parse it at run time without importing
+the CLI; :mod:`repro.cli` re-exports :func:`parse_scheme` for
+backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ResilienceConfig
+from repro.core.policies import policy_names
+
+
+def scheme_syntax() -> str:
+    """One-line description of the accepted scheme spellings."""
+    return (
+        "vanilla, refresh, serve-stale, combination, long-ttl:<days>, "
+        + ", ".join(f"{p}:<credit>" for p in policy_names())
+    )
+
+
+def parse_scheme(text: str) -> ResilienceConfig:
+    """Parse the CLI scheme syntax into a :class:`ResilienceConfig`.
+
+    Raises:
+        ValueError: for unknown scheme names or malformed parameters.
+    """
+    lowered = text.strip().lower()
+    if lowered == "vanilla":
+        return ResilienceConfig.vanilla()
+    if lowered == "refresh":
+        return ResilienceConfig.refresh()
+    if lowered == "serve-stale":
+        return ResilienceConfig.stale_serving()
+    if lowered == "combination":
+        return ResilienceConfig.combination()
+    if ":" in lowered:
+        kind, _, parameter = lowered.partition(":")
+        try:
+            value = float(parameter)
+        except ValueError:
+            raise ValueError(f"bad scheme parameter in {text!r}") from None
+        if kind == "long-ttl":
+            return ResilienceConfig.refresh_long_ttl(value)
+        if kind in policy_names():
+            return ResilienceConfig.refresh_renew(kind, value)
+    raise ValueError(
+        f"unknown scheme {text!r}; expected vanilla, refresh, serve-stale, "
+        f"combination, long-ttl:<days>, or one of "
+        f"{'/'.join(policy_names())}:<credit>"
+    )

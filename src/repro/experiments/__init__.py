@@ -3,21 +3,82 @@
 * :mod:`repro.experiments.scenarios` -- scale presets and the standard
   setup (hierarchy + TRC1..TRC6 traces) shared by every experiment.
 * :mod:`repro.experiments.harness` -- trace replay with optional attack,
-  gap tracking and memory sampling.
+  gap tracking, memory sampling and observability hooks.
 * :mod:`repro.experiments.attack_grid` -- the Figures 4-11 grids.
 * :mod:`repro.experiments.table1` / :mod:`~repro.experiments.table2` /
   :mod:`~repro.experiments.figure3` / :mod:`~repro.experiments.figure12`
   -- the remaining artifacts.
 * :mod:`repro.experiments.max_damage` -- the paper §6 maximum-damage
   attack explorer (extension).
+
+The ``EXPERIMENTS`` table is the registry of extension experiments: one
+:class:`~repro.experiments.registry.ExperimentDef` per experiment, each
+pairing a frozen spec dataclass with its ``run(spec)`` function.  The
+CLI generates its subcommands from this table; programmatic callers use
+``EXPERIMENTS["churn"].run(ChurnSpec(...))``.
 """
 
+from repro.experiments import (
+    attack_grid as _attack_grid,
+    churn as _churn,
+    dnssec as _dnssec,
+    latency as _latency,
+    max_damage as _max_damage,
+    multiseed as _multiseed,
+)
 from repro.experiments.harness import AttackSpec, ReplayResult, run_replay
+from repro.experiments.registry import ExperimentDef
 from repro.experiments.scenarios import Scale, Scenario, make_scenario
+from repro.experiments.summary import ReplaySummary
+
+EXPERIMENTS: dict[str, ExperimentDef] = {
+    definition.name: definition
+    for definition in (
+        ExperimentDef(
+            name="churn",
+            help="IRR-churn cost experiment (long-TTL inconsistency)",
+            spec_type=_churn.ChurnSpec,
+            runner=_churn.run,
+        ),
+        ExperimentDef(
+            name="latency",
+            help="response-time experiment (no attack)",
+            spec_type=_latency.LatencySpec,
+            runner=_latency.run,
+        ),
+        ExperimentDef(
+            name="dnssec",
+            help="DNSSEC amplification experiment (paper §6)",
+            spec_type=_dnssec.DnssecSpec,
+            runner=_dnssec.run,
+        ),
+        ExperimentDef(
+            name="maxdamage",
+            help="maximum-damage exploration",
+            spec_type=_max_damage.MaxDamageSpec,
+            runner=_max_damage.run,
+        ),
+        ExperimentDef(
+            name="attack-grid",
+            help="failure grid of one scheme over attack durations",
+            spec_type=_attack_grid.AttackGridSpec,
+            runner=_attack_grid.run,
+        ),
+        ExperimentDef(
+            name="multiseed",
+            help="multi-seed replication of the headline failure rates",
+            spec_type=_multiseed.MultiSeedSpec,
+            runner=_multiseed.run,
+        ),
+    )
+}
 
 __all__ = [
+    "EXPERIMENTS",
     "AttackSpec",
+    "ExperimentDef",
     "ReplayResult",
+    "ReplaySummary",
     "Scale",
     "Scenario",
     "make_scenario",

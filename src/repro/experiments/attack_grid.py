@@ -12,9 +12,11 @@ from dataclasses import dataclass, field
 
 from repro.analysis.report import render_failure_block
 from repro.core.config import ResilienceConfig
+from repro.core.schemes import parse_scheme
 from repro.experiments.harness import AttackSpec
 from repro.experiments.parallel import ReplaySpec, run_replays
-from repro.experiments.scenarios import Scenario
+from repro.experiments.registry import resolve_scale
+from repro.experiments.scenarios import Scale, Scenario, make_scenario
 
 HOUR = 3600.0
 
@@ -77,6 +79,30 @@ class FailureGrid:
 
 def _week_trace_names(scenario: Scenario, limit: int | None) -> tuple[str, ...]:
     return Scenario.WEEK_TRACES[: limit or scenario.parameters.week_trace_count]
+
+
+@dataclass(frozen=True)
+class AttackGridSpec:
+    """Declarative duration-grid request (the registry's spec)."""
+
+    scale: Scale | None = None
+    seed: int = 7
+    scheme: str = "vanilla"
+    trace_limit: int | None = None
+    durations_hours: tuple[int, ...] = DURATIONS_HOURS
+
+
+def run(spec: AttackGridSpec) -> FailureGrid:
+    """Registry entry point: one scheme's failure grid over durations."""
+    config = parse_scheme(spec.scheme)
+    scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+    return run_duration_grid(
+        scenario,
+        config,
+        title=f"Attack durations — {config.label}",
+        durations_hours=spec.durations_hours,
+        trace_limit=spec.trace_limit,
+    )
 
 
 def run_duration_grid(

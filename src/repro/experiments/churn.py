@@ -22,7 +22,7 @@ argument that the long-TTL downside is latency, not correctness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
 from repro.core.caching_server import CachingServer
@@ -130,23 +130,32 @@ def run_churn_replay(
     )
 
 
-def churn_experiment(
-    hierarchy_config: HierarchyConfig | None = None,
-    workload_config: WorkloadConfig | None = None,
-    churn_fraction: float = 0.3,
-    decommission_old: bool = True,
-    seed: int = 3,
-) -> ChurnExperimentResult:
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Declarative churn-experiment request (the registry's spec)."""
+
+    seed: int = 3
+    churn_fraction: float = 0.3
+    decommission_old: bool = True
+    hierarchy: HierarchyConfig | None = field(
+        default=None, metadata={"cli": False}
+    )
+    workload: WorkloadConfig | None = field(
+        default=None, metadata={"cli": False}
+    )
+
+
+def run(spec: ChurnSpec) -> ChurnExperimentResult:
     """Compare IRR TTL settings under mid-trace server migrations.
 
     Each scheme gets a freshly built (identical-seed) hierarchy because
     churn mutates the tree.  ``churn_fraction`` of eligible own-server
     SLDs migrate, uniformly over days 1-6.
     """
-    hierarchy_config = hierarchy_config or HierarchyConfig(
+    hierarchy_config = spec.hierarchy or HierarchyConfig(
         num_tlds=8, num_slds=120, num_providers=3
     )
-    workload_config = workload_config or WorkloadConfig(
+    workload_config = spec.workload or WorkloadConfig(
         duration_days=7.0, queries_per_day=2_000, num_clients=50
     )
     schemes = [
@@ -158,21 +167,39 @@ def churn_experiment(
     rows = []
     churned = 0
     for config in schemes:
-        built = build_hierarchy(hierarchy_config, seed=seed)
+        built = build_hierarchy(hierarchy_config, seed=spec.seed)
         trace = TraceGenerator(built.catalog, workload_config,
-                               seed=seed).generate("CHURN", stream=1)
+                               seed=spec.seed).generate("CHURN", stream=1)
         eligible = _eligible_zone_count(built)
         churn = generate_churn(
             built,
             start=1 * DAY,
             end=6 * DAY,
-            zone_count=max(1, int(eligible * churn_fraction)),
-            seed=seed,
-            decommission_old=decommission_old,
+            zone_count=max(1, int(eligible * spec.churn_fraction)),
+            seed=spec.seed,
+            decommission_old=spec.decommission_old,
         )
         churned = len(churn)
-        rows.append(run_churn_replay(built, trace, config, churn, seed=seed))
+        rows.append(run_churn_replay(built, trace, config, churn,
+                                     seed=spec.seed))
     return ChurnExperimentResult(churned_zones=churned, rows=rows)
+
+
+def churn_experiment(
+    hierarchy_config: HierarchyConfig | None = None,
+    workload_config: WorkloadConfig | None = None,
+    churn_fraction: float = 0.3,
+    decommission_old: bool = True,
+    seed: int = 3,
+) -> ChurnExperimentResult:
+    """Deprecated shim: build a :class:`ChurnSpec` and call :func:`run`."""
+    return run(ChurnSpec(
+        seed=seed,
+        churn_fraction=churn_fraction,
+        decommission_old=decommission_old,
+        hierarchy=hierarchy_config,
+        workload=workload_config,
+    ))
 
 
 def _eligible_zone_count(built: BuiltHierarchy) -> int:

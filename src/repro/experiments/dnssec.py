@@ -15,7 +15,7 @@ combination scheme holds both variants near its usual floor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -66,25 +66,34 @@ class DnssecExperimentResult:
         raise KeyError(label)
 
 
-def dnssec_experiment(
-    hierarchy_config: HierarchyConfig | None = None,
-    workload_config: WorkloadConfig | None = None,
-    attack_hours: float = 6.0,
-    seed: int = 5,
-) -> DnssecExperimentResult:
+@dataclass(frozen=True)
+class DnssecSpec:
+    """Declarative DNSSEC-experiment request (the registry's spec)."""
+
+    seed: int = 5
+    attack_hours: float = 6.0
+    hierarchy: HierarchyConfig | None = field(
+        default=None, metadata={"cli": False}
+    )
+    workload: WorkloadConfig | None = field(
+        default=None, metadata={"cli": False}
+    )
+
+
+def run(spec: DnssecSpec) -> DnssecExperimentResult:
     """Vanilla vs combination, validation off vs on, signed hierarchy."""
-    hierarchy_config = hierarchy_config or HierarchyConfig(
+    hierarchy_config = spec.hierarchy or HierarchyConfig(
         num_tlds=8, num_slds=150, num_providers=3, dnssec_fraction=1.0
     )
     if hierarchy_config.dnssec_fraction <= 0.0:
         raise ValueError("the DNSSEC experiment needs a signed hierarchy")
-    workload_config = workload_config or WorkloadConfig(
+    workload_config = spec.workload or WorkloadConfig(
         duration_days=7.0, queries_per_day=2_500, num_clients=60
     )
-    built = build_hierarchy(hierarchy_config, seed=seed)
+    built = build_hierarchy(hierarchy_config, seed=spec.seed)
     trace = TraceGenerator(built.catalog, workload_config,
-                           seed=seed).generate("DNSSEC", stream=2)
-    attack = AttackSpec(start=6 * DAY, duration=attack_hours * HOUR)
+                           seed=spec.seed).generate("DNSSEC", stream=2)
+    attack = AttackSpec(start=6 * DAY, duration=spec.attack_hours * HOUR)
 
     schemes = [
         ResilienceConfig.vanilla(),
@@ -95,7 +104,8 @@ def dnssec_experiment(
     ]
     rows = []
     for config in schemes:
-        result = run_replay(built, trace, config, attack=attack, seed=seed)
+        result = run_replay(built, trace, config, attack=attack,
+                            seed=spec.seed)
         rows.append(
             DnssecRow(
                 label=config.label,
@@ -105,3 +115,18 @@ def dnssec_experiment(
             )
         )
     return DnssecExperimentResult(rows=rows)
+
+
+def dnssec_experiment(
+    hierarchy_config: HierarchyConfig | None = None,
+    workload_config: WorkloadConfig | None = None,
+    attack_hours: float = 6.0,
+    seed: int = 5,
+) -> DnssecExperimentResult:
+    """Deprecated shim: build a :class:`DnssecSpec` and call :func:`run`."""
+    return run(DnssecSpec(
+        seed=seed,
+        attack_hours=attack_hours,
+        hierarchy=hierarchy_config,
+        workload=workload_config,
+    ))

@@ -10,12 +10,18 @@ figures/tables need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.gaps import GapTracker
 from repro.core.caching_server import CachingServer
 from repro.core.config import ResilienceConfig
+from repro.experiments.summary import AttackWindowRates, ReplaySummary
 from repro.hierarchy.builder import BuiltHierarchy
+from repro.obs.events import EventKind
+from repro.obs.recorder import FlightRecorder
+from repro.obs.sinks import TimeSeriesSink
+from repro.obs.spec import ObservationContext, ObservationSpec
+from repro.obs.timing import StageTimings, maybe_stage
 from repro.simulation.attack import AttackSchedule, AttackWindow, attack_on_root_and_tlds
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import MemorySample, ReplayMetrics, WindowCounters
@@ -53,7 +59,7 @@ class AttackSpec:
 
 
 @dataclass
-class ReplayResult:
+class ReplayResult(AttackWindowRates):
     """Everything one replay produced."""
 
     label: str
@@ -62,20 +68,20 @@ class ReplayResult:
     window: WindowCounters | None
     gap_tracker: GapTracker | None
     server: CachingServer
+    recorder: "FlightRecorder | None" = None
+    """The flight recorder, when the replay ran observed with a ring."""
 
-    @property
-    def sr_attack_failure_rate(self) -> float:
-        """SR failure fraction during the attack (0 without an attack)."""
-        if self.window is None:
-            return 0.0
-        return self.window.sr_failure_rate
+    timeseries: "TimeSeriesSink | None" = None
+    """The binned time-series sink, when one was requested."""
 
-    @property
-    def cs_attack_failure_rate(self) -> float:
-        """CS failure fraction during the attack (0 without an attack)."""
-        if self.window is None:
-            return 0.0
-        return self.window.cs_failure_rate
+    event_count: int = 0
+    """Events emitted on the observation bus (0 when unobserved)."""
+
+    timings: "StageTimings | None" = field(default=None, repr=False)
+
+    def to_summary(self) -> ReplaySummary:
+        """The picklable :class:`ReplaySummary` extract of this result."""
+        return ReplaySummary.from_result(self)
 
 
 def run_replay(
@@ -86,12 +92,17 @@ def run_replay(
     track_gaps: bool = False,
     memory_sample_interval: float | None = None,
     seed: int = 0,
+    observe: ObservationSpec | None = None,
+    timings: StageTimings | None = None,
 ) -> ReplayResult:
     """Replay ``trace`` through a fresh caching server running ``config``.
 
     The long-TTL override (if the config carries one) is applied to the
     shared hierarchy before the run and restored afterwards, so callers
     may reuse ``built`` across schemes.
+
+    ``observe`` attaches the observability subsystem (DESIGN.md §10) for
+    this replay only; ``timings`` accumulates per-stage wall/CPU time.
     """
     tree = built.tree
     saved_state = None
@@ -100,7 +111,8 @@ def run_replay(
         tree.apply_long_ttl(config.long_ttl)
     try:
         return _replay(
-            built, trace, config, attack, track_gaps, memory_sample_interval, seed
+            built, trace, config, attack, track_gaps, memory_sample_interval,
+            seed, observe, timings,
         )
     finally:
         if saved_state is not None:
@@ -115,43 +127,88 @@ def _replay(
     track_gaps: bool,
     memory_sample_interval: float | None,
     seed: int,
+    observe: ObservationSpec | None,
+    timings: StageTimings | None,
 ) -> ReplayResult:
-    engine = SimulationEngine()
-    schedule = attack.build_schedule(built) if attack is not None else None
-    network = Network(built.tree, attacks=schedule)
-    metrics = ReplayMetrics()
-    window = None
-    if attack is not None:
-        window = metrics.watch_window(attack.start, attack.end)
-    gap_tracker = GapTracker() if track_gaps else None
+    with maybe_stage(timings, "setup"):
+        engine = SimulationEngine()
+        context: ObservationContext | None = None
+        if observe is not None:
+            context = observe.build()
+            engine.observer = context.bus
+        schedule = attack.build_schedule(built) if attack is not None else None
+        network = Network(built.tree, attacks=schedule)
+        metrics = ReplayMetrics()
+        window = None
+        if attack is not None:
+            window = metrics.watch_window(attack.start, attack.end)
+        gap_tracker = GapTracker() if track_gaps else None
 
-    server = CachingServer(
-        root_hints=built.tree.root_hints(),
-        network=network,
-        engine=engine,
-        config=config,
-        metrics=metrics,
-        gap_observer=gap_tracker,
-        seed=seed,
-    )
+        server = CachingServer(
+            root_hints=built.tree.root_hints(),
+            network=network,
+            engine=engine,
+            config=config,
+            metrics=metrics,
+            gap_observer=gap_tracker,
+            seed=seed,
+            observer=context.bus if context is not None else None,
+        )
 
-    if memory_sample_interval is not None:
-        _arm_memory_sampler(engine, server, metrics, memory_sample_interval,
-                            trace.duration)
+        if context is not None and attack is not None:
+            _arm_attack_markers(engine, context, attack, trace.duration)
+        if memory_sample_interval is not None:
+            _arm_memory_sampler(engine, server, metrics, memory_sample_interval,
+                                trace.duration)
 
-    for query in trace:
-        engine.advance_to(query.time)
-        server.handle_stub_query(query.qname, query.rrtype, query.time)
-    engine.advance_to(trace.duration)
+    with maybe_stage(timings, "replay"):
+        for query in trace:
+            engine.advance_to(query.time)
+            server.handle_stub_query(query.qname, query.rrtype, query.time)
+        engine.advance_to(trace.duration)
 
-    return ReplayResult(
-        label=config.label,
-        trace_name=trace.name,
-        metrics=metrics,
-        window=window,
-        gap_tracker=gap_tracker,
-        server=server,
-    )
+    with maybe_stage(timings, "finalize"):
+        if context is not None:
+            context.finish()
+        return ReplayResult(
+            label=config.label,
+            trace_name=trace.name,
+            metrics=metrics,
+            window=window,
+            gap_tracker=gap_tracker,
+            server=server,
+            recorder=context.recorder if context is not None else None,
+            timeseries=context.timeseries if context is not None else None,
+            event_count=context.event_count if context is not None else 0,
+            timings=timings,
+        )
+
+
+def _arm_attack_markers(
+    engine: SimulationEngine,
+    context: ObservationContext,
+    attack: AttackSpec,
+    horizon: float,
+) -> None:
+    """Emit attack.start / attack.end markers from the virtual clock.
+
+    An end that falls beyond the trace horizon never fires (the replay
+    stops first) — the log then simply has no ``attack.end``, which is
+    itself informative.
+    """
+    bus = context.bus
+    targets = "root+tlds" if attack.targets is None else str(len(attack.targets))
+
+    def mark_start(now: float) -> None:
+        bus.emit(EventKind.ATTACK_START, now,
+                 duration=attack.duration, targets=targets)
+
+    def mark_end(now: float) -> None:
+        bus.emit(EventKind.ATTACK_END, now, targets=targets)
+
+    engine.schedule(attack.start, mark_start)
+    if attack.end <= horizon:
+        engine.schedule(attack.end, mark_end)
 
 
 def _arm_memory_sampler(

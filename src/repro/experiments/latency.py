@@ -17,7 +17,8 @@ from typing import Sequence
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
 from repro.experiments.harness import run_replay
-from repro.experiments.scenarios import Scenario
+from repro.experiments.registry import resolve_scale
+from repro.experiments.scenarios import Scale, Scenario, make_scenario
 
 
 @dataclass
@@ -62,6 +63,21 @@ DEFAULT_SCHEMES = (
     ("refresh+ttl7d", ResilienceConfig.refresh_long_ttl(7)),
     ("combination", ResilienceConfig.combination()),
 )
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Declarative latency-experiment request (the registry's spec)."""
+
+    scale: Scale | None = None
+    seed: int = 7
+    trace_name: str = "TRC1"
+
+
+def run(spec: LatencySpec) -> LatencyResult:
+    """Registry entry point: build the scenario, run the comparison."""
+    scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+    return latency_experiment(scenario, trace_name=spec.trace_name)
 
 
 def latency_experiment(

@@ -21,7 +21,8 @@ from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
 from repro.dns.name import Name, root_name
 from repro.experiments.harness import AttackSpec, run_replay
-from repro.experiments.scenarios import Scenario
+from repro.experiments.registry import resolve_scale
+from repro.experiments.scenarios import Scale, Scenario, make_scenario
 from repro.workload.trace import Trace
 
 HOUR = 3600.0
@@ -110,6 +111,28 @@ class MaxDamageResult:
             if row_strategy == strategy and row_scheme == scheme:
                 return sr
         raise KeyError(f"no row for ({strategy!r}, {scheme!r})")
+
+
+@dataclass(frozen=True)
+class MaxDamageSpec:
+    """Declarative max-damage request (the registry's spec)."""
+
+    scale: Scale | None = None
+    seed: int = 7
+    budget: int | None = None
+    attack_hours: float = 6.0
+    trace_name: str = "TRC1"
+
+
+def run(spec: MaxDamageSpec) -> MaxDamageResult:
+    """Registry entry point: build the scenario, run the exploration."""
+    scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+    return max_damage_experiment(
+        scenario,
+        budget=spec.budget,
+        attack_hours=spec.attack_hours,
+        trace_name=spec.trace_name,
+    )
 
 
 def max_damage_experiment(

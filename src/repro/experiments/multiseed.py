@@ -18,7 +18,8 @@ from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
 from repro.experiments.harness import AttackSpec
 from repro.experiments.parallel import ReplaySpec, run_replays
-from repro.experiments.scenarios import Scenario
+from repro.experiments.registry import resolve_scale
+from repro.experiments.scenarios import Scale, Scenario, make_scenario
 
 HOUR = 3600.0
 
@@ -83,6 +84,28 @@ DEFAULT_SCHEMES = (
     ResilienceConfig.refresh_renew("a-lfu", 5),
     ResilienceConfig.combination(),
 )
+
+
+@dataclass(frozen=True)
+class MultiSeedSpec:
+    """Declarative multi-seed replication request (the registry's spec)."""
+
+    scale: Scale | None = None
+    seed: int = 7
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4)
+    trace_name: str = "TRC1"
+    attack_hours: float = 6.0
+
+
+def run(spec: MultiSeedSpec) -> MultiSeedResult:
+    """Registry entry point: replicate the headline rates across seeds."""
+    scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+    return multiseed_experiment(
+        scenario,
+        seeds=spec.seeds,
+        trace_name=spec.trace_name,
+        attack_hours=spec.attack_hours,
+    )
 
 
 def multiseed_experiment(

@@ -38,14 +38,35 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     TimeoutError as FuturesTimeoutError,
 )
-from dataclasses import dataclass, field
-from typing import Iterable, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
-from repro.analysis.gaps import GapSample
 from repro.core.config import ResilienceConfig
-from repro.experiments.harness import AttackSpec, ReplayResult, run_replay
+from repro.experiments.harness import AttackSpec, run_replay
 from repro.experiments.scenarios import Scale, Scenario, make_scenario
-from repro.simulation.metrics import MemorySample, WindowCounters
+from repro.experiments.summary import (
+    FleetMemberSummary,
+    FleetSummary,
+    OverheadComparable,
+    ReplaySummary,
+    summarize_replay,
+)
+from repro.obs.spec import ObservationSpec
+from repro.obs.timing import StageTimings, maybe_stage
+
+__all__ = [
+    "FleetMemberSummary",
+    "FleetSpec",
+    "FleetSummary",
+    "OverheadComparable",
+    "ReplayExecutionError",
+    "ReplaySpec",
+    "ReplaySummary",
+    "WORKERS_ENV_VAR",
+    "default_worker_count",
+    "run_replays",
+    "summarize_replay",
+]
 
 #: Environment variable selecting the default worker count.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
@@ -53,20 +74,6 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 class ReplayExecutionError(RuntimeError):
     """A worker process died or exceeded the per-replay timeout."""
-
-
-class OverheadComparable(Protocol):
-    """Anything the overhead tables can baseline against.
-
-    Satisfied by both :class:`~repro.simulation.metrics.ReplayMetrics`
-    and :class:`ReplaySummary`, so tables treat them interchangeably.
-    """
-
-    @property
-    def total_outgoing(self) -> int: ...
-
-    @property
-    def total_bytes(self) -> int: ...
 
 
 # ---------------------------------------------------------------------------
@@ -91,6 +98,11 @@ class ReplaySpec:
     seed: int = 0
     track_gaps: bool = False
     memory_sample_interval: float | None = None
+    observe: ObservationSpec | None = None
+    """Optional observability setup.  Executed inside the worker, so
+    per-spec output paths work at any worker count (each worker writes
+    its own files; the event stream stays deterministic because it is
+    derived from the replay's virtual clock only)."""
 
     @classmethod
     def for_scenario(
@@ -103,6 +115,7 @@ class ReplaySpec:
         seed: int = 0,
         track_gaps: bool = False,
         memory_sample_interval: float | None = None,
+        observe: ObservationSpec | None = None,
     ) -> "ReplaySpec":
         """A spec that replays ``trace_name`` of an existing scenario."""
         return cls(
@@ -114,6 +127,7 @@ class ReplaySpec:
             seed=seed,
             track_gaps=track_gaps,
             memory_sample_interval=memory_sample_interval,
+            observe=observe,
         )
 
     def describe(self) -> str:
@@ -160,179 +174,10 @@ class FleetSpec:
         )
 
 
-# ---------------------------------------------------------------------------
-# Summaries
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class ReplaySummary:
-    """The picklable extract of one :class:`ReplayResult`.
-
-    Carries every number the figures/tables consume; mirrors the metric
-    accessors of :class:`~repro.simulation.metrics.ReplayMetrics` so the
-    overhead tables can treat summaries and metrics interchangeably.
-    """
-
-    label: str
-    trace_name: str
-
-    sr_queries: int
-    sr_failures: int
-    sr_cache_hits: int
-    sr_nxdomain: int
-    sr_validation_failures: int
-
-    cs_demand_queries: int
-    cs_demand_failures: int
-    cs_renewal_queries: int
-    cs_renewal_failures: int
-
-    total_latency: float
-    bytes_out: int
-    bytes_in: int
-
-    window: WindowCounters | None = None
-    gap_samples: tuple[GapSample, ...] = ()
-    memory_samples: tuple[MemorySample, ...] = ()
-
-    # -- failure rates ------------------------------------------------------
-
-    @property
-    def sr_attack_failure_rate(self) -> float:
-        """SR failure fraction during the attack (0 without an attack)."""
-        if self.window is None:
-            return 0.0
-        return self.window.sr_failure_rate
-
-    @property
-    def cs_attack_failure_rate(self) -> float:
-        """CS failure fraction during the attack (0 without an attack)."""
-        if self.window is None:
-            return 0.0
-        return self.window.cs_failure_rate
-
-    @property
-    def sr_failure_rate(self) -> float:
-        if self.sr_queries == 0:
-            return 0.0
-        return self.sr_failures / self.sr_queries
-
-    @property
-    def cs_failure_rate(self) -> float:
-        if self.cs_demand_queries == 0:
-            return 0.0
-        return self.cs_demand_failures / self.cs_demand_queries
-
-    # -- traffic ------------------------------------------------------------
-
-    @property
-    def total_outgoing(self) -> int:
-        """All CS -> AN messages (demand + renewal): Table 2's currency."""
-        return self.cs_demand_queries + self.cs_renewal_queries
-
-    @property
-    def total_bytes(self) -> int:
-        return self.bytes_out + self.bytes_in
-
-    @property
-    def mean_latency(self) -> float:
-        if self.sr_queries == 0:
-            return 0.0
-        return self.total_latency / self.sr_queries
-
-    def message_overhead_vs(self, baseline: OverheadComparable) -> float:
-        """Relative change in outgoing messages vs ``baseline`` (summary
-        or :class:`ReplayMetrics` — anything with ``total_outgoing``)."""
-        if baseline.total_outgoing == 0:
-            raise ValueError("baseline replay sent no messages")
-        return (
-            (self.total_outgoing - baseline.total_outgoing)
-            / baseline.total_outgoing
-        )
-
-    def byte_overhead_vs(self, baseline: OverheadComparable) -> float:
-        """Relative change in total traffic bytes vs ``baseline``."""
-        if baseline.total_bytes == 0:
-            raise ValueError("baseline replay moved no bytes")
-        return (self.total_bytes - baseline.total_bytes) / baseline.total_bytes
-
-
-@dataclass(frozen=True)
-class FleetMemberSummary:
-    """One organisation's slice of a fleet replay."""
-
-    trace_name: str
-    sr_queries: int
-    window: WindowCounters | None = None
-
-
-@dataclass
-class FleetSummary:
-    """Picklable fleet outcome: per-member windows plus aggregates."""
-
-    label: str
-    members: list[FleetMemberSummary] = field(default_factory=list)
-
-    def aggregate_sr_failure_rate(self) -> float:
-        """Fleet-wide SR failure fraction inside the attack window."""
-        queries = sum(
-            member.window.sr_queries for member in self.members
-            if member.window is not None
-        )
-        failures = sum(
-            member.window.sr_failures for member in self.members
-            if member.window is not None
-        )
-        if queries == 0:
-            return 0.0
-        return failures / queries
-
-    def total_failed_lookups(self) -> int:
-        """The §6 damage currency: failed lookups across the fleet."""
-        return sum(
-            member.window.sr_failures for member in self.members
-            if member.window is not None
-        )
-
-    def member(self, trace_name: str) -> FleetMemberSummary:
-        for entry in self.members:
-            if entry.trace_name == trace_name:
-                return entry
-        raise KeyError(trace_name)
-
-    def render(self) -> str:
-        from repro.experiments.fleet import render_fleet_table
-
-        return render_fleet_table(self.label, self.members,
-                                  self.aggregate_sr_failure_rate())
-
-
-def summarize_replay(result: ReplayResult) -> ReplaySummary:
-    """Reduce a full replay result to its picklable summary."""
-    metrics = result.metrics
-    return ReplaySummary(
-        label=result.label,
-        trace_name=result.trace_name,
-        sr_queries=metrics.sr_queries,
-        sr_failures=metrics.sr_failures,
-        sr_cache_hits=metrics.sr_cache_hits,
-        sr_nxdomain=metrics.sr_nxdomain,
-        sr_validation_failures=metrics.sr_validation_failures,
-        cs_demand_queries=metrics.cs_demand_queries,
-        cs_demand_failures=metrics.cs_demand_failures,
-        cs_renewal_queries=metrics.cs_renewal_queries,
-        cs_renewal_failures=metrics.cs_renewal_failures,
-        total_latency=metrics.total_latency,
-        bytes_out=metrics.bytes_out,
-        bytes_in=metrics.bytes_in,
-        window=result.window,
-        gap_samples=(
-            tuple(result.gap_tracker.samples)
-            if result.gap_tracker is not None else ()
-        ),
-        memory_samples=tuple(metrics.memory_samples),
-    )
+# The summary shapes themselves live in repro.experiments.summary (one
+# definition shared with the serial runner); this module re-exports them
+# so historical `from repro.experiments.parallel import ReplaySummary`
+# imports keep working.
 
 
 # ---------------------------------------------------------------------------
@@ -403,14 +248,16 @@ def _execute_spec(spec: ReplaySpec | FleetSpec) -> "ReplaySummary | FleetSummary
         track_gaps=spec.track_gaps,
         memory_sample_interval=spec.memory_sample_interval,
         seed=spec.seed,
+        observe=spec.observe,
     )
-    return summarize_replay(result)
+    return result.to_summary()
 
 
 def run_replays(
     specs: Iterable[ReplaySpec | FleetSpec],
     workers: int | None = None,
     timeout: float | None = None,
+    timings: StageTimings | None = None,
 ) -> "list[ReplaySummary | FleetSummary]":
     """Execute every spec; results come back in spec order.
 
@@ -420,49 +267,55 @@ def run_replays(
             1); 1 runs everything in-process with no executor involved.
         timeout: optional per-replay wall-clock limit in seconds
             (parallel mode only).
+        timings: optional :class:`StageTimings` accumulating the batch's
+            per-stage wall/CPU cost ("prepare" and "execute" stages).
 
     Raises:
         ReplayExecutionError: when a worker process dies (e.g. OOM-kill)
             or a replay exceeds ``timeout``.  Worker exceptions from the
             replay itself propagate unchanged.
     """
-    spec_list = list(specs)
-    if workers is None:
-        workers = default_worker_count()
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    with maybe_stage(timings, "prepare"):
+        spec_list = list(specs)
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
     if workers == 1 or len(spec_list) <= 1:
-        return [_execute_spec(spec) for spec in spec_list]
+        with maybe_stage(timings, "execute"):
+            return [_execute_spec(spec) for spec in spec_list]
 
-    scenario_keys = tuple(dict.fromkeys(
-        (spec.scale, spec.scenario_seed) for spec in spec_list
-    ))
-    pool = ProcessPoolExecutor(
-        max_workers=min(workers, len(spec_list)),
-        initializer=_warm_worker,
-        initargs=(scenario_keys,),
-    )
+    with maybe_stage(timings, "prepare"):
+        scenario_keys = tuple(dict.fromkeys(
+            (spec.scale, spec.scenario_seed) for spec in spec_list
+        ))
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(spec_list)),
+            initializer=_warm_worker,
+            initargs=(scenario_keys,),
+        )
     try:
-        futures: list[Future] = [
-            pool.submit(_execute_spec, spec) for spec in spec_list
-        ]
-        results = []
-        for spec, future in zip(spec_list, futures):
-            try:
-                results.append(future.result(timeout=timeout))
-            except FuturesTimeoutError:
-                _abort_pool(pool, futures)
-                raise ReplayExecutionError(
-                    f"replay {spec.describe()} exceeded the {timeout:g} s "
-                    f"timeout"
-                ) from None
-            except BrokenExecutor as error:
-                raise ReplayExecutionError(
-                    f"a worker process died while running "
-                    f"{spec.describe()} (killed or out of memory); "
-                    f"rerun with workers=1 to reproduce in-process"
-                ) from error
-        return results
+        with maybe_stage(timings, "execute"):
+            futures: list[Future] = [
+                pool.submit(_execute_spec, spec) for spec in spec_list
+            ]
+            results = []
+            for spec, future in zip(spec_list, futures):
+                try:
+                    results.append(future.result(timeout=timeout))
+                except FuturesTimeoutError:
+                    _abort_pool(pool, futures)
+                    raise ReplayExecutionError(
+                        f"replay {spec.describe()} exceeded the {timeout:g} s "
+                        f"timeout"
+                    ) from None
+                except BrokenExecutor as error:
+                    raise ReplayExecutionError(
+                        f"a worker process died while running "
+                        f"{spec.describe()} (killed or out of memory); "
+                        f"rerun with workers=1 to reproduce in-process"
+                    ) from error
+            return results
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 

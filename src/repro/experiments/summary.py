@@ -1,0 +1,224 @@
+"""The shared replay summary: one dataclass, both runners.
+
+Historically the serial runner returned :class:`~repro.experiments.
+harness.ReplayResult` (live objects) while the parallel runner returned
+a separate ``ReplaySummary`` with re-implemented accessors.  This module
+is the single home of the summary shape: results adapt into it via
+``ReplayResult.to_summary()`` / :meth:`ReplaySummary.from_result`, and
+the attack-window failure-rate properties both shapes need live in one
+mixin.  ``repro.api`` re-exports everything here as the stable surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+from repro.analysis.gaps import GapSample
+from repro.simulation.metrics import MemorySample, WindowCounters
+
+if TYPE_CHECKING:
+    from repro.experiments.harness import ReplayResult
+
+
+class OverheadComparable(Protocol):
+    """Anything the overhead tables can baseline against.
+
+    Satisfied by both :class:`~repro.simulation.metrics.ReplayMetrics`
+    and :class:`ReplaySummary`, so tables treat them interchangeably.
+    """
+
+    @property
+    def total_outgoing(self) -> int: ...
+
+    @property
+    def total_bytes(self) -> int: ...
+
+
+class AttackWindowRates:
+    """Attack-window failure rates for anything carrying ``window``."""
+
+    window: "WindowCounters | None"
+
+    @property
+    def sr_attack_failure_rate(self) -> float:
+        """SR failure fraction during the attack (0 without an attack)."""
+        if self.window is None:
+            return 0.0
+        return self.window.sr_failure_rate
+
+    @property
+    def cs_attack_failure_rate(self) -> float:
+        """CS failure fraction during the attack (0 without an attack)."""
+        if self.window is None:
+            return 0.0
+        return self.window.cs_failure_rate
+
+
+@dataclass(frozen=True)
+class ReplaySummary(AttackWindowRates):
+    """The picklable extract of one :class:`ReplayResult`.
+
+    Carries every number the figures/tables consume; mirrors the metric
+    accessors of :class:`~repro.simulation.metrics.ReplayMetrics` so the
+    overhead tables can treat summaries and metrics interchangeably.
+    """
+
+    label: str
+    trace_name: str
+
+    sr_queries: int
+    sr_failures: int
+    sr_cache_hits: int
+    sr_nxdomain: int
+    sr_validation_failures: int
+
+    cs_demand_queries: int
+    cs_demand_failures: int
+    cs_renewal_queries: int
+    cs_renewal_failures: int
+
+    total_latency: float
+    bytes_out: int
+    bytes_in: int
+
+    window: "WindowCounters | None" = None
+    gap_samples: tuple[GapSample, ...] = ()
+    memory_samples: tuple[MemorySample, ...] = ()
+    event_count: int = 0
+    """Observability events emitted during the replay (0 when the run
+    was unobserved)."""
+
+    @classmethod
+    def from_result(cls, result: "ReplayResult") -> "ReplaySummary":
+        """Reduce a full replay result to its picklable summary."""
+        metrics = result.metrics
+        return cls(
+            label=result.label,
+            trace_name=result.trace_name,
+            sr_queries=metrics.sr_queries,
+            sr_failures=metrics.sr_failures,
+            sr_cache_hits=metrics.sr_cache_hits,
+            sr_nxdomain=metrics.sr_nxdomain,
+            sr_validation_failures=metrics.sr_validation_failures,
+            cs_demand_queries=metrics.cs_demand_queries,
+            cs_demand_failures=metrics.cs_demand_failures,
+            cs_renewal_queries=metrics.cs_renewal_queries,
+            cs_renewal_failures=metrics.cs_renewal_failures,
+            total_latency=metrics.total_latency,
+            bytes_out=metrics.bytes_out,
+            bytes_in=metrics.bytes_in,
+            window=result.window,
+            gap_samples=(
+                tuple(result.gap_tracker.samples)
+                if result.gap_tracker is not None else ()
+            ),
+            memory_samples=tuple(metrics.memory_samples),
+            event_count=result.event_count,
+        )
+
+    # -- failure rates ------------------------------------------------------
+
+    @property
+    def sr_failure_rate(self) -> float:
+        if self.sr_queries == 0:
+            return 0.0
+        return self.sr_failures / self.sr_queries
+
+    @property
+    def cs_failure_rate(self) -> float:
+        if self.cs_demand_queries == 0:
+            return 0.0
+        return self.cs_demand_failures / self.cs_demand_queries
+
+    # -- traffic ------------------------------------------------------------
+
+    @property
+    def total_outgoing(self) -> int:
+        """All CS -> AN messages (demand + renewal): Table 2's currency."""
+        return self.cs_demand_queries + self.cs_renewal_queries
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_out + self.bytes_in
+
+    @property
+    def mean_latency(self) -> float:
+        if self.sr_queries == 0:
+            return 0.0
+        return self.total_latency / self.sr_queries
+
+    def message_overhead_vs(self, baseline: OverheadComparable) -> float:
+        """Relative change in outgoing messages vs ``baseline`` (summary
+        or :class:`ReplayMetrics` — anything with ``total_outgoing``).
+        An empty baseline (no messages) reads as zero overhead, matching
+        the ``<= 0.0`` convention in ``analysis/``.
+        """
+        if baseline.total_outgoing <= 0:
+            return 0.0
+        return (
+            (self.total_outgoing - baseline.total_outgoing)
+            / baseline.total_outgoing
+        )
+
+    def byte_overhead_vs(self, baseline: OverheadComparable) -> float:
+        """Relative change in total traffic bytes vs ``baseline``.
+        Zero when the baseline moved no bytes."""
+        if baseline.total_bytes <= 0:
+            return 0.0
+        return (self.total_bytes - baseline.total_bytes) / baseline.total_bytes
+
+
+@dataclass(frozen=True)
+class FleetMemberSummary:
+    """One organisation's slice of a fleet replay."""
+
+    trace_name: str
+    sr_queries: int
+    window: "WindowCounters | None" = None
+
+
+@dataclass
+class FleetSummary:
+    """Picklable fleet outcome: per-member windows plus aggregates."""
+
+    label: str
+    members: list[FleetMemberSummary] = field(default_factory=list)
+
+    def aggregate_sr_failure_rate(self) -> float:
+        """Fleet-wide SR failure fraction inside the attack window."""
+        queries = sum(
+            member.window.sr_queries for member in self.members
+            if member.window is not None
+        )
+        failures = sum(
+            member.window.sr_failures for member in self.members
+            if member.window is not None
+        )
+        if queries == 0:
+            return 0.0
+        return failures / queries
+
+    def total_failed_lookups(self) -> int:
+        """The §6 damage currency: failed lookups across the fleet."""
+        return sum(
+            member.window.sr_failures for member in self.members
+            if member.window is not None
+        )
+
+    def member(self, trace_name: str) -> FleetMemberSummary:
+        for entry in self.members:
+            if entry.trace_name == trace_name:
+                return entry
+        raise KeyError(trace_name)
+
+    def render(self) -> str:
+        from repro.experiments.fleet import render_fleet_table
+
+        return render_fleet_table(self.label, self.members,
+                                  self.aggregate_sr_failure_rate())
+
+
+def summarize_replay(result: "ReplayResult") -> ReplaySummary:
+    """Reduce a full replay result to its picklable summary."""
+    return ReplaySummary.from_result(result)

@@ -1,0 +1,171 @@
+"""The typed event bus behind the observability subsystem.
+
+Simulation components emit :class:`Event` values describing what just
+happened (a cache hit, a CS→AN query attempt, a renewal credit spend)
+through an :class:`EventBus`.  Subscribers — the flight recorder and the
+metric sinks — receive every event synchronously, in emission order.
+
+Two properties carry the whole design:
+
+* **Zero cost when disabled.**  No bus is constructed unless a replay
+  asks for observation; instrumentation sites hold ``EventBus | None``
+  and the hottest path (``DnsCache.get``) swaps in an instrumented
+  method only when a bus attaches, so the disabled simulator executes
+  the exact same bytecode it did before this subsystem existed.
+* **Determinism.**  Event times come from the virtual clock only and
+  the sequence number is a per-bus counter, so the same spec + seed
+  yields a byte-identical event stream (the ``repro check`` invariants
+  of DESIGN.md §9 extend to the event log).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+class EventKind(enum.Enum):
+    """The closed taxonomy of simulation events (DESIGN.md §10)."""
+
+    # Stub-resolver surface.
+    STUB_QUERY = "stub.query"
+    """A stub query arrived at the caching server."""
+
+    STUB_OUTCOME = "stub.outcome"
+    """The stub query completed (fields: ``outcome``, ``failed``)."""
+
+    # CS → AN traffic.
+    QUERY_ISSUED = "query.issued"
+    """One query attempt left for an authoritative server."""
+
+    QUERY_ANSWERED = "query.answered"
+    """The attempt was answered (field ``latency``)."""
+
+    QUERY_FAILED = "query.failed"
+    """The attempt timed out / was blocked / hit a lame server."""
+
+    FETCH_RETRY = "fetch.retry"
+    """A zone's whole server set failed; the resolver climbs to the
+    parent to reset the IRR (paper §4's recovery path)."""
+
+    # Cache surface.
+    CACHE_HIT = "cache.hit"
+    CACHE_MISS = "cache.miss"
+    CACHE_EXPIRED = "cache.expired"
+    """A lookup found only a lapsed entry (the expiry observed)."""
+
+    CACHE_EVICTED = "cache.evicted"
+    """Capacity eviction (bounded caches only)."""
+
+    # Renewal machinery.
+    RENEWAL_SPEND = "renewal.spend"
+    """One renewal credit was spent on a refetch attempt."""
+
+    RENEWAL_RENEWED = "renewal.renewed"
+    """The refetch succeeded; the zone's TTL countdown restarted."""
+
+    RENEWAL_LAPSE = "renewal.lapse"
+    """The zone's IRRs lapsed (no credit, or the refetch failed)."""
+
+    # Attack schedule markers.
+    ATTACK_START = "attack.start"
+    ATTACK_END = "attack.end"
+
+    # Engine timers.
+    TIMER_FIRED = "engine.timer"
+    """A scheduled virtual-time event fired."""
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured simulation event.
+
+    ``data`` is a key-sorted tuple of pairs (not a dict) so events are
+    hashable, picklable and serialise identically everywhere.
+    """
+
+    seq: int
+    time: float
+    kind: EventKind
+    data: "tuple[tuple[str, str | int | float | bool | None], ...]" = ()
+
+    def get(self, key: str) -> "str | int | float | bool | None":
+        """The value for ``key``, or None when absent."""
+        for name, value in self.data:
+            if name == key:
+                return value
+        return None
+
+    def to_json(self) -> str:
+        """The canonical one-line JSON form (byte-stable across runs)."""
+        payload: dict[str, object] = {
+            "kind": self.kind.value,
+            "seq": self.seq,
+            "t": self.time,
+        }
+        for name, value in self.data:
+            payload[name] = value
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+EventHandler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`Event` values to subscribers.
+
+    Every ``emit`` increments the bus-wide sequence number whether or
+    not anyone listens for that kind, so the numbering a sink observes
+    does not depend on which *other* sinks are attached.
+    """
+
+    __slots__ = ("_seq", "_all", "_by_kind")
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._all: list[EventHandler] = []
+        self._by_kind: dict[EventKind, list[EventHandler]] = {}
+
+    def subscribe(
+        self,
+        handler: EventHandler,
+        kinds: "Iterable[EventKind] | None" = None,
+    ) -> None:
+        """Deliver events to ``handler`` (all kinds, or only ``kinds``)."""
+        if kinds is None:
+            self._all.append(handler)
+            return
+        for kind in kinds:
+            self._by_kind.setdefault(kind, []).append(handler)
+
+    def emit(
+        self,
+        kind: EventKind,
+        time: float,
+        **data: "str | int | float | bool | None",
+    ) -> "Event | None":
+        """Publish one event; returns it, or None when nobody listened."""
+        seq = self._seq
+        self._seq = seq + 1
+        targeted = self._by_kind.get(kind)
+        if not self._all and not targeted:
+            return None
+        event = Event(
+            seq=seq,
+            time=time,
+            kind=kind,
+            data=tuple(sorted(data.items())),
+        )
+        for handler in self._all:
+            handler(event)
+        if targeted:
+            for handler in targeted:
+                handler(event)
+        return event
+
+    @property
+    def emitted(self) -> int:
+        """Events published so far (including unobserved ones)."""
+        return self._seq

@@ -1,0 +1,64 @@
+"""The flight recorder: a bounded ring buffer of recent events.
+
+Cheap enough to leave attached during long replays: the buffer holds
+the last ``capacity`` events (older ones are evicted FIFO) while the
+per-kind counters keep whole-run totals, so a post-mortem sees both the
+tail of the story and its shape.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.obs.events import Event, EventBus, EventKind
+
+
+class FlightRecorder:
+    """Ring buffer plus whole-run per-kind counters."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+        self._counts: Counter[EventKind] = Counter()
+        self.seen = 0
+
+    def attach(self, bus: EventBus) -> "FlightRecorder":
+        """Subscribe to every event on ``bus``; returns self."""
+        bus.subscribe(self.on_event)
+        return self
+
+    def on_event(self, event: Event) -> None:
+        self._buffer.append(event)
+        self._counts[event.kind] += 1
+        self.seen += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (seen but no longer retained)."""
+        return self.seen - len(self._buffer)
+
+    def events(self) -> tuple[Event, ...]:
+        """The retained events, oldest first."""
+        return tuple(self._buffer)
+
+    def last(self, count: int) -> tuple[Event, ...]:
+        """The most recent ``count`` retained events, oldest first."""
+        if count <= 0:
+            return ()
+        buffer = self._buffer
+        if count >= len(buffer):
+            return tuple(buffer)
+        return tuple(list(buffer)[-count:])
+
+    def count_of(self, kind: EventKind) -> int:
+        """Whole-run total for one kind (includes evicted events)."""
+        return self._counts[kind]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Whole-run totals keyed by kind value, sorted by kind name."""
+        return {
+            kind.value: self._counts[kind]
+            for kind in sorted(self._counts, key=lambda k: k.value)
+        }

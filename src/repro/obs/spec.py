@@ -1,0 +1,78 @@
+"""Declarative observation setup: what to record and where to put it.
+
+:class:`ObservationSpec` is a frozen, picklable description — it rides
+inside :class:`repro.experiments.parallel.ReplaySpec`, so a worker
+process can build its own bus, recorder and sinks locally and write its
+own output files.  :class:`ObservationContext` is the live counterpart
+a single replay wires into the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import EventBus
+from repro.obs.recorder import FlightRecorder
+from repro.obs.sinks import JsonlSink, PrometheusSink, TimeSeriesSink
+
+DEFAULT_RING_SIZE = 512
+DEFAULT_BIN_WIDTH = 3600.0
+
+
+@dataclass(frozen=True)
+class ObservationSpec:
+    """Which observers to attach to a replay.
+
+    The default spec (all fields falsy) still builds a live bus — use
+    ``None`` for "no observation at all" at the ``run_replay`` surface.
+    """
+
+    events_path: "str | None" = None
+    """Write every event as canonical JSONL to this path."""
+
+    metrics_path: "str | None" = None
+    """Write a Prometheus-style text dump to this path at finish."""
+
+    ring_size: int = DEFAULT_RING_SIZE
+    """Flight-recorder capacity; 0 disables the recorder."""
+
+    bin_width: "float | None" = None
+    """Fixed bin width (simulated seconds) for the time-series sink;
+    None disables it."""
+
+    def build(self) -> "ObservationContext":
+        """Construct the live bus + subscribers this spec describes."""
+        return ObservationContext(self)
+
+
+class ObservationContext:
+    """A live event bus with the spec's subscribers attached."""
+
+    def __init__(self, spec: ObservationSpec) -> None:
+        self.spec = spec
+        self.bus = EventBus()
+        self.recorder: "FlightRecorder | None" = None
+        self.timeseries: "TimeSeriesSink | None" = None
+        self.jsonl: "JsonlSink | None" = None
+        self.prometheus: "PrometheusSink | None" = None
+        if spec.ring_size > 0:
+            self.recorder = FlightRecorder(spec.ring_size).attach(self.bus)
+        if spec.bin_width is not None:
+            self.timeseries = TimeSeriesSink(spec.bin_width).attach(self.bus)
+        if spec.events_path is not None:
+            self.jsonl = JsonlSink(path=spec.events_path).attach(self.bus)
+        if spec.metrics_path is not None:
+            self.prometheus = PrometheusSink().attach(self.bus)
+
+    @property
+    def event_count(self) -> int:
+        """Events emitted on this context's bus so far."""
+        return self.bus.emitted
+
+    def finish(self) -> None:
+        """Flush file-backed sinks (idempotent; call after the replay)."""
+        if self.jsonl is not None:
+            self.jsonl.close()
+            self.jsonl = None
+        if self.prometheus is not None and self.spec.metrics_path is not None:
+            self.prometheus.write(self.spec.metrics_path)

@@ -9,19 +9,32 @@ timestamp order.  Components schedule work with :meth:`schedule` /
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.dns.errors import InvariantError
+from repro.obs.events import EventKind
 from repro.simulation.events import EventHandle, EventQueue
+
+if TYPE_CHECKING:
+    from repro.obs.events import EventBus
+
+_TIMER_FIRED = EventKind.TIMER_FIRED
 
 
 class SimulationEngine:
-    """Virtual clock plus event queue."""
+    """Virtual clock plus event queue.
+
+    ``observer`` is the optional observability bus (DESIGN.md §10); when
+    set, each timer firing emits an ``engine.timer`` event.  The None
+    checks live inside the fire loops so the empty-queue fast path in
+    :meth:`advance_to` stays untouched.
+    """
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now = start_time
         self._queue = EventQueue()
         self._running = False
+        self.observer: "EventBus | None" = None
 
     def schedule(self, time: float, action: Callable[[float], None]) -> EventHandle:
         """Run ``action(fire_time)`` at absolute virtual ``time``.
@@ -56,6 +69,7 @@ class SimulationEngine:
             self.now = time
             return 0
         fired = 0
+        observer = self.observer
         while True:
             next_time = queue.peek_time()
             if next_time is None or next_time > time:
@@ -66,6 +80,8 @@ class SimulationEngine:
                     "event queue emptied between peek and pop"
                 )
             self.now = handle.time
+            if observer is not None:
+                observer.emit(_TIMER_FIRED, handle.time)
             handle.action(handle.time)
             fired += 1
         self.now = time
@@ -79,11 +95,14 @@ class SimulationEngine:
         if until is not None:
             return self.advance_to(until)
         fired = 0
+        observer = self.observer
         while True:
             handle = self._queue.pop()
             if handle is None:
                 return fired
             self.now = handle.time
+            if observer is not None:
+                observer.emit(_TIMER_FIRED, handle.time)
             handle.action(handle.time)
             fired += 1
 

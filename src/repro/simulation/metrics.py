@@ -143,9 +143,14 @@ class ReplayMetrics:
         return self.bytes_out + self.bytes_in
 
     def byte_overhead_vs(self, baseline: "ReplayMetrics") -> float:
-        """Relative change in total traffic bytes vs ``baseline``."""
-        if baseline.total_bytes == 0:
-            raise ValueError("baseline replay moved no bytes")
+        """Relative change in total traffic bytes vs ``baseline``.
+
+        An empty baseline (no bytes moved — e.g. an empty trace) reads
+        as zero overhead, matching the ``<= 0.0`` convention in
+        ``analysis/``.
+        """
+        if baseline.total_bytes <= 0:
+            return 0.0
         return (self.total_bytes - baseline.total_bytes) / baseline.total_bytes
 
     def record_memory(self, sample: MemorySample) -> None:
@@ -181,8 +186,8 @@ class ReplayMetrics:
         """Relative change in outgoing messages vs ``baseline``.
 
         +0.76 means 76 % more messages; -0.1 means 10 % fewer (the paper's
-        Table 2 convention).
+        Table 2 convention).  An empty baseline reads as zero overhead.
         """
-        if baseline.total_outgoing == 0:
-            raise ValueError("baseline replay sent no messages")
+        if baseline.total_outgoing <= 0:
+            return 0.0
         return (self.total_outgoing - baseline.total_outgoing) / baseline.total_outgoing

@@ -79,10 +79,9 @@ class TestTrafficBytes:
                               ResilienceConfig.refresh_long_ttl(7))
         assert long_ttl.metrics.byte_overhead_vs(baseline.metrics) < 0.0
 
-    def test_empty_baseline_rejected(self):
+    def test_empty_baseline_reads_as_zero_overhead(self):
         from repro.simulation.metrics import ReplayMetrics
-        with pytest.raises(ValueError):
-            ReplayMetrics().byte_overhead_vs(ReplayMetrics())
+        assert ReplayMetrics().byte_overhead_vs(ReplayMetrics()) == 0.0
 
 
 class TestFailureBlame:

@@ -1,0 +1,133 @@
+"""Observability end-to-end: determinism and zero perturbation.
+
+The two properties the tentpole promises: an observed replay produces a
+byte-identical event log for the same spec + seed (serial or fanned over
+workers), and attaching observation does not change the simulation.
+"""
+
+import pytest
+
+from repro.core.config import ResilienceConfig
+from repro.experiments.harness import AttackSpec, run_replay
+from repro.experiments.parallel import ReplaySpec, run_replays
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.obs import EventKind, ObservationSpec, StageTimings
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_scenario(Scale.TINY)
+
+
+def observed_replay(scenario, tmp_path, tag, seed=0):
+    events = tmp_path / f"events-{tag}.jsonl"
+    metrics = tmp_path / f"metrics-{tag}.prom"
+    result = run_replay(
+        scenario.built,
+        scenario.trace("TRC1"),
+        ResilienceConfig.combination(),
+        attack=AttackSpec(start=scenario.attack_start, duration=6 * HOUR),
+        seed=seed,
+        observe=ObservationSpec(events_path=str(events),
+                                metrics_path=str(metrics),
+                                bin_width=HOUR),
+    )
+    return result, events.read_bytes(), metrics.read_bytes()
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_outputs(self, scenario, tmp_path):
+        first, events_a, metrics_a = observed_replay(scenario, tmp_path, "a")
+        second, events_b, metrics_b = observed_replay(scenario, tmp_path, "b")
+        assert first.event_count == second.event_count > 0
+        assert events_a == events_b
+        assert metrics_a == metrics_b
+
+    def test_different_seed_differs(self, scenario, tmp_path):
+        _, events_a, _ = observed_replay(scenario, tmp_path, "s0", seed=0)
+        _, events_b, _ = observed_replay(scenario, tmp_path, "s1", seed=1)
+        assert events_a != events_b
+
+    def test_worker_fanout_matches_serial(self, scenario, tmp_path):
+        def specs(tag):
+            return [
+                ReplaySpec.for_scenario(
+                    scenario, trace_name, ResilienceConfig.refresh(),
+                    attack=AttackSpec(start=scenario.attack_start,
+                                      duration=6 * HOUR),
+                    observe=ObservationSpec(
+                        events_path=str(tmp_path / f"{tag}-{trace_name}.jsonl")
+                    ),
+                )
+                for trace_name in ("TRC1", "TRC2")
+            ]
+
+        serial = run_replays(specs("serial"), workers=1)
+        fanned = run_replays(specs("fanned"), workers=2)
+        assert fanned == serial
+        for trace_name in ("TRC1", "TRC2"):
+            serial_log = (tmp_path / f"serial-{trace_name}.jsonl").read_bytes()
+            fanned_log = (tmp_path / f"fanned-{trace_name}.jsonl").read_bytes()
+            assert serial_log == fanned_log
+            assert serial_log
+
+
+class TestZeroPerturbation:
+    def test_observed_replay_matches_unobserved_metrics(self, scenario):
+        attack = AttackSpec(start=scenario.attack_start, duration=6 * HOUR)
+        plain = run_replay(scenario.built, scenario.trace("TRC1"),
+                           ResilienceConfig.combination(), attack=attack)
+        observed = run_replay(scenario.built, scenario.trace("TRC1"),
+                              ResilienceConfig.combination(), attack=attack,
+                              observe=ObservationSpec())
+        assert observed.metrics == plain.metrics
+        assert observed.window == plain.window
+        assert observed.event_count > 0
+        assert plain.event_count == 0
+        assert plain.recorder is None
+
+    def test_summary_equality_ignores_observation(self, scenario):
+        plain = run_replay(scenario.built, scenario.trace("TRC1"),
+                           ResilienceConfig.vanilla())
+        observed = run_replay(scenario.built, scenario.trace("TRC1"),
+                              ResilienceConfig.vanilla(),
+                              observe=ObservationSpec())
+        plain_summary = plain.to_summary()
+        observed_summary = observed.to_summary()
+        assert plain_summary.sr_failure_rate == observed_summary.sr_failure_rate
+        assert plain_summary.total_outgoing == observed_summary.total_outgoing
+        assert plain_summary.total_bytes == observed_summary.total_bytes
+
+
+class TestObservationArtifacts:
+    def test_recorder_and_timeseries_surface_on_result(self, scenario):
+        result = run_replay(
+            scenario.built, scenario.trace("TRC1"),
+            ResilienceConfig.combination(),
+            attack=AttackSpec(start=scenario.attack_start, duration=6 * HOUR),
+            observe=ObservationSpec(ring_size=64, bin_width=HOUR),
+        )
+        assert result.recorder is not None
+        assert result.recorder.seen == result.event_count
+        assert result.recorder.count_of(EventKind.STUB_QUERY) == len(
+            scenario.trace("TRC1")
+        )
+        assert result.recorder.count_of(EventKind.ATTACK_START) == 1
+        assert result.recorder.count_of(EventKind.ATTACK_END) == 1
+        assert result.timeseries is not None
+        issued = result.timeseries.series(EventKind.QUERY_ISSUED)
+        assert sum(count for _, count in issued) > 0
+        assert result.timeseries.total(EventKind.QUERY_ISSUED) == sum(
+            count for _, count in issued
+        )
+
+    def test_stage_timings_populated(self, scenario):
+        timings = StageTimings()
+        run_replay(scenario.built, scenario.trace("TRC1"),
+                   ResilienceConfig.vanilla(), timings=timings)
+        assert set(timings.stage_names()) == {"setup", "replay", "finalize"}
+        assert timings.stats("replay").wall_seconds > 0.0
+        rendered = timings.render()
+        assert "replay" in rendered and "wall" in rendered

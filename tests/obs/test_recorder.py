@@ -1,0 +1,42 @@
+"""Flight recorder: ring eviction and whole-run counters."""
+
+import pytest
+
+from repro.obs import EventBus, EventKind, FlightRecorder
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_ring_evicts_oldest_but_counters_keep_totals():
+    bus = EventBus()
+    recorder = FlightRecorder(capacity=4).attach(bus)
+    for index in range(10):
+        bus.emit(EventKind.CACHE_HIT, float(index))
+    assert recorder.seen == 10
+    assert recorder.dropped == 6
+    retained = recorder.events()
+    assert [event.time for event in retained] == [6.0, 7.0, 8.0, 9.0]
+    assert recorder.count_of(EventKind.CACHE_HIT) == 10
+
+
+def test_last_returns_tail_oldest_first():
+    bus = EventBus()
+    recorder = FlightRecorder(capacity=8).attach(bus)
+    for index in range(5):
+        bus.emit(EventKind.STUB_QUERY, float(index))
+    assert [e.time for e in recorder.last(2)] == [3.0, 4.0]
+    assert len(recorder.last(100)) == 5
+    assert recorder.last(0) == ()
+
+
+def test_counts_by_kind_sorted_by_kind_value():
+    bus = EventBus()
+    recorder = FlightRecorder(capacity=4).attach(bus)
+    bus.emit(EventKind.STUB_QUERY, 0.0)
+    bus.emit(EventKind.CACHE_MISS, 0.0)
+    bus.emit(EventKind.CACHE_MISS, 1.0)
+    assert recorder.counts_by_kind() == {"cache.miss": 2, "stub.query": 1}
+    assert list(recorder.counts_by_kind()) == ["cache.miss", "stub.query"]

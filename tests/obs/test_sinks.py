@@ -1,0 +1,102 @@
+"""Metric sinks: binning, JSONL goldens, Prometheus rendering."""
+
+import io
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    EventKind,
+    JsonlSink,
+    MetricSink,
+    PrometheusSink,
+    TimeSeriesSink,
+)
+
+
+class TestTimeSeriesSink:
+    def test_bin_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSink(0.0)
+
+    def test_counts_fall_into_fixed_width_bins(self):
+        bus = EventBus()
+        sink = TimeSeriesSink(bin_width=10.0).attach(bus)
+        for time in (0.0, 1.0, 9.999, 10.0, 25.0):
+            bus.emit(EventKind.CACHE_HIT, time)
+        bus.emit(EventKind.CACHE_MISS, 25.0)
+        assert sink.series(EventKind.CACHE_HIT) == [
+            (0.0, 3), (10.0, 1), (20.0, 1),
+        ]
+        assert sink.series(EventKind.CACHE_MISS) == [(20.0, 1)]
+        assert sink.series(EventKind.STUB_QUERY) == []
+        assert sink.total(EventKind.CACHE_HIT) == 5
+        assert sink.kinds() == (EventKind.CACHE_HIT, EventKind.CACHE_MISS)
+        assert sink.as_dict() == {
+            "cache.hit": [(0.0, 3), (10.0, 1), (20.0, 1)],
+            "cache.miss": [(20.0, 1)],
+        }
+
+
+class TestJsonlSink:
+    def test_requires_exactly_one_destination(self):
+        with pytest.raises(ValueError):
+            JsonlSink()
+        with pytest.raises(ValueError):
+            JsonlSink(path="x.jsonl", stream=io.StringIO())
+
+    def test_golden_stream(self):
+        bus = EventBus()
+        stream = io.StringIO()
+        sink = JsonlSink(stream=stream).attach(bus)
+        bus.emit(EventKind.STUB_QUERY, 1.5, name="a.com.", rrtype="A")
+        bus.emit(EventKind.CACHE_MISS, 1.5, name="a.com.", rrtype="A")
+        sink.close()
+        assert stream.getvalue() == (
+            '{"kind":"stub.query","name":"a.com.","rrtype":"A","seq":0,"t":1.5}\n'
+            '{"kind":"cache.miss","name":"a.com.","rrtype":"A","seq":1,"t":1.5}\n'
+        )
+        assert sink.lines_written == 2
+
+    def test_path_backed_sink_writes_empty_file_without_events(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        sink = JsonlSink(path=target)
+        sink.close()
+        assert target.read_text(encoding="utf-8") == ""
+
+
+class TestPrometheusSink:
+    def test_golden_render(self):
+        bus = EventBus()
+        sink = PrometheusSink().attach(bus)
+        bus.emit(EventKind.STUB_QUERY, 1.0)
+        bus.emit(EventKind.CACHE_HIT, 2.0)
+        bus.emit(EventKind.CACHE_HIT, 3.5)
+        assert sink.render() == (
+            "# HELP repro_events_total Simulation events by kind.\n"
+            "# TYPE repro_events_total counter\n"
+            'repro_events_total{kind="cache.hit"} 2\n'
+            'repro_events_total{kind="stub.query"} 1\n'
+            "# HELP repro_events_seen_total All simulation events.\n"
+            "# TYPE repro_events_seen_total counter\n"
+            "repro_events_seen_total 3\n"
+            "# HELP repro_last_event_seconds Virtual time of the last event.\n"
+            "# TYPE repro_last_event_seconds gauge\n"
+            "repro_last_event_seconds 3.5\n"
+        )
+
+    def test_write(self, tmp_path):
+        sink = PrometheusSink()
+        target = tmp_path / "metrics.prom"
+        sink.write(target)
+        assert "repro_events_seen_total 0" in target.read_text(encoding="utf-8")
+
+
+def test_all_sinks_satisfy_the_protocol():
+    sinks = (
+        TimeSeriesSink(1.0),
+        JsonlSink(stream=io.StringIO()),
+        PrometheusSink(),
+    )
+    for sink in sinks:
+        assert isinstance(sink, MetricSink)

@@ -86,9 +86,9 @@ class TestOverheadAndLatency:
             scheme.record_cs_query(0.0, failed=False)
         assert scheme.message_overhead_vs(baseline) == pytest.approx(0.76)
 
-    def test_overhead_against_empty_baseline_raises(self):
-        with pytest.raises(ValueError):
-            ReplayMetrics().message_overhead_vs(ReplayMetrics())
+    def test_overhead_against_empty_baseline_is_zero(self):
+        assert ReplayMetrics().message_overhead_vs(ReplayMetrics()) == 0.0
+        assert ReplayMetrics().byte_overhead_vs(ReplayMetrics()) == 0.0
 
     def test_mean_latency(self):
         metrics = ReplayMetrics()

@@ -94,3 +94,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "bitwise-identical" in out
+
+    def test_info_lists_registry_experiments(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("churn", "latency", "dnssec", "maxdamage",
+                     "attack-grid", "multiseed"):
+            assert name in out
+
+    def test_registry_subcommands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["attack-grid", "--scheme", "refresh",
+                                  "--durations-hours", "3,6"])
+        assert args.scheme == "refresh"
+        args = parser.parse_args(["churn", "--churn-fraction", "0.4"])
+        assert args.churn_fraction == 0.4
+
+
+class TestObservabilityCommands:
+    def test_replay_writes_events_and_metrics(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        code = main(["replay", "--scale", "tiny", "--attack-hours", "1",
+                     "--events", str(events), "--metrics", str(metrics),
+                     "--timings"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events emitted" in out
+        assert "wall (s)" in out
+        lines = events.read_text(encoding="utf-8").splitlines()
+        assert lines and all(line.startswith('{"') for line in lines)
+        assert "repro_events_total" in metrics.read_text(encoding="utf-8")
+
+    def test_replay_events_deterministic(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(["replay", "--scale", "tiny", "--attack-hours", "1",
+                         "--events", str(path)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_events_subcommand(self, tmp_path, capsys):
+        out_file = tmp_path / "tail.jsonl"
+        code = main(["events", "--scale", "tiny", "--attack-hours", "1",
+                     "--last", "5", "--out", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stub.query" in out
+        assert "last 5 events" in out
+        assert out_file.exists()
