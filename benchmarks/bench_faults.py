@@ -1,0 +1,112 @@
+"""Fault-injection overhead bench (writes BENCH_faults.json).
+
+Replays the same (trace, scheme, attack) three ways — fault layer
+absent, an *inert* FaultSpec attached (injector built, nothing drawn),
+and the full fault regime (partial-intensity attack, background loss,
+jitter, retry policy) — and records each leg's wall clock against the
+faults-off baseline, plus the determinism check (two faulted runs must
+produce byte-identical event logs).
+
+The acceptance bar mirrors ``bench_obs.py``: with no injector attached
+the network executes the pre-fault code path, so the "off" leg must not
+move; the inert leg bounds the cost of merely carrying an injector; and
+the inert leg's summary must equal the baseline's exactly (the
+faults-disabled byte-identity guarantee).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import ResilienceConfig, RetryPolicy
+from repro.experiments.harness import AttackSpec, run_replay
+from repro.obs import ObservationSpec
+from repro.simulation.faults import FaultSpec
+
+HOUR = 3600.0
+
+
+def _timed_replay(scenario, config, attack, faults=None, observe=None):
+    started = time.perf_counter()
+    result = run_replay(
+        scenario.built,
+        scenario.trace("TRC1"),
+        config,
+        attack=attack,
+        faults=faults,
+        observe=observe,
+    )
+    return result, time.perf_counter() - started
+
+
+def bench_fault_injection_overhead(benchmark, scenario, record_bench_json):
+    config = ResilienceConfig.refresh()
+    blackout = AttackSpec(start=scenario.attack_start, duration=6 * HOUR)
+    partial = AttackSpec(start=scenario.attack_start, duration=6 * HOUR,
+                         intensity=0.5)
+    faulted_config = config.with_retries(RetryPolicy(max_tries=2))
+    fault_spec = FaultSpec(background_loss=0.02, jitter=0.1)
+
+    def sweep():
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp_path = Path(tmp)
+            baseline, baseline_seconds = _timed_replay(
+                scenario, config, blackout
+            )
+            inert, inert_seconds = _timed_replay(
+                scenario, config, blackout, faults=FaultSpec()
+            )
+
+            def observed(tag):
+                return ObservationSpec(
+                    events_path=str(tmp_path / f"events-{tag}.jsonl")
+                )
+
+            faulted, faulted_seconds = _timed_replay(
+                scenario, faulted_config, partial, faults=fault_spec,
+                observe=observed("a"),
+            )
+            _timed_replay(
+                scenario, faulted_config, partial, faults=fault_spec,
+                observe=observed("b"),
+            )
+            identical = (
+                (tmp_path / "events-a.jsonl").read_bytes()
+                == (tmp_path / "events-b.jsonl").read_bytes()
+            )
+            return (baseline, baseline_seconds, inert, inert_seconds,
+                    faulted, faulted_seconds, identical)
+
+    (baseline, baseline_seconds, inert, inert_seconds, faulted,
+     faulted_seconds, identical) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    payload = {
+        "scale": scenario.scale.value,
+        "stub_queries": baseline.metrics.sr_queries,
+        "baseline_seconds": round(baseline_seconds, 3),
+        "inert_spec_seconds": round(inert_seconds, 3),
+        "faulted_seconds": round(faulted_seconds, 3),
+        "inert_spec_overhead": round(inert_seconds / baseline_seconds - 1.0, 3),
+        "faulted_overhead": round(faulted_seconds / baseline_seconds - 1.0, 3),
+        "baseline_sr_attack_failure_rate": round(
+            baseline.sr_attack_failure_rate, 6
+        ),
+        "faulted_sr_attack_failure_rate": round(
+            faulted.sr_attack_failure_rate, 6
+        ),
+        "identical_event_logs": identical,
+        "inert_summary_identical": inert.to_summary() == baseline.to_summary(),
+    }
+    record_bench_json("BENCH_faults", payload)
+    print(
+        f"\nbaseline {baseline_seconds:.2f} s, inert {inert_seconds:.2f} s "
+        f"(+{payload['inert_spec_overhead']:.1%}), faulted "
+        f"{faulted_seconds:.2f} s (+{payload['faulted_overhead']:.1%}), "
+        f"deterministic: {identical}"
+    )
+    assert identical
+    assert payload["inert_summary_identical"]

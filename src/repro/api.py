@@ -21,7 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
-from repro.core.config import ResilienceConfig
+from repro.core.config import ResilienceConfig, RetryPolicy
 from repro.core.schemes import parse_scheme, scheme_syntax
 from repro.experiments import EXPERIMENTS
 from repro.experiments.harness import AttackSpec, ReplayResult, run_replay
@@ -50,6 +50,7 @@ from repro.obs import (
     StageTimings,
     TimeSeriesSink,
 )
+from repro.simulation.faults import FaultInjector, FaultSpec
 
 __all__ = [
     "EXPERIMENTS",
@@ -58,6 +59,8 @@ __all__ = [
     "EventBus",
     "EventKind",
     "ExperimentDef",
+    "FaultInjector",
+    "FaultSpec",
     "FleetMemberSummary",
     "FleetSpec",
     "FleetSummary",
@@ -72,6 +75,7 @@ __all__ = [
     "ReplaySpec",
     "ReplaySummary",
     "ResilienceConfig",
+    "RetryPolicy",
     "Scale",
     "Scenario",
     "StageTimings",

@@ -13,7 +13,7 @@ Commands
 ``trace generate`` / ``trace stats``
     Produce a synthetic trace file / summarise an existing one.
 ``churn`` / ``latency`` / ``dnssec`` / ``maxdamage`` / ``attack-grid`` /
-``multiseed``
+``multiseed`` / ``degradation``
     Extension experiments.  These subcommands (and their flags) are
     generated from the ``repro.experiments.EXPERIMENTS`` registry: each
     spec-dataclass field becomes one ``--flag``.
@@ -41,7 +41,7 @@ from typing import Any, Callable, Sequence
 
 from repro import __version__
 from repro.analysis import export as csv_export
-from repro.core.config import ResilienceConfig
+from repro.core.config import ResilienceConfig, RetryPolicy
 from repro.core.schemes import parse_scheme, scheme_syntax
 from repro.experiments import EXPERIMENTS, ExperimentDef, figures
 from repro.experiments.harness import AttackSpec, run_replay
@@ -52,6 +52,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.scenarios import Scale, make_scenario
 from repro.obs import ObservationSpec, StageTimings
+from repro.simulation.faults import FaultSpec
 from repro.workload.generator import TraceGenerator, WorkloadConfig
 from repro.workload.stats import compute_statistics
 from repro.workload.trace import read_trace, write_trace
@@ -112,6 +113,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     config = parse_scheme(args.scheme)
+    if args.retries > 0:
+        config = config.with_retries(RetryPolicy(max_tries=args.retries))
     scenario = make_scenario(_resolve_scale(args), seed=args.seed)
     if args.trace_file:
         trace = read_trace(args.trace_file)
@@ -120,14 +123,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     attack = None
     if args.attack_hours > 0:
         attack = AttackSpec(start=scenario.attack_start,
-                            duration=args.attack_hours * HOUR)
+                            duration=args.attack_hours * HOUR,
+                            intensity=args.intensity)
+    faults = FaultSpec(background_loss=args.loss) if args.loss > 0 else None
     observe = None
     if args.events or args.metrics:
         observe = ObservationSpec(events_path=args.events,
                                   metrics_path=args.metrics)
     timings = StageTimings() if args.timings else None
     result = run_replay(scenario.built, trace, config, attack=attack,
-                        seed=args.seed, observe=observe, timings=timings)
+                        seed=args.seed, observe=observe, timings=timings,
+                        faults=faults)
     metrics = result.metrics
     print(f"trace {trace.name}: {metrics.sr_queries:,} stub queries, "
           f"{metrics.total_outgoing:,} outgoing messages")
@@ -326,6 +332,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay a trace file instead of a built-in")
     replay.add_argument("--attack-hours", type=float, default=6.0,
                         help="root+TLD attack duration; 0 disables")
+    replay.add_argument("--intensity", type=float, default=1.0,
+                        help="attack drop probability (1.0 = blackout)")
+    replay.add_argument("--loss", type=float, default=0.0,
+                        help="background packet-loss probability")
+    replay.add_argument("--retries", type=int, default=0,
+                        help="retransmits per server (0 = no retry policy)")
     replay.add_argument("--events", default=None, metavar="PATH",
                         help="stream structured events to a JSONL file")
     replay.add_argument("--metrics", default=None, metavar="PATH",

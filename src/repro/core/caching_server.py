@@ -150,10 +150,12 @@ class CachingServer:
         # (drives the optional delegation-recheck of paper §6).
         self._last_parent_learn: dict[Name, float] = {}
 
-        # Server-selection state: smoothed RTT per address and
-        # hold-down deadlines for unresponsive servers.
+        # Server-selection state: smoothed RTT per address, hold-down
+        # deadlines for unresponsive servers, and (under a RetryPolicy)
+        # the consecutive-failure counts driving the hold-down.
         self._srtt: dict[str, float] = {}
         self._held_down: dict[str, float] = {}
+        self._consecutive_failures: dict[str, int] = {}
 
         # Demand contacts per zone (answered queries to its servers) —
         # the λ the analytical availability model consumes.
@@ -426,44 +428,102 @@ class CachingServer:
                 key=lambda pair: self._srtt.get(pair[1], -1.0)
             )
         obs = self.observer
+        retry = self.config.retry_policy
+        max_tries = retry.max_tries if retry is not None else 1
         for server_name, address in candidates[: self.max_servers_per_zone]:
-            if obs is not None:
-                obs.emit(EventKind.QUERY_ISSUED, now,
-                         zone=str(zone), server=address,
-                         qname=str(question.name), renewal=renewal)
-            result = self.network.query(address, question, now)
-            self.metrics.record_cs_query(
-                now, failed=not result.answered, renewal=renewal
-            )
-            self.metrics.record_traffic(
-                question.wire_size(),
-                result.message.wire_size() if result.message else 0,
-            )
-            if not renewal:
-                # Renewal refetches run in the background; only demand
-                # traffic sits on a lookup's critical path.
-                self.metrics.record_latency(result.latency)
-            if result.answered:
+            for attempt in range(max_tries):
                 if obs is not None:
-                    obs.emit(EventKind.QUERY_ANSWERED, now,
-                             zone=str(zone), server=address,
-                             latency=result.latency, renewal=renewal)
-                previous = self._srtt.get(address)
-                self._srtt[address] = (
-                    result.latency if previous is None
-                    else 0.7 * previous + 0.3 * result.latency
+                    if attempt == 0:
+                        obs.emit(EventKind.QUERY_ISSUED, now,
+                                 zone=str(zone), server=address,
+                                 qname=str(question.name), renewal=renewal)
+                    else:
+                        obs.emit(EventKind.QUERY_RETRY, now,
+                                 zone=str(zone), server=address,
+                                 attempt=attempt, renewal=renewal)
+                result = self.network.query(address, question, now)
+                latency = result.latency
+                if not result.answered and result.timed_out and retry is not None:
+                    # The timeout actually paid follows the retransmit
+                    # schedule: try n waits try_timeout * backoff**n.
+                    latency = retry.try_cost(self.network.latency.timeout, attempt)
+                self.metrics.record_cs_query(
+                    now, failed=not result.answered, renewal=renewal
                 )
-                self._held_down.pop(address, None)
+                self.metrics.record_traffic(
+                    question.wire_size(),
+                    result.message.wire_size() if result.message else 0,
+                )
                 if not renewal:
-                    self._note_zone_use(zone, published_ttl, now)
-                return result.message
-            if obs is not None:
-                obs.emit(EventKind.QUERY_FAILED, now,
-                         zone=str(zone), server=address,
-                         latency=result.latency, renewal=renewal)
+                    # Renewal refetches run in the background; only demand
+                    # traffic sits on a lookup's critical path.
+                    self.metrics.record_latency(latency)
+                if result.answered:
+                    if obs is not None:
+                        obs.emit(EventKind.QUERY_ANSWERED, now,
+                                 zone=str(zone), server=address,
+                                 latency=latency, renewal=renewal)
+                    previous = self._srtt.get(address)
+                    self._srtt[address] = (
+                        latency if previous is None
+                        else 0.7 * previous + 0.3 * latency
+                    )
+                    self._held_down.pop(address, None)
+                    self._consecutive_failures.pop(address, None)
+                    if not renewal:
+                        self._note_zone_use(zone, published_ttl, now)
+                    return result.message
+                if obs is not None:
+                    obs.emit(EventKind.QUERY_FAILED, now,
+                             zone=str(zone), server=address,
+                             latency=latency, renewal=renewal)
+                    if result.dropped_by is not None:
+                        obs.emit(EventKind.FAULT_DROP, now,
+                                 server=address, reason=result.dropped_by,
+                                 renewal=renewal)
+                held_down = self._note_server_failure(address, latency, now)
+                if held_down or not result.timed_out:
+                    # Sidelined, or a fast negative (lame delegation):
+                    # retransmitting to this server cannot help.
+                    break
+        return None
+
+    def _note_server_failure(
+        self, address: str, cost: float, now: float
+    ) -> bool:
+        """Failure bookkeeping for one query attempt.
+
+        Returns whether the address was just placed in hold-down.  With
+        a :class:`RetryPolicy` the timeout paid also feeds the smoothed
+        RTT, so lossy/flapping servers lose their selection preference
+        under ``prefer_fast_servers``; without one, behaviour is exactly
+        the legacy single-failure ``server_holddown`` rule.
+        """
+        retry = self.config.retry_policy
+        if retry is None:
             if self.config.server_holddown is not None:
                 self._held_down[address] = now + self.config.server_holddown
-        return None
+            return False
+        previous = self._srtt.get(address)
+        self._srtt[address] = (
+            cost if previous is None else 0.7 * previous + 0.3 * cost
+        )
+        count = self._consecutive_failures.get(address, 0) + 1
+        self._consecutive_failures[address] = count
+        if retry.holddown is not None and count >= retry.holddown_failures:
+            until = now + retry.holddown
+            self._held_down[address] = until
+            # Restart the count so the server gets a clean slate when
+            # the hold-down expires (one failure then re-arms it).
+            self._consecutive_failures.pop(address, None)
+            if self.observer is not None:
+                self.observer.emit(EventKind.SERVER_HOLDDOWN, now,
+                                   server=address, until=until,
+                                   failures=count)
+            return True
+        if self.config.server_holddown is not None:
+            self._held_down[address] = now + self.config.server_holddown
+        return False
 
     def _zone_ns(
         self, zone: Name, now: float, stale: bool

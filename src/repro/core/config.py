@@ -31,6 +31,57 @@ PolicyFactory = Callable[[], RenewalPolicy]
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Resolver-side retransmit behaviour for one server (frozen, picklable).
+
+    BIND-flavoured: up to ``max_tries`` transmissions per server per
+    resolution attempt, each failed try costing ``try_timeout`` (or the
+    network's timeout when None) scaled by ``backoff ** attempt`` — the
+    real retransmit schedule, which latency accounting sums.  A server
+    that fails ``holddown_failures`` consecutive times is sidelined for
+    ``holddown`` seconds (the dead-server hold-down), after which it is
+    eligible again.
+    """
+
+    max_tries: int = 2
+    """Transmissions per server before moving to the next candidate."""
+
+    try_timeout: Optional[float] = None
+    """Per-try timeout in seconds; None uses the network latency
+    model's timeout as the base."""
+
+    backoff: float = 2.0
+    """Exponential multiplier between successive tries (>= 1)."""
+
+    holddown_failures: int = 3
+    """Consecutive failures before the server is sidelined."""
+
+    holddown: Optional[float] = 900.0
+    """Sideline interval in seconds; None disables the hold-down."""
+
+    def __post_init__(self) -> None:
+        if self.max_tries < 1:
+            raise ValueError(f"max_tries must be >= 1, got {self.max_tries}")
+        if self.try_timeout is not None and self.try_timeout <= 0.0:
+            raise ValueError(
+                f"try_timeout must be positive, got {self.try_timeout}"
+            )
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.holddown_failures < 1:
+            raise ValueError(
+                f"holddown_failures must be >= 1, got {self.holddown_failures}"
+            )
+        if self.holddown is not None and self.holddown <= 0.0:
+            raise ValueError(f"holddown must be positive, got {self.holddown}")
+
+    def try_cost(self, base_timeout: float, attempt: int) -> float:
+        """The timeout paid for failed try number ``attempt`` (0-based)."""
+        base = self.try_timeout if self.try_timeout is not None else base_timeout
+        return base * self.backoff**attempt
+
+
+@dataclass(frozen=True)
 class ResilienceConfig:
     """Everything that distinguishes one caching-server scheme from another."""
 
@@ -84,6 +135,13 @@ class ResilienceConfig:
     prefer_fast_servers: bool = False
     """Order a zone's servers by smoothed observed RTT instead of
     rotating through them (BIND-style server selection)."""
+
+    retry_policy: Optional[RetryPolicy] = None
+    """Retransmit schedule + consecutive-failure hold-down per server;
+    None (the paper's baseline) sends exactly one query per server.
+    When set, it supersedes ``server_holddown``'s single-failure rule
+    and failed tries feed the smoothed-RTT estimate, so lossy servers
+    lose their selection preference."""
 
     renewal_jitter: float = 0.05
     """Renewal refetches fire up to this fraction of the remaining TTL
@@ -172,6 +230,13 @@ class ResilienceConfig:
         """A copy carrying a different display label."""
         return replace(self, label=label)
 
+    def with_retries(self, policy: RetryPolicy) -> "ResilienceConfig":
+        """A copy running ``policy``'s retransmit/hold-down machinery."""
+        return replace(
+            self, retry_policy=policy,
+            label=f"{self.label}+retry{policy.max_tries}",
+        )
+
     def make_renewal_policy(self) -> RenewalPolicy | None:
         """Instantiate a fresh policy object (None when renewal is off)."""
         if self.renewal_policy is None:
@@ -189,6 +254,11 @@ class ResilienceConfig:
             parts.append(f"long-ttl({self.long_ttl / DAY:g}d)")
         if self.serve_stale:
             parts.append("serve-stale")
+        if self.retry_policy is not None:
+            parts.append(
+                f"retries({self.retry_policy.max_tries}"
+                f"x{self.retry_policy.backoff:g})"
+            )
         if not parts:
             parts.append("vanilla")
         return " + ".join(parts)

@@ -21,6 +21,7 @@ CLI generates its subcommands from this table; programmatic callers use
 from repro.experiments import (
     attack_grid as _attack_grid,
     churn as _churn,
+    degradation as _degradation,
     dnssec as _dnssec,
     latency as _latency,
     max_damage as _max_damage,
@@ -69,6 +70,12 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
             help="multi-seed replication of the headline failure rates",
             spec_type=_multiseed.MultiSeedSpec,
             runner=_multiseed.run,
+        ),
+        ExperimentDef(
+            name="degradation",
+            help="attack intensity × retry policy degradation sweep",
+            spec_type=_degradation.DegradationSpec,
+            runner=_degradation.run,
         ),
     )
 }

@@ -1,0 +1,190 @@
+"""Graceful-degradation sweep: attack intensity × retry policy.
+
+The paper's attack model is binary — a targeted server answers nothing
+for the whole window.  Real DDoS events are messier: congestion drops
+*some* fraction of queries, and resolver-side retransmit policy decides
+how much of that loss the stub resolvers ever see.  This experiment
+sweeps the fault-injection layer's per-query attack ``intensity``
+(DESIGN.md §11) against a ladder of :class:`~repro.core.config.
+RetryPolicy` aggressiveness and reports, per policy, the *knee*: the
+smallest intensity whose attack-window SR failure rate exceeds a
+threshold.  A scheme degrades gracefully when its knee sits near 1.0
+(only a near-blackout hurts) and sharply when a modest loss rate
+already pushes user-visible failures past the threshold.
+
+All cells are independent replays and fan out through the batch runner
+(``$REPRO_WORKERS``); the hash-keyed fault draws keep every cell
+byte-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.config import ResilienceConfig, RetryPolicy
+from repro.core.schemes import parse_scheme
+from repro.experiments.harness import AttackSpec
+from repro.experiments.parallel import ReplaySpec, run_replays
+from repro.experiments.registry import resolve_scale
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.simulation.faults import FaultSpec
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class DegradationSpec:
+    """Declarative degradation-sweep request (the registry's spec)."""
+
+    scale: Scale | None = None
+    seed: int = 7
+    scheme: str = "refresh"
+    trace_name: str = "TRC1"
+    attack_hours: float = 6.0
+    intensities: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
+    """Attack drop probabilities swept as columns (1.0 = blackout)."""
+
+    retry_tries: tuple[int, ...] = (1, 2, 3)
+    """``max_tries`` per policy row; 0 means no retry policy (baseline)."""
+
+    loss: float = 0.0
+    """Background packet loss applied everywhere, attack or not."""
+
+    holddown: float = 900.0
+    """Dead-server hold-down seconds for the retry rows; <= 0 disables."""
+
+    knee_threshold: float = 0.05
+    """SR failure rate a cell must exceed to count as degraded."""
+
+
+@dataclass(frozen=True)
+class DegradationCell:
+    """One (policy, intensity) replay outcome."""
+
+    policy: str
+    intensity: float
+    sr_rate: float
+    cs_rate: float
+
+
+@dataclass
+class DegradationResult:
+    """The sweep's cells plus the per-policy knee summary."""
+
+    scheme: str
+    threshold: float
+    intensities: tuple[float, ...]
+    policies: tuple[str, ...]
+    cells: list[DegradationCell]
+
+    def cell(self, policy: str, intensity: float) -> DegradationCell:
+        for entry in self.cells:
+            if entry.policy == policy and entry.intensity == intensity:
+                return entry
+        raise KeyError((policy, intensity))
+
+    def knee(self, policy: str) -> float | None:
+        """Smallest swept intensity whose SR rate exceeds the threshold
+        (None when the policy stays under it across the whole sweep)."""
+        for intensity in self.intensities:
+            if self.cell(policy, intensity).sr_rate > self.threshold:
+                return intensity
+        return None
+
+    def render(self) -> str:
+        headers = ["Policy"] + [
+            f"i={intensity:g}" for intensity in self.intensities
+        ] + ["knee"]
+        body = []
+        for policy in self.policies:
+            knee = self.knee(policy)
+            body.append(
+                [policy]
+                + [
+                    f"{self.cell(policy, intensity).sr_rate * 100:.2f}%"
+                    for intensity in self.intensities
+                ]
+                + ["-" if knee is None else f"{knee:g}"]
+            )
+        return format_table(
+            headers,
+            body,
+            title=(
+                f"SR failure rate vs attack intensity ({self.scheme}; "
+                f"knee = first intensity > {self.threshold * 100:g}%)"
+            ),
+        )
+
+
+def _policy_config(
+    base: ResilienceConfig, tries: int, holddown: float
+) -> ResilienceConfig:
+    """The config for one policy row: ``tries`` == 0 keeps the baseline."""
+    if tries <= 0:
+        return base.with_label(f"{base.label}+noretry")
+    policy = RetryPolicy(
+        max_tries=tries,
+        holddown=holddown if holddown > 0.0 else None,
+    )
+    return base.with_retries(policy)
+
+
+def run(spec: DegradationSpec) -> DegradationResult:
+    """Registry entry point: sweep intensity × retry policy.
+
+    Raises:
+        ValueError: when either sweep axis is empty, or an intensity
+            falls outside [0, 1].
+    """
+    if not spec.intensities:
+        raise ValueError("need at least one attack intensity")
+    if not spec.retry_tries:
+        raise ValueError("need at least one retry-tries value")
+    for intensity in spec.intensities:
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(
+                f"attack intensity must be in [0, 1], got {intensity}"
+            )
+    scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+    base = parse_scheme(spec.scheme)
+    faults = FaultSpec(background_loss=spec.loss) if spec.loss > 0.0 else None
+    configs = [
+        _policy_config(base, tries, spec.holddown)
+        for tries in spec.retry_tries
+    ]
+    specs = [
+        ReplaySpec.for_scenario(
+            scenario,
+            spec.trace_name,
+            config,
+            attack=AttackSpec(
+                start=scenario.attack_start,
+                duration=spec.attack_hours * HOUR,
+                intensity=intensity,
+            ),
+            faults=faults,
+        )
+        for config in configs
+        for intensity in spec.intensities
+    ]
+    summaries = iter(run_replays(specs))
+    cells = []
+    for config in configs:
+        for intensity in spec.intensities:
+            summary = next(summaries)
+            cells.append(
+                DegradationCell(
+                    policy=config.label,
+                    intensity=intensity,
+                    sr_rate=summary.sr_attack_failure_rate,
+                    cs_rate=summary.cs_attack_failure_rate,
+                )
+            )
+    return DegradationResult(
+        scheme=spec.scheme,
+        threshold=spec.knee_threshold,
+        intensities=spec.intensities,
+        policies=tuple(config.label for config in configs),
+        cells=cells,
+    )

@@ -24,6 +24,7 @@ from repro.obs.spec import ObservationContext, ObservationSpec
 from repro.obs.timing import StageTimings, maybe_stage
 from repro.simulation.attack import AttackSchedule, AttackWindow, attack_on_root_and_tlds
 from repro.simulation.engine import SimulationEngine
+from repro.simulation.faults import FaultInjector, FaultSpec
 from repro.simulation.metrics import MemorySample, ReplayMetrics, WindowCounters
 from repro.simulation.network import Network
 from repro.workload.trace import Trace
@@ -37,23 +38,34 @@ class AttackSpec:
     """A declarative attack request for a replay.
 
     ``targets`` of None means the paper's root+TLD target set.
+    ``intensity`` is the per-query drop probability: 1.0 (the default)
+    is the paper's total blackout; fractional intensities are resolved
+    per query by a fault injector the harness attaches automatically.
     """
 
     start: float = 6 * DAY
     duration: float = 6 * HOUR
     targets: tuple | None = None
+    intensity: float = 1.0
 
     @property
     def end(self) -> float:
         return self.start + self.duration
 
+    @property
+    def partial(self) -> bool:
+        """Whether this attack needs per-query fault draws."""
+        return self.intensity < 1.0
+
     def build_schedule(self, built: BuiltHierarchy) -> AttackSchedule:
         if self.targets is None:
             return attack_on_root_and_tlds(
-                built.tree, start=self.start, duration=self.duration
+                built.tree, start=self.start, duration=self.duration,
+                intensity=self.intensity,
             )
         window = AttackWindow(
-            start=self.start, end=self.end, target_zones=frozenset(self.targets)
+            start=self.start, end=self.end,
+            target_zones=frozenset(self.targets), intensity=self.intensity,
         )
         return AttackSchedule(built.tree, [window])
 
@@ -94,6 +106,7 @@ def run_replay(
     seed: int = 0,
     observe: ObservationSpec | None = None,
     timings: StageTimings | None = None,
+    faults: FaultSpec | None = None,
 ) -> ReplayResult:
     """Replay ``trace`` through a fresh caching server running ``config``.
 
@@ -103,6 +116,9 @@ def run_replay(
 
     ``observe`` attaches the observability subsystem (DESIGN.md §10) for
     this replay only; ``timings`` accumulates per-stage wall/CPU time.
+    ``faults`` attaches the fault-injection layer (DESIGN.md §11); a
+    partial-intensity attack attaches one implicitly because the
+    per-query intensity rolls need its seeded draws.
     """
     tree = built.tree
     saved_state = None
@@ -112,7 +128,7 @@ def run_replay(
     try:
         return _replay(
             built, trace, config, attack, track_gaps, memory_sample_interval,
-            seed, observe, timings,
+            seed, observe, timings, faults,
         )
     finally:
         if saved_state is not None:
@@ -129,6 +145,7 @@ def _replay(
     seed: int,
     observe: ObservationSpec | None,
     timings: StageTimings | None,
+    faults: FaultSpec | None,
 ) -> ReplayResult:
     with maybe_stage(timings, "setup"):
         engine = SimulationEngine()
@@ -137,7 +154,10 @@ def _replay(
             context = observe.build()
             engine.observer = context.bus
         schedule = attack.build_schedule(built) if attack is not None else None
-        network = Network(built.tree, attacks=schedule)
+        injector: FaultInjector | None = None
+        if faults is not None or (attack is not None and attack.partial):
+            injector = (faults or FaultSpec()).build(seed=seed)
+        network = Network(built.tree, attacks=schedule, faults=injector)
         metrics = ReplayMetrics()
         window = None
         if attack is not None:

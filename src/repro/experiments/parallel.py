@@ -53,6 +53,7 @@ from repro.experiments.summary import (
 )
 from repro.obs.spec import ObservationSpec
 from repro.obs.timing import StageTimings, maybe_stage
+from repro.simulation.faults import FaultSpec
 
 __all__ = [
     "FleetMemberSummary",
@@ -104,6 +105,11 @@ class ReplaySpec:
     its own files; the event stream stays deterministic because it is
     derived from the replay's virtual clock only)."""
 
+    faults: FaultSpec | None = None
+    """Optional fault-injection setup (DESIGN.md §11).  Like ``observe``
+    it is a frozen description: each worker builds its own injector, and
+    the hash-keyed draws make the outcome independent of worker count."""
+
     @classmethod
     def for_scenario(
         cls,
@@ -116,6 +122,7 @@ class ReplaySpec:
         track_gaps: bool = False,
         memory_sample_interval: float | None = None,
         observe: ObservationSpec | None = None,
+        faults: FaultSpec | None = None,
     ) -> "ReplaySpec":
         """A spec that replays ``trace_name`` of an existing scenario."""
         return cls(
@@ -128,6 +135,7 @@ class ReplaySpec:
             track_gaps=track_gaps,
             memory_sample_interval=memory_sample_interval,
             observe=observe,
+            faults=faults,
         )
 
     def describe(self) -> str:
@@ -249,6 +257,7 @@ def _execute_spec(spec: ReplaySpec | FleetSpec) -> "ReplaySummary | FleetSummary
         memory_sample_interval=spec.memory_sample_interval,
         seed=spec.seed,
         observe=spec.observe,
+        faults=spec.faults,
     )
     return result.to_summary()
 

@@ -46,6 +46,18 @@ class EventKind(enum.Enum):
     QUERY_FAILED = "query.failed"
     """The attempt timed out / was blocked / hit a lame server."""
 
+    QUERY_RETRY = "query.retry"
+    """A retransmit to the same server (field ``attempt``, 1-based),
+    driven by the resolver's :class:`~repro.core.config.RetryPolicy`."""
+
+    SERVER_HOLDDOWN = "server.holddown"
+    """A server crossed its consecutive-failure threshold and was
+    sidelined until ``until`` (BIND-style dead-server hold-down)."""
+
+    FAULT_DROP = "fault.drop"
+    """The fault-injection layer swallowed a query (field ``reason``:
+    ``attack`` / ``loss`` / ``flap``)."""
+
     FETCH_RETRY = "fetch.retry"
     """A zone's whole server set failed; the resolver climbs to the
     parent to reset the IRR (paper §4's recovery path)."""

@@ -6,10 +6,23 @@ top level domains", with durations of 3 to 24 hours.
 :func:`attack_on_root_and_tlds` builds exactly that; arbitrary target
 sets support the §6 discussion (attacks on single zones, on providers,
 maximum-damage searches).
+
+Beyond the paper, every window carries an *intensity* — the probability
+in [0, 1] that a query to a targeted server is dropped.  1.0 (the
+default) reproduces the paper's total blackout; fractional intensities
+model the partial-failure regime of Moura et al. (IMC 2018) and are
+resolved per query by :mod:`repro.simulation.faults`.
+
+Lookup cost: ``is_blocked``/``block_intensity`` run once per CS→AN
+query, so the schedule precomputes a sorted boundary timeline and
+memoises the address→intensity map per *segment* (a maximal span with a
+fixed set of active windows).  A query then costs one bisect plus one
+dict probe instead of a linear scan over all windows.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.dns.name import Name, root_name
@@ -21,15 +34,25 @@ HOUR = 3600.0
 
 @dataclass(frozen=True)
 class AttackWindow:
-    """One attack: the listed zones' servers drop all queries in [start, end)."""
+    """One attack: the listed zones' servers drop queries in [start, end).
+
+    ``intensity`` is the per-query drop probability: 1.0 is the paper's
+    total blackout, anything lower needs a fault injector on the network
+    to resolve the per-query coin flips.
+    """
 
     start: float
     end: float
     target_zones: frozenset[Name]
+    intensity: float = 1.0
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
             raise ValueError(f"attack window [{self.start}, {self.end}) is empty")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(
+                f"attack intensity must be in [0, 1], got {self.intensity}"
+            )
 
     def active_at(self, now: float) -> bool:
         """Whether the attack is in progress at virtual time ``now``."""
@@ -46,12 +69,18 @@ class AttackSchedule:
     A server is blocked while *any* zone it serves is under an active
     attack — flooding a server takes out everything it hosts, which is
     why provider-hosted customers suffer when their provider is hit.
+    Overlapping windows combine by maximum intensity.
     """
 
     def __init__(self, tree: ZoneTree, windows: list[AttackWindow] | None = None) -> None:
         self._tree = tree
         self._windows: list[AttackWindow] = []
         self._blocked_by_window: list[frozenset[str]] = []
+        # Per-query lookup structure, built lazily: sorted window edges
+        # plus a memoised address -> intensity map per segment between
+        # consecutive edges (the active window set is constant there).
+        self._boundaries: list[float] | None = None
+        self._segment_maps: dict[int, dict[str, float]] = {}
         for window in windows or []:
             self.add_window(window)
 
@@ -62,16 +91,50 @@ class AttackSchedule:
             blocked.update(self._tree.addresses_for_zone(zone_name))
         self._windows.append(window)
         self._blocked_by_window.append(frozenset(blocked))
+        self._boundaries = None
+        self._segment_maps.clear()
 
     def windows(self) -> tuple[AttackWindow, ...]:
         return tuple(self._windows)
 
+    def _segment_index(self, now: float) -> int:
+        boundaries = self._boundaries
+        if boundaries is None:
+            edges: set[float] = set()
+            for window in self._windows:
+                edges.add(window.start)
+                edges.add(window.end)
+            boundaries = sorted(edges)
+            self._boundaries = boundaries
+        return bisect_right(boundaries, now)
+
+    def _segment_map(self, segment: int) -> dict[str, float]:
+        cached = self._segment_maps.get(segment)
+        if cached is not None:
+            return cached
+        intensities: dict[str, float] = {}
+        # Segment 0 precedes every edge (nothing active); any later
+        # segment is fully characterised by its left boundary, because
+        # window starts/ends are themselves edges.
+        boundaries = self._boundaries
+        if segment > 0 and boundaries:
+            representative = boundaries[segment - 1]
+            for window, blocked in zip(self._windows, self._blocked_by_window):
+                if not window.active_at(representative):
+                    continue
+                for address in blocked:
+                    if window.intensity > intensities.get(address, -1.0):
+                        intensities[address] = window.intensity
+        self._segment_maps[segment] = intensities
+        return intensities
+
+    def block_intensity(self, address: str, now: float) -> float:
+        """The drop probability for ``address`` at ``now`` (0.0 if safe)."""
+        return self._segment_map(self._segment_index(now)).get(address, 0.0)
+
     def is_blocked(self, address: str, now: float) -> bool:
-        """Whether ``address`` is unreachable at ``now``."""
-        for window, blocked in zip(self._windows, self._blocked_by_window):
-            if window.active_at(now) and address in blocked:
-                return True
-        return False
+        """Whether ``address`` is fully unreachable at ``now``."""
+        return self.block_intensity(address, now) >= 1.0
 
     def any_active(self, now: float) -> bool:
         """Whether any attack is in progress at ``now``."""
@@ -87,7 +150,10 @@ class AttackSchedule:
 
 
 def attack_on_root_and_tlds(
-    tree: ZoneTree, start: float = 6 * DAY, duration: float = 6 * HOUR
+    tree: ZoneTree,
+    start: float = 6 * DAY,
+    duration: float = 6 * HOUR,
+    intensity: float = 1.0,
 ) -> AttackSchedule:
     """The paper's scenario: root + every TLD blocked from ``start``.
 
@@ -95,7 +161,10 @@ def attack_on_root_and_tlds(
     of a 7-day trace; the headline comparisons use a 6-hour attack.
     """
     targets = frozenset([root_name(), *tree.tld_names()])
-    window = AttackWindow(start=start, end=start + duration, target_zones=targets)
+    window = AttackWindow(
+        start=start, end=start + duration, target_zones=targets,
+        intensity=intensity,
+    )
     return AttackSchedule(tree, [window])
 
 
@@ -104,10 +173,19 @@ def attack_on_zones(
     zones: list[Name],
     start: float = 6 * DAY,
     duration: float = 6 * HOUR,
+    intensity: float = 1.0,
 ) -> AttackSchedule:
-    """An attack on an arbitrary zone set (paper §6's other attack classes)."""
+    """An attack on an arbitrary zone set (paper §6's other attack classes).
+
+    Raises:
+        ValueError: when ``zones`` is empty — a window that blocks
+            nothing is always a caller bug, not a scenario.
+    """
+    if not zones:
+        raise ValueError("attack_on_zones needs at least one target zone")
     window = AttackWindow(
-        start=start, end=start + duration, target_zones=frozenset(zones)
+        start=start, end=start + duration, target_zones=frozenset(zones),
+        intensity=intensity,
     )
     return AttackSchedule(tree, [window])
 

@@ -4,6 +4,12 @@ The network is deliberately simple — the paper's metrics depend on *which*
 servers are reachable, not on packet dynamics — but it models the two
 costs that shape resolver behaviour: per-hop round-trip latency and the
 timeout paid for every query to a dead server.
+
+An optional :class:`~repro.simulation.faults.FaultInjector` extends the
+binary blocked/reachable model with the partial-failure regime: attack
+windows with fractional intensity, background packet loss, latency
+jitter and duty-cycled server flapping.  Without an injector the query
+path is exactly the pre-fault code — the disabled layer costs nothing.
 """
 
 from __future__ import annotations
@@ -13,8 +19,9 @@ from dataclasses import dataclass
 
 from repro.dns.errors import LameDelegationError
 from repro.dns.message import Message, Question
-from repro.simulation.attack import AttackSchedule
 from repro.hierarchy.tree import ZoneTree
+from repro.simulation.attack import AttackSchedule
+from repro.simulation.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -45,10 +52,19 @@ class LatencyModel:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Outcome of one CS -> AN query attempt."""
+    """Outcome of one CS -> AN query attempt.
+
+    ``dropped_by`` names the fault-layer mechanism that swallowed the
+    query (``"attack"``, ``"loss"`` or ``"flap"``); it stays None on the
+    fault-free path so pre-fault event streams are unchanged.
+    ``timed_out`` distinguishes silent drops (worth retransmitting) from
+    fast negative answers like lame delegations (not worth it).
+    """
 
     message: Message | None
     latency: float
+    dropped_by: str | None = None
+    timed_out: bool = False
 
     @property
     def answered(self) -> bool:
@@ -63,9 +79,11 @@ class Network:
         tree: ZoneTree,
         attacks: AttackSchedule | None = None,
         latency: LatencyModel | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self._tree = tree
         self._attacks = attacks
+        self._faults = faults
         self.latency = latency or LatencyModel()
         self.queries_sent = 0
         self.queries_lost = 0
@@ -73,6 +91,10 @@ class Network:
     @property
     def attacks(self) -> AttackSchedule | None:
         return self._attacks
+
+    @property
+    def faults(self) -> FaultInjector | None:
+        return self._faults
 
     def set_attacks(self, attacks: AttackSchedule | None) -> None:
         """Swap the attack schedule (used by scenario harnesses)."""
@@ -82,29 +104,64 @@ class Network:
         """Send ``question`` to the server at ``address``.
 
         Returns an unanswered result (``message is None``) when the
-        address is blocked by an attack, unknown, or lame for the
-        question; the caller pays the timeout either way.
+        address is blocked by an attack, dropped by the fault model,
+        unknown, or lame for the question; the caller pays the timeout
+        either way.
         """
         self.queries_sent += 1
-        if self._attacks is not None and self._attacks.is_blocked(address, now):
-            self.queries_lost += 1
-            return QueryResult(None, self.latency.timeout)
+        faults = self._faults
+        jitter = 1.0
+        if faults is None:
+            if self._attacks is not None and self._attacks.is_blocked(address, now):
+                self.queries_lost += 1
+                return QueryResult(None, self.latency.timeout, timed_out=True)
+        else:
+            ordinal = faults.next_ordinal(address)
+            dropped = self._fault_verdict(faults, address, ordinal, now)
+            if dropped is not None:
+                self.queries_lost += 1
+                return QueryResult(
+                    None, self.latency.timeout, dropped_by=dropped,
+                    timed_out=True,
+                )
+            jitter = faults.jitter_factor(address, ordinal)
         server = self._tree.server_by_address(address)
         if server is None:
             self.queries_lost += 1
-            return QueryResult(None, self.latency.timeout)
+            return QueryResult(None, self.latency.timeout, timed_out=True)
         try:
             message = server.respond(question)
         except LameDelegationError:
             # A real lame server answers REFUSED or garbage; either way
             # the resolver moves to the next server, same as a timeout
-            # (but much faster).
+            # (but much faster — and not worth a retransmit).
             self.queries_lost += 1
-            return QueryResult(None, self.latency.rtt_for(address))
-        return QueryResult(message, self.latency.rtt_for(address))
+            return QueryResult(None, self.latency.rtt_for(address) * jitter)
+        return QueryResult(message, self.latency.rtt_for(address) * jitter)
+
+    def _fault_verdict(
+        self, faults: FaultInjector, address: str, ordinal: int, now: float
+    ) -> str | None:
+        """Which fault mechanism (if any) swallows this query attempt."""
+        if self._attacks is not None:
+            intensity = self._attacks.block_intensity(address, now)
+            if faults.attack_drops(address, ordinal, intensity):
+                return "attack"
+        if faults.flap_down(address, now):
+            return "flap"
+        if faults.loss_drops(address, ordinal):
+            return "loss"
+        return None
 
     def is_reachable(self, address: str, now: float) -> bool:
-        """Whether a query to ``address`` would currently be answered."""
+        """Whether a query to ``address`` would currently be answered.
+
+        Probabilistic faults (partial intensity, background loss) do not
+        make an address unreachable — only full blocks and a flap in its
+        down phase do.
+        """
         if self._attacks is not None and self._attacks.is_blocked(address, now):
+            return False
+        if self._faults is not None and self._faults.flap_down(address, now):
             return False
         return self._tree.server_by_address(address) is not None

@@ -30,10 +30,11 @@ def make_stack(
     config: ResilienceConfig,
     attacks=None,
     gap_observer=None,
+    faults=None,
 ):
     """Build a CachingServer wired to the mini internet."""
     engine = SimulationEngine()
-    network = Network(mini.tree, attacks=attacks)
+    network = Network(mini.tree, attacks=attacks, faults=faults)
     metrics = ReplayMetrics()
     server = CachingServer(
         root_hints=mini.tree.root_hints(),

@@ -4,8 +4,9 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core.config import ResilienceConfig
+from repro.core.config import ResilienceConfig, RetryPolicy
 from repro.simulation.attack import attack_on_zones
+from repro.simulation.faults import FaultSpec
 from repro.dns.rrtypes import RRType
 
 from tests.conftest import make_stack
@@ -107,3 +108,126 @@ class TestRttSelection:
         from repro.simulation.network import LatencyModel
         model = LatencyModel(rtt=0.04, rtt_spread=0.0)
         assert model.rtt_for("10.0.0.1") == 0.04
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_tries=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(try_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(holddown_failures=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(holddown=-1.0)
+
+    def test_try_cost_follows_backoff(self):
+        policy = RetryPolicy(max_tries=3, try_timeout=1.0, backoff=3.0)
+        assert policy.try_cost(2.0, 0) == 1.0
+        assert policy.try_cost(2.0, 1) == 3.0
+        assert policy.try_cost(2.0, 2) == 9.0
+        # try_timeout=None falls back to the network's base timeout.
+        assert RetryPolicy().try_cost(2.0, 1) == 4.0
+
+    def test_with_retries_label(self):
+        config = ResilienceConfig.refresh().with_retries(
+            RetryPolicy(max_tries=3)
+        )
+        assert config.label == "refresh+retry3"
+        assert "retries(3x2)" in config.describe()
+
+    def test_retries_retransmit_to_timed_out_servers(self, mini):
+        attacks = attack_on_zones(mini.tree, [name("example.test.")],
+                                  start=0.0, duration=HOUR)
+        single = make_stack(mini, ResilienceConfig.vanilla(), attacks=attacks)
+        single[0].handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+        base_sent = single[2].queries_sent
+
+        config = ResilienceConfig.vanilla().with_retries(
+            RetryPolicy(max_tries=3, holddown=None)
+        )
+        retried = make_stack(mini, config, attacks=attacks)
+        retried[0].handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+        assert retried[2].queries_sent > base_sent
+
+    def test_no_retransmit_to_lame_servers(self, mini):
+        # A lame delegation answers fast and deterministically; the retry
+        # loop must not retransmit to it.
+        config = ResilienceConfig.vanilla().with_retries(
+            RetryPolicy(max_tries=3, holddown=None)
+        )
+        plain = make_stack(mini, ResilienceConfig.vanilla())
+        plain[0].handle_stub_query(name("www.unrelated.alt."), RRType.A, 0.0)
+        retried = make_stack(mini, config)
+        retried[0].handle_stub_query(name("www.unrelated.alt."), RRType.A, 0.0)
+        assert retried[2].queries_sent == plain[2].queries_sent
+
+    def test_backoff_inflates_recorded_latency(self, mini):
+        attacks = attack_on_zones(mini.tree, [name("example.test.")],
+                                  start=0.0, duration=HOUR)
+
+        def total_latency(backoff):
+            config = ResilienceConfig.vanilla().with_retries(
+                RetryPolicy(max_tries=3, backoff=backoff, holddown=None)
+            )
+            server, engine, network, metrics = make_stack(
+                mini, config, attacks=attacks
+            )
+            server.handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+            return metrics.total_latency
+
+        assert total_latency(3.0) > total_latency(1.0)
+
+    def test_consecutive_failures_trigger_holddown(self, mini):
+        attacks = attack_on_zones(mini.tree, [name("example.test.")],
+                                  start=0.0, duration=HOUR)
+        config = ResilienceConfig.vanilla().with_retries(
+            RetryPolicy(max_tries=2, holddown_failures=2, holddown=500.0)
+        )
+        server, *_ = make_stack(mini, config, attacks=attacks)
+        server.handle_stub_query(name("www.example.test."), RRType.A, 0.0)
+        # Both SLD servers failed twice in a row -> both sidelined, and
+        # the failure counters restart for a clean post-hold-down slate.
+        held = [a for a, until in server._held_down.items() if until > 0.0]
+        assert len(held) >= 2
+        assert not server._consecutive_failures
+
+    def test_holddown_expires_and_success_clears_state(self, mini):
+        attacks = attack_on_zones(mini.tree, [name("example.test.")],
+                                  start=0.0, duration=600.0)
+        config = ResilienceConfig.vanilla().with_retries(
+            RetryPolicy(max_tries=2, holddown_failures=2, holddown=300.0)
+        )
+        server, *_ = make_stack(mini, config, attacks=attacks)
+        failed = server.handle_stub_query(name("www.example.test."),
+                                          RRType.A, 0.0)
+        assert failed.failed
+        # Attack over at 600, hold-downs expired at ~300: recovery.
+        late = server.handle_stub_query(name("www.example.test."),
+                                        RRType.A, 700.0)
+        assert not late.failed
+        assert not server._consecutive_failures
+
+    def test_flapping_server_loses_srtt_preference(self, mini):
+        flappy = mini.address_of("ns1.example.test.")
+        steady = mini.address_of("ns2.example.test.")
+        injector = FaultSpec(
+            flap_period=100.0, flap_duty=0.0, flap_addresses=(flappy,)
+        ).build(seed=1)
+        config = replace(
+            ResilienceConfig.vanilla().with_retries(
+                RetryPolicy(max_tries=2, holddown=None)
+            ),
+            prefer_fast_servers=True,
+        )
+        server, *_ = make_stack(mini, config, faults=injector)
+        for step in range(8):
+            server.handle_stub_query(name("www.example.test."), RRType.A,
+                                     step * 700.0)
+        # Failed tries feed the smoothed RTT: the always-down server's
+        # estimate dwarfs the steady server's real RTT.
+        assert flappy in server._srtt
+        assert steady in server._srtt
+        assert server._srtt[flappy] > server._srtt[steady]

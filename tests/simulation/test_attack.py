@@ -36,6 +36,14 @@ class TestAttackWindow:
     def test_duration(self):
         assert AttackWindow(0.0, 6 * HOUR, frozenset()).duration == 6 * HOUR
 
+    def test_default_intensity_is_blackout(self):
+        assert AttackWindow(0.0, 10.0, frozenset()).intensity == 1.0
+
+    @pytest.mark.parametrize("intensity", [-0.1, 1.5])
+    def test_out_of_range_intensity_rejected(self, intensity):
+        with pytest.raises(ValueError):
+            AttackWindow(0.0, 10.0, frozenset(), intensity=intensity)
+
 
 class TestAttackSchedule:
     def test_blocks_targeted_zone_servers_only_during_window(self, mini):
@@ -99,3 +107,81 @@ class TestAttackSchedule:
                                    start=0.0, duration=10.0)
         for address in mini.addresses.values():
             assert not schedule.is_blocked(address, 5.0)
+
+    def test_empty_zone_list_rejected(self, mini):
+        with pytest.raises(ValueError):
+            attack_on_zones(mini.tree, [], start=0.0, duration=10.0)
+
+    def test_empty_schedule_blocks_nothing(self, mini):
+        schedule = AttackSchedule(mini.tree)
+        address = mini.address_of("ns1.test.")
+        assert not schedule.is_blocked(address, 0.0)
+        assert schedule.block_intensity(address, 1e9) == 0.0
+
+
+class TestIntensity:
+    def test_partial_window_reports_intensity_not_blocked(self, mini):
+        schedule = attack_on_zones(mini.tree, [name("example.test.")],
+                                   start=100.0, duration=50.0, intensity=0.4)
+        address = mini.address_of("ns1.example.test.")
+        assert schedule.block_intensity(address, 120.0) == 0.4
+        assert not schedule.is_blocked(address, 120.0)
+        assert schedule.block_intensity(address, 99.0) == 0.0
+
+    def test_overlapping_windows_combine_by_max(self, mini):
+        schedule = AttackSchedule(mini.tree)
+        schedule.add_window(
+            AttackWindow(0.0, 100.0, frozenset([name("test.")]), intensity=0.3)
+        )
+        schedule.add_window(
+            AttackWindow(50.0, 150.0, frozenset([name("test.")]), intensity=0.8)
+        )
+        address = mini.address_of("ns1.test.")
+        assert schedule.block_intensity(address, 25.0) == 0.3
+        assert schedule.block_intensity(address, 75.0) == 0.8
+        assert schedule.block_intensity(address, 125.0) == 0.8
+        assert schedule.block_intensity(address, 175.0) == 0.0
+
+
+class TestSegmentCache:
+    """The bisect-based lookup agrees with a naive window scan."""
+
+    def naive_intensity(self, schedule, address, now):
+        best = 0.0
+        for window, blocked in zip(schedule._windows,
+                                   schedule._blocked_by_window):
+            if window.active_at(now) and address in blocked:
+                best = max(best, window.intensity)
+        return best
+
+    def test_matches_naive_scan_across_boundaries(self, mini):
+        schedule = AttackSchedule(mini.tree)
+        schedule.add_window(
+            AttackWindow(10.0, 40.0, frozenset([name("test.")]), intensity=0.5)
+        )
+        schedule.add_window(
+            AttackWindow(20.0, 60.0, frozenset([name("alt.")])),
+        )
+        schedule.add_window(
+            AttackWindow(30.0, 50.0, frozenset([name("test.")]), intensity=0.9)
+        )
+        probes = [0.0, 9.99, 10.0, 15.0, 20.0, 25.0, 30.0, 39.99, 40.0,
+                  45.0, 50.0, 55.0, 60.0, 99.0]
+        for address in mini.addresses.values():
+            for now in probes:
+                assert schedule.block_intensity(address, now) == (
+                    self.naive_intensity(schedule, address, now)
+                ), (address, now)
+
+    def test_add_window_invalidates_cache(self, mini):
+        schedule = AttackSchedule(mini.tree)
+        schedule.add_window(
+            AttackWindow(0.0, 10.0, frozenset([name("test.")]))
+        )
+        address = mini.address_of("ns1.test.")
+        assert schedule.is_blocked(address, 5.0)  # populates the cache
+        schedule.add_window(
+            AttackWindow(20.0, 30.0, frozenset([name("test.")]))
+        )
+        assert schedule.is_blocked(address, 25.0)
+        assert not schedule.is_blocked(address, 15.0)
