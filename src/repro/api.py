@@ -51,10 +51,22 @@ from repro.obs import (
     TimeSeriesSink,
 )
 from repro.simulation.faults import FaultInjector, FaultSpec
+from repro.validation import (
+    DifferentialCache,
+    DivergenceError,
+    InvariantViolation,
+    OracleCache,
+    ValidationError,
+    check_cache_invariants,
+    check_renewal_invariants,
+    run_fuzz,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "AttackSpec",
+    "DifferentialCache",
+    "DivergenceError",
     "Event",
     "EventBus",
     "EventKind",
@@ -65,10 +77,12 @@ __all__ = [
     "FleetSpec",
     "FleetSummary",
     "FlightRecorder",
+    "InvariantViolation",
     "JsonlSink",
     "MetricSink",
     "ObservationContext",
     "ObservationSpec",
+    "OracleCache",
     "PrometheusSink",
     "ReplayExecutionError",
     "ReplayResult",
@@ -80,9 +94,13 @@ __all__ = [
     "Scenario",
     "StageTimings",
     "TimeSeriesSink",
+    "ValidationError",
+    "check_cache_invariants",
+    "check_renewal_invariants",
     "make_scenario",
     "parse_scheme",
     "resolve_scale",
+    "run_fuzz",
     "run_replay",
     "run_replays",
     "scheme_syntax",

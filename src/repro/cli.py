@@ -26,6 +26,10 @@ Commands
 ``check``
     Run the determinism/static-analysis gate (custom AST lint rules
     REP001...; ``--strict`` adds mypy/ruff when installed).
+``validate``
+    Differential cache validation: the regression corpus, seeded
+    op-sequence fuzzing, and a replay with the cache shadowed by the
+    naive oracle (DESIGN.md §12).
 
 Scheme syntax (for ``--scheme``): ``vanilla``, ``refresh``,
 ``serve-stale``, ``combination``, ``<policy>:<credit>`` (e.g.
@@ -133,7 +137,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     timings = StageTimings() if args.timings else None
     result = run_replay(scenario.built, trace, config, attack=attack,
                         seed=args.seed, observe=observe, timings=timings,
-                        faults=faults)
+                        faults=faults, validation=args.validate)
     metrics = result.metrics
     print(f"trace {trace.name}: {metrics.sr_queries:,} stub queries, "
           f"{metrics.total_outgoing:,} outgoing messages")
@@ -344,6 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Prometheus-style metrics dump")
     replay.add_argument("--timings", action="store_true",
                         help="report per-stage wall/CPU time")
+    replay.add_argument("--validate", action="store_true",
+                        help="shadow the cache with the naive oracle and "
+                             "check invariants (slow; results unchanged)")
     replay.add_argument("--seed", type=int, default=7)
     _add_scale_argument(replay)
     replay.set_defaults(func=_cmd_replay)
@@ -413,8 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     from repro.devtools.cli import add_check_parser
+    from repro.validation.cli import add_validate_parser
 
     add_check_parser(subparsers)
+    add_validate_parser(subparsers)
 
     return parser
 

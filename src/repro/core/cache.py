@@ -263,6 +263,12 @@ class DnsCache:
             replaced_expired = existing is not None
             if existing is None:
                 self._make_room(now)
+            elif self.max_entries is not None:
+                # Pop-then-set so the overwrite lands at the MRU end of
+                # the insertion-ordered dict; a plain `[key] =` keeps the
+                # stale position and `_make_room` would evict the entry
+                # we just rewrote before genuinely colder ones.
+                del self._entries[key]
             entry = CacheEntry(
                 rrset=rrset,
                 rank=rank,
@@ -297,6 +303,9 @@ class DnsCache:
 
         previous_expiry = existing.expires_at
         previous_ttl = existing.published_ttl
+        if self.max_entries is not None:
+            # Same pop-then-set recency rule for replace/refresh stores.
+            del self._entries[key]
         entry = CacheEntry(
             rrset=rrset,
             rank=rank,
@@ -385,10 +394,16 @@ class DnsCache:
         return entry.expires_at
 
     def remove(self, name: Name, rrtype: RRType) -> bool:
-        """Drop an entry outright (used by delegation-change handling)."""
+        """Drop an entry outright (used by delegation-change handling).
+
+        Clears both the positive entry and any negative entry under the
+        same key: after a delegation change the old NXDOMAIN/NODATA
+        verdict is just as obsolete as the old data.
+        """
         key = (name, rrtype)
+        removed_negative = self._negative.pop(key, None) is not None
         if self._entries.pop(key, None) is None:
-            return False
+            return removed_negative
         self._count_out(key)
         return True
 
@@ -465,14 +480,18 @@ class DnsCache:
         )
 
     def total_entry_count(self) -> int:
-        """All entries including tombstones (memory-footprint accounting)."""
-        return len(self._entries)
+        """All entries including tombstones and negative entries
+        (memory-footprint accounting)."""
+        return len(self._entries) + len(self._negative)
 
     def purge_expired(self, now: float, older_than: float = 0.0) -> int:
         """Drop tombstones that lapsed more than ``older_than`` seconds ago.
 
         The simulator keeps tombstones for gap measurement; long runs may
-        call this periodically to bound memory.  Returns entries removed.
+        call this periodically to bound memory.  Lapsed negative entries
+        are purged under the same rule — they are useless once expired
+        and would otherwise accumulate forever.  Returns entries removed
+        (positive + negative).
         """
         doomed = [
             key
@@ -482,4 +501,11 @@ class DnsCache:
         for key in doomed:
             del self._entries[key]
             self._count_out(key)
-        return len(doomed)
+        doomed_negative = [
+            key
+            for key, expiry in self._negative.items()
+            if expiry + older_than <= now
+        ]
+        for key in doomed_negative:
+            del self._negative[key]
+        return len(doomed) + len(doomed_negative)

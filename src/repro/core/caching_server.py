@@ -99,15 +99,28 @@ class CachingServer:
         max_servers_per_zone: int = 3,
         seed: int = 0,
         observer: EventBus | None = None,
+        validation: bool = False,
     ) -> None:
         self.config = config or ResilienceConfig.vanilla()
         self.network = network
         self.engine = engine
         self.metrics = metrics or ReplayMetrics()
-        self.cache = DnsCache(
-            max_effective_ttl=self.config.max_effective_ttl,
-            max_entries=self.config.cache_capacity,
-        )
+        if validation:
+            # Shadow every cache operation with the naive oracle model
+            # (DESIGN.md §12).  Imported lazily: the validation package
+            # depends on this module's sibling `cache`, and an unshadowed
+            # server must not pay the import.
+            from repro.validation.differential import DifferentialCache
+
+            self.cache: DnsCache = DifferentialCache(
+                max_effective_ttl=self.config.max_effective_ttl,
+                max_entries=self.config.cache_capacity,
+            )
+        else:
+            self.cache = DnsCache(
+                max_effective_ttl=self.config.max_effective_ttl,
+                max_entries=self.config.cache_capacity,
+            )
         self.observer = observer
         if observer is not None:
             self.cache.attach_observer(observer)

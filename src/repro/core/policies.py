@@ -62,6 +62,10 @@ class RenewalPolicy(ABC):
         """How many zones hold state (memory accounting)."""
         return len(self._credits)
 
+    def balances(self) -> dict[Name, float]:
+        """A snapshot of every zone's credit balance (for validation)."""
+        return dict(self._credits)
+
 
 class LRUPolicy(RenewalPolicy):
     """Reset-to-C on use: unused zones expire first."""

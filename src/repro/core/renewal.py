@@ -61,6 +61,7 @@ class RenewalManager:
         self._armed_for: dict[Name, float] = {}
         self.renewals_attempted = 0
         self.renewals_succeeded = 0
+        self.renewals_failed = 0
         self.lapses = 0
 
     # -- notifications from the caching server ------------------------------
@@ -108,8 +109,11 @@ class RenewalManager:
         armed_expiry = self._armed_for.pop(zone, None)
         current_expiry = self._cache.zone_ns_expiry(zone, now)
         if current_expiry is None:
-            # Already lapsed or evicted; nothing to renew.
-            self._lapse(zone, now)
+            # Already lapsed or evicted (e.g. removed by delegation-change
+            # handling or capacity pressure); clean up the policy state
+            # but do not count a lapse — nothing expired *under renewal*,
+            # and counting evictions here inflates the metric.
+            self._lapse(zone, now, count=False)
             return
         if armed_expiry is not None and current_expiry > armed_expiry + _EPSILON:
             # Something refreshed the IRRs since we armed; rearm silently.
@@ -129,23 +133,37 @@ class RenewalManager:
             # A successful refetch re-enters note_irrs_cached via the
             # caching server's ingest path; if it somehow did not (e.g.
             # equal-rank non-refresh edge), rearm from the cache state.
+            # A refreshed expiry inside the renewal lead still gets a
+            # timer (clamped to fire immediately by note_irrs_cached);
+            # leaving it timerless would let the zone expire silently
+            # with no lapse count and orphaned policy credit.
             if zone not in self._timers:
                 refreshed_expiry = self._cache.zone_ns_expiry(zone, now)
-                if refreshed_expiry is not None and refreshed_expiry > now + RENEWAL_LEAD:
+                if refreshed_expiry is not None:
                     self.note_irrs_cached(zone, refreshed_expiry)
+                else:
+                    # The "successful" refetch stored nothing live
+                    # (zero/elapsed TTL): account it as a lapse.
+                    self._lapse(zone, now)
         else:
             # Refetch failed (zone under attack / unreachable): the
             # records lapse at their natural expiry.
+            self.renewals_failed += 1
             self._lapse(zone, now)
 
-    def _lapse(self, zone: Name, now: float) -> None:
-        self.lapses += 1
+    def _lapse(self, zone: Name, now: float, count: bool = True) -> None:
+        if count:
+            self.lapses += 1
+            if self.observer is not None:
+                self.observer.emit(EventKind.RENEWAL_LAPSE, now, zone=str(zone))
         self.policy.forget(zone)
-        if self.observer is not None:
-            self.observer.emit(EventKind.RENEWAL_LAPSE, now, zone=str(zone))
 
     # -- introspection -----------------------------------------------------------
 
     def armed_timer_count(self) -> int:
         """Zones with a pending renewal timer."""
         return len(self._timers)
+
+    def armed_zones(self) -> tuple[Name, ...]:
+        """The zones with a pending renewal timer (for validation)."""
+        return tuple(self._timers)

@@ -9,6 +9,7 @@ from repro.devtools.rules.asserts import BareAssertRule
 from repro.devtools.rules.float_compare import FloatComparisonRule
 from repro.devtools.rules.name_mutation import NameMutationRule
 from repro.devtools.rules.picklable import PicklableSpecRule
+from repro.devtools.rules.private_cache import PrivateCacheAccessRule
 from repro.devtools.rules.randomness import UnseededRandomRule
 from repro.devtools.rules.set_iteration import SetIterationRule
 from repro.devtools.rules.wallclock import WallClockRule
@@ -21,6 +22,7 @@ ALL_RULES = (
     FloatComparisonRule(),
     NameMutationRule(),
     BareAssertRule(),
+    PrivateCacheAccessRule(),
 )
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "FloatComparisonRule",
     "NameMutationRule",
     "PicklableSpecRule",
+    "PrivateCacheAccessRule",
     "SetIterationRule",
     "UnseededRandomRule",
     "WallClockRule",

@@ -1,0 +1,48 @@
+"""REP008 — no reaching into the cache's private storage.
+
+``cache._entries`` / ``cache._negative`` bypass the cache API, so code
+built on them silently drifts from the documented semantics (and from
+what the differential oracle validates).  The cache's own package and
+the validation layer are exempt: the first owns the representation, the
+second audits it by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checks import ModuleSource, Rule, Violation
+
+_PRIVATE_FIELDS = frozenset(("_entries", "_negative"))
+
+#: Path fragments whose modules legitimately touch the raw storage.
+_EXEMPT_FRAGMENTS = ("repro/core/", "repro/validation/")
+
+
+class PrivateCacheAccessRule(Rule):
+    rule_id = "REP008"
+    title = "no direct access to the cache's private storage"
+    rationale = (
+        "cache._entries/_negative bypass the cache API and the "
+        "differential oracle; use the public accessors (entry, "
+        "get_stale, total_entry_count, ...) or move the code into "
+        "core/ or validation/"
+    )
+
+    def applies_to(self, display_path: str) -> bool:
+        path = display_path.replace("\\", "/")
+        return not any(fragment in path for fragment in _EXEMPT_FRAGMENTS)
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in _PRIVATE_FIELDS:
+                continue
+            yield self.violation(
+                module,
+                node,
+                f"direct access to DnsCache.{node.attr}; go through the "
+                f"cache API (or a validation helper) instead",
+            )

@@ -107,6 +107,7 @@ def run_replay(
     observe: ObservationSpec | None = None,
     timings: StageTimings | None = None,
     faults: FaultSpec | None = None,
+    validation: bool = False,
 ) -> ReplayResult:
     """Replay ``trace`` through a fresh caching server running ``config``.
 
@@ -119,6 +120,11 @@ def run_replay(
     ``faults`` attaches the fault-injection layer (DESIGN.md §11); a
     partial-intensity attack attaches one implicitly because the
     per-query intensity rolls need its seeded draws.
+
+    ``validation`` shadows the cache with the naive oracle (DESIGN.md
+    §12): every cache operation is cross-checked during the replay and
+    the structural invariants are verified at the end.  Expect a
+    several-fold slowdown; results are unchanged when it passes.
     """
     tree = built.tree
     saved_state = None
@@ -128,7 +134,7 @@ def run_replay(
     try:
         return _replay(
             built, trace, config, attack, track_gaps, memory_sample_interval,
-            seed, observe, timings, faults,
+            seed, observe, timings, faults, validation,
         )
     finally:
         if saved_state is not None:
@@ -146,6 +152,7 @@ def _replay(
     observe: ObservationSpec | None,
     timings: StageTimings | None,
     faults: FaultSpec | None,
+    validation: bool,
 ) -> ReplayResult:
     with maybe_stage(timings, "setup"):
         engine = SimulationEngine()
@@ -173,6 +180,7 @@ def _replay(
             gap_observer=gap_tracker,
             seed=seed,
             observer=context.bus if context is not None else None,
+            validation=validation,
         )
 
         if context is not None and attack is not None:
@@ -190,6 +198,8 @@ def _replay(
     with maybe_stage(timings, "finalize"):
         if context is not None:
             context.finish()
+        if validation:
+            _validate_final_state(server, engine.now, config)
         return ReplayResult(
             label=config.label,
             trace_name=trace.name,
@@ -201,6 +211,31 @@ def _replay(
             timeseries=context.timeseries if context is not None else None,
             event_count=context.event_count if context is not None else 0,
             timings=timings,
+        )
+
+
+def _validate_final_state(
+    server: CachingServer, now: float, config: ResilienceConfig
+) -> None:
+    """End-of-replay validation sweep (DESIGN.md §12).
+
+    Runs the full-state differential audit plus the structural
+    invariants; imported lazily so unvalidated replays never load the
+    validation package.
+    """
+    from repro.validation.differential import DifferentialCache
+    from repro.validation.invariants import (
+        check_cache_invariants,
+        check_renewal_invariants,
+    )
+
+    if isinstance(server.cache, DifferentialCache):
+        server.cache.audit(now)
+    check_cache_invariants(server.cache, now)
+    if server.renewal is not None:
+        check_renewal_invariants(
+            server.renewal, server.cache, now,
+            allow_stale_credit=config.serve_stale,
         )
 
 

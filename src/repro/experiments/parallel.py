@@ -110,6 +110,11 @@ class ReplaySpec:
     it is a frozen description: each worker builds its own injector, and
     the hash-keyed draws make the outcome independent of worker count."""
 
+    validation: bool = False
+    """Shadow the replay's cache with the naive oracle (DESIGN.md §12).
+    Results are identical when the check passes; the worker raises a
+    DivergenceError / InvariantViolation otherwise."""
+
     @classmethod
     def for_scenario(
         cls,
@@ -123,6 +128,7 @@ class ReplaySpec:
         memory_sample_interval: float | None = None,
         observe: ObservationSpec | None = None,
         faults: FaultSpec | None = None,
+        validation: bool = False,
     ) -> "ReplaySpec":
         """A spec that replays ``trace_name`` of an existing scenario."""
         return cls(
@@ -136,6 +142,7 @@ class ReplaySpec:
             memory_sample_interval=memory_sample_interval,
             observe=observe,
             faults=faults,
+            validation=validation,
         )
 
     def describe(self) -> str:
@@ -258,6 +265,7 @@ def _execute_spec(spec: ReplaySpec | FleetSpec) -> "ReplaySummary | FleetSummary
         seed=spec.seed,
         observe=spec.observe,
         faults=spec.faults,
+        validation=spec.validation,
     )
     return result.to_summary()
 

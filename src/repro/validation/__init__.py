@@ -1,0 +1,50 @@
+"""Differential validation: oracle cache, invariants, fuzzing (DESIGN.md §12).
+
+The production :class:`~repro.core.cache.DnsCache` is heavily optimised;
+this package keeps it honest.  :class:`OracleCache` is a naive,
+obviously-correct re-implementation of the cache contract;
+:class:`DifferentialCache` drives both in lockstep and raises
+:class:`DivergenceError` on the first disagreement; the invariant
+checkers verify structural properties of the cache and the renewal
+manager; :mod:`repro.validation.fuzz` generates seeded random op
+sequences and replays the regression corpus.
+
+Entry points: ``repro validate`` (CLI), ``validation=True`` on
+:func:`repro.experiments.harness.run_replay` /
+:class:`repro.experiments.parallel.ReplaySpec`.
+"""
+
+from repro.validation.differential import DifferentialCache
+from repro.validation.errors import (
+    DivergenceError,
+    InvariantViolation,
+    ValidationError,
+)
+from repro.validation.fuzz import (
+    FuzzReport,
+    apply_ops,
+    run_corpus,
+    run_fuzz,
+    run_renewal_corpus,
+)
+from repro.validation.invariants import (
+    check_cache_invariants,
+    check_renewal_invariants,
+)
+from repro.validation.oracle import OracleCache, OracleEntry
+
+__all__ = [
+    "DifferentialCache",
+    "DivergenceError",
+    "FuzzReport",
+    "InvariantViolation",
+    "OracleCache",
+    "OracleEntry",
+    "ValidationError",
+    "apply_ops",
+    "check_cache_invariants",
+    "check_renewal_invariants",
+    "run_corpus",
+    "run_fuzz",
+    "run_renewal_corpus",
+]

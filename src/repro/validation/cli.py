@@ -1,0 +1,130 @@
+"""The ``repro validate`` subcommand: corpus, fuzzing, differential replay.
+
+Three stages, fail-fast, exit code 1 with the diverging operation named:
+
+1. **Corpus** — the hand-written regression sequences (one per fixed
+   bug) plus the scripted renewal scenarios.
+2. **Fuzz** — ``--fuzz-rounds`` rounds of seeded random op sequences
+   against the differential cache.
+3. **Replay** — real TINY traces replayed with the cache shadowed by
+   the oracle and the invariants checked at the end.  ``--smoke`` runs
+   a single short trace under the headline combination scheme (CI);
+   the default runs the full 7-day TRC1 under every scheme family.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.core.config import ResilienceConfig
+from repro.experiments.harness import AttackSpec, run_replay
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.validation.errors import ValidationError
+from repro.validation.fuzz import run_corpus, run_fuzz, run_renewal_corpus
+from repro.workload.generator import TraceGenerator, WorkloadConfig
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+def _replay_plan(smoke: bool) -> list[ResilienceConfig]:
+    """The scheme families a differential replay sweeps."""
+    bounded = replace(
+        ResilienceConfig.refresh(), cache_capacity=256,
+        label="refresh+cap256",
+    )
+    if smoke:
+        return [ResilienceConfig.combination(), bounded]
+    return [
+        ResilienceConfig.refresh(),
+        ResilienceConfig.refresh_renew("a-lfu", 3.0),
+        ResilienceConfig.refresh_long_ttl(7.0),
+        ResilienceConfig.combination(),
+        bounded,
+    ]
+
+
+def run_validate(
+    fuzz_rounds: int = 200,
+    fuzz_seed: int = 0,
+    seed: int = 7,
+    smoke: bool = False,
+    skip_replay: bool = False,
+) -> int:
+    """Run the whole validation suite; returns the process exit code."""
+    try:
+        cases = run_corpus()
+        scenarios = run_renewal_corpus()
+        print(f"corpus: {cases} cache cases + {scenarios} renewal "
+              f"scenarios green")
+        report = run_fuzz(rounds=fuzz_rounds, seed=fuzz_seed)
+        print(f"fuzz: {report.rounds} rounds / {report.ops:,} ops "
+              f"(seed {report.seed}) — no divergence")
+        if not skip_replay:
+            _run_differential_replays(seed=seed, smoke=smoke)
+    except ValidationError as error:
+        print(f"validation FAILED: {error}", file=sys.stderr)
+        return 1
+    print("validation: all stages green")
+    return 0
+
+
+def _run_differential_replays(seed: int, smoke: bool) -> None:
+    scenario = make_scenario(Scale.TINY, seed=seed)
+    if smoke:
+        # A short bespoke trace (one day, attack mid-day) keeps the CI
+        # smoke leg quick while still crossing an attack window with
+        # eviction pressure.
+        generator = TraceGenerator(
+            scenario.built.catalog,
+            WorkloadConfig(duration_days=1.0, queries_per_day=1500.0,
+                           num_clients=20),
+            seed=seed,
+        )
+        trace = generator.generate("VAL-SMOKE", stream=101)
+        attack = AttackSpec(start=0.5 * DAY, duration=2 * HOUR)
+    else:
+        trace = scenario.trace("TRC1")
+        attack = AttackSpec(start=scenario.attack_start, duration=6 * HOUR)
+    for config in _replay_plan(smoke):
+        result = run_replay(
+            scenario.built, trace, config, attack=attack, seed=seed,
+            memory_sample_interval=6 * HOUR, validation=True,
+        )
+        checked = getattr(result.server.cache, "ops_checked", 0)
+        print(f"replay {trace.name}/{config.label}: "
+              f"{result.metrics.sr_queries:,} stub queries, "
+              f"{checked:,} shadowed cache ops — no divergence")
+
+
+def add_validate_parser(
+    subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]",
+) -> None:
+    """Register ``validate`` on the main CLI's subparser set."""
+    validate = subparsers.add_parser(
+        "validate",
+        help="differential cache validation: corpus, fuzz, shadowed replay",
+    )
+    validate.add_argument("--fuzz-rounds", type=int, default=200,
+                          help="random op-sequence rounds (default 200)")
+    validate.add_argument("--fuzz-seed", type=int, default=0,
+                          help="base seed for the fuzzer")
+    validate.add_argument("--seed", type=int, default=7,
+                          help="scenario seed for the differential replay")
+    validate.add_argument("--smoke", action="store_true",
+                          help="short replay leg (CI): one day, two schemes")
+    validate.add_argument("--skip-replay", action="store_true",
+                          help="corpus + fuzz only")
+    validate.set_defaults(func=_cmd_validate)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    return run_validate(
+        fuzz_rounds=args.fuzz_rounds,
+        fuzz_seed=args.fuzz_seed,
+        seed=args.seed,
+        smoke=args.smoke,
+        skip_replay=args.skip_replay,
+    )

@@ -1,0 +1,53 @@
+"""Typed failures raised by the validation subsystem.
+
+Both exceptions accept a ready-made message first so wrappers (the
+fuzzer, the CLI) can re-raise the *same type* with extra context —
+``raise type(err)(f"round 17: {err}") from err`` — without losing the
+error class the caller dispatches on.
+"""
+
+from __future__ import annotations
+
+
+class ValidationError(Exception):
+    """Base for every failure the validation layer can report."""
+
+
+class DivergenceError(ValidationError):
+    """The optimised cache and the oracle disagreed on an operation.
+
+    Attributes:
+        op: human-readable description of the diverging operation.
+        op_index: 1-based index of the operation in the driven sequence.
+        primary: what the optimised :class:`~repro.core.cache.DnsCache`
+            returned/observed.
+        oracle: what the naive oracle returned/observed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str | None = None,
+        op_index: int | None = None,
+        primary: object = None,
+        oracle: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.op_index = op_index
+        self.primary = primary
+        self.oracle = oracle
+
+
+class InvariantViolation(ValidationError):
+    """A structural invariant of the cache or renewal manager is broken.
+
+    Attributes:
+        check: short identifier of the failed invariant (e.g.
+            ``"renewal-accounting"``).
+    """
+
+    def __init__(self, message: str, *, check: str | None = None) -> None:
+        super().__init__(message)
+        self.check = check

@@ -275,7 +275,7 @@ def _scan_counts(cache: DnsCache, now: float) -> tuple[int, int, int]:
     """Brute-force (entries, records, zones) oracle over the raw store."""
     live = [
         (key, entry)
-        for key, entry in cache._entries.items()
+        for key, entry in cache._entries.items()  # repro: ignore[REP008]
         if entry.is_live(now)
     ]
     return (
@@ -396,3 +396,99 @@ class TestIncrementalOccupancy:
                           Rank.AUTH_ANSWER, now=now)
         for now in probes:  # deliberately unsorted: exercises the fallback
             _assert_counts_match(cache, now)
+
+
+class TestLruRecencyOnOverwrite:
+    """Replace/refresh stores must land at the MRU end of a bounded
+    cache; the old in-place overwrite kept the stale position and the
+    next eviction dropped the entry that had just been rewritten."""
+
+    def test_refresh_moves_entry_to_mru(self):
+        cache = DnsCache(max_entries=2)
+        cache.put(a_set(owner="a.x.test"), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(a_set(owner="b.x.test"), Rank.AUTH_ANSWER, now=1.0)
+        cache.put(a_set(owner="a.x.test"), Rank.AUTH_ANSWER, now=2.0,
+                  refresh=True)
+        cache.put(a_set(owner="c.x.test"), Rank.AUTH_ANSWER, now=3.0)
+        # `b` was the coldest entry; the refreshed `a` must survive.
+        assert cache.get(Name.from_text("a.x.test"), RRType.A, 4.0) is not None
+        assert cache.get(Name.from_text("b.x.test"), RRType.A, 4.0) is None
+
+    def test_data_change_moves_entry_to_mru(self):
+        cache = DnsCache(max_entries=2)
+        cache.put(a_set(owner="a.x.test", address="10.0.0.1"),
+                  Rank.AUTH_ANSWER, now=0.0)
+        cache.put(a_set(owner="b.x.test"), Rank.AUTH_ANSWER, now=1.0)
+        cache.put(a_set(owner="a.x.test", address="10.0.0.9"),
+                  Rank.AUTH_ANSWER, now=2.0)
+        cache.put(a_set(owner="c.x.test"), Rank.AUTH_ANSWER, now=3.0)
+        assert cache.get(Name.from_text("a.x.test"), RRType.A, 4.0) is not None
+        assert cache.get(Name.from_text("b.x.test"), RRType.A, 4.0) is None
+
+    def test_tombstone_overwrite_is_a_fresh_use(self):
+        cache = DnsCache(max_entries=2)
+        cache.put(a_set(owner="a.x.test", ttl=1.0), Rank.AUTH_ANSWER, now=0.0)
+        cache.put(a_set(owner="b.x.test", ttl=100.0), Rank.AUTH_ANSWER,
+                  now=0.5)
+        # `a` lapsed at t=1; restoring it over its tombstone is a use.
+        cache.put(a_set(owner="a.x.test", ttl=100.0), Rank.AUTH_ANSWER,
+                  now=2.0)
+        cache.put(a_set(owner="c.x.test", ttl=100.0), Rank.AUTH_ANSWER,
+                  now=3.0)
+        assert cache.get(Name.from_text("a.x.test"), RRType.A, 4.0) is not None
+        assert cache.get(Name.from_text("b.x.test"), RRType.A, 4.0) is None
+
+    def test_unbounded_cache_skips_reorder_bookkeeping(self):
+        # No eviction means recency is unobservable; the overwrite path
+        # must still behave identically API-wise.
+        cache = DnsCache()
+        cache.put(a_set(ttl=100.0), Rank.AUTH_ANSWER, now=0.0)
+        result = cache.put(a_set(ttl=100.0), Rank.AUTH_ANSWER, now=10.0,
+                           refresh=True)
+        assert result.stored and result.refreshed
+        assert cache.expires_at(Name.from_text("www.x.test"), RRType.A,
+                                10.0) == 110.0
+
+
+class TestNegativeCacheAccounting:
+    """Negative entries occupy memory: they must be counted, purgeable,
+    and cleared by remove() along with the positive entry."""
+
+    def test_negative_counts_toward_total(self):
+        cache = DnsCache()
+        cache.put(a_set(), Rank.AUTH_ANSWER, now=0.0)
+        cache.put_negative(Name.from_text("ghost.x.test"), RRType.A, 0.0, 60.0)
+        assert cache.total_entry_count() == 2
+
+    def test_purge_drops_lapsed_negatives(self):
+        cache = DnsCache()
+        cache.put_negative(Name.from_text("ghost.x.test"), RRType.A, 0.0, 10.0)
+        cache.put_negative(Name.from_text("fresh.x.test"), RRType.MX, 0.0,
+                           500.0)
+        removed = cache.purge_expired(now=100.0)
+        assert removed == 1
+        assert cache.total_entry_count() == 1
+        assert cache.get_negative(Name.from_text("fresh.x.test"), RRType.MX,
+                                  100.0)
+
+    def test_purge_respects_older_than_for_negatives(self):
+        cache = DnsCache()
+        cache.put_negative(Name.from_text("ghost.x.test"), RRType.A, 0.0, 10.0)
+        assert cache.purge_expired(now=50.0, older_than=100.0) == 0
+        assert cache.purge_expired(now=200.0, older_than=100.0) == 1
+
+    def test_remove_clears_negative_verdict(self):
+        cache = DnsCache()
+        cache.put_negative(Name.from_text("www.x.test"), RRType.A, 0.0, 1000.0)
+        assert cache.remove(Name.from_text("www.x.test"), RRType.A)
+        assert not cache.get_negative(Name.from_text("www.x.test"), RRType.A,
+                                      1.0)
+        assert cache.total_entry_count() == 0
+
+    def test_remove_clears_both_positive_and_negative(self):
+        cache = DnsCache()
+        cache.put(a_set(), Rank.AUTH_ANSWER, now=0.0)
+        cache.put_negative(Name.from_text("www.x.test"), RRType.A, 0.0, 1000.0)
+        assert cache.remove(Name.from_text("www.x.test"), RRType.A)
+        assert cache.total_entry_count() == 0
+        assert not cache.remove(Name.from_text("www.x.test"), RRType.A)

@@ -143,3 +143,94 @@ class TestRenewalTimers:
         # After two renewals (at ~99 and ~198) the IRRs are still live.
         assert h.cache.zone_ns_expiry(ZONE, 250.0) is not None
         assert h.manager.renewals_succeeded == 2
+
+
+class TestRenewalAccounting:
+    def test_eviction_is_not_counted_as_lapse(self):
+        h = Harness(credit=3)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        h.cache.remove(ZONE, RRType.NS)
+        h.engine.advance_to(500.0)
+        assert h.manager.lapses == 0  # nothing expired *under renewal*
+        assert h.policy.credit_of(ZONE) == 0  # state still cleaned up
+
+    def test_failed_refetch_lands_in_renewals_failed(self):
+        h = Harness(credit=5, refetch_succeeds=False)
+        h.cache_irrs(now=0.0, ttl=100.0)
+        h.policy.on_zone_use(ZONE, 100.0, 0.0)
+        h.engine.advance_to(500.0)
+        assert h.manager.renewals_attempted == 1
+        assert h.manager.renewals_failed == 1
+        assert h.manager.renewals_attempted == (
+            h.manager.renewals_succeeded + h.manager.renewals_failed
+        )
+
+    def test_armed_zones_lists_pending_timers(self):
+        h = Harness()
+        assert h.manager.armed_zones() == ()
+        h.cache_irrs()
+        assert h.manager.armed_zones() == (ZONE,)
+
+
+class TestSilentDropRegression:
+    """A "successful" refetch that leaves the cached expiry inside the
+    renewal lead must rearm immediately (spending further credit) and
+    eventually lapse — never strand the zone timerless with credit."""
+
+    @staticmethod
+    def _rig(credit, refetch):
+        engine = SimulationEngine()
+        cache = DnsCache()
+        policy = LRUPolicy(credit=credit)
+        manager = RenewalManager(
+            policy=policy, engine=engine, cache=cache, refetch=refetch
+        )
+        return engine, cache, policy, manager
+
+    def test_refetch_inside_lead_keeps_renewing_until_broke(self):
+        calls = []
+        state = {}
+
+        def refetch(zone, now):
+            calls.append(now)
+            # Same rank + same data + no refresh: the put is rejected and
+            # the countdown is NOT restarted, so the server-side ingest
+            # hook never re-arms the timer for us.
+            state["cache"].put(ns_set(ttl=100.0), Rank.AUTH_AUTHORITY, now)
+            return True
+
+        engine, cache, policy, manager = self._rig(2, refetch)
+        state["cache"] = cache
+        result = cache.put(ns_set(ttl=100.0), Rank.AUTH_AUTHORITY, 0.0)
+        manager.note_irrs_cached(ZONE, result.expires_at)
+        policy.on_zone_use(ZONE, 100.0, 0.0)
+        engine.run()
+        # Both credits go on (futile) renewals at ~99, then a clean lapse.
+        assert len(calls) == 2
+        assert manager.lapses == 1
+        assert policy.credit_of(ZONE) == 0
+        assert manager.renewals_attempted == 2
+        assert manager.renewals_succeeded == 2
+        assert manager.armed_zones() == ()
+
+    def test_refetch_that_stores_nothing_live_counts_a_lapse(self):
+        state = {}
+
+        def refetch(zone, now):
+            # "Success" whose payload is already dead on arrival.
+            state["cache"].put(ns_set(ttl=0.0), Rank.AUTH_AUTHORITY, now,
+                               refresh=True)
+            return True
+
+        engine, cache, policy, manager = self._rig(3, refetch)
+        state["cache"] = cache
+        result = cache.put(ns_set(ttl=100.0), Rank.AUTH_AUTHORITY, 0.0)
+        manager.note_irrs_cached(ZONE, result.expires_at)
+        policy.on_zone_use(ZONE, 100.0, 0.0)
+        engine.run()
+        assert manager.lapses == 1
+        assert policy.credit_of(ZONE) == 0  # no orphaned credit
+        assert manager.renewals_attempted == 1
+        assert manager.renewals_succeeded == 1
+        assert cache.zone_ns_expiry(ZONE, engine.now) is None

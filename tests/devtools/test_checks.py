@@ -355,6 +355,51 @@ class TestBareAssertRule:
         assert report.suppressed_count == 1
 
 
+class TestPrivateCacheAccessRule:
+    def test_flags_entries_access_outside_core(self, tmp_path):
+        report = check_snippet(tmp_path, "analysis/peek.py", """\
+            def occupancy(cache) -> int:
+                return len(cache._entries)
+            """)
+        assert rule_ids(report) == ["REP008"]
+        assert report.violations[0].line == 2
+
+    def test_flags_negative_access(self, tmp_path):
+        report = check_snippet(tmp_path, "experiments/probe.py", """\
+            def verdicts(cache) -> dict:
+                return dict(cache._negative)
+            """)
+        assert rule_ids(report) == ["REP008"]
+
+    def test_core_package_is_exempt(self, tmp_path):
+        report = check_snippet(tmp_path, "repro/core/helper.py", """\
+            def occupancy(cache) -> int:
+                return len(cache._entries)
+            """)
+        assert rule_ids(report) == []
+
+    def test_validation_package_is_exempt(self, tmp_path):
+        report = check_snippet(tmp_path, "repro/validation/helper.py", """\
+            def occupancy(cache) -> int:
+                return len(cache._entries)
+            """)
+        assert rule_ids(report) == []
+
+    def test_public_attribute_is_clean(self, tmp_path):
+        report = check_snippet(tmp_path, "analysis/peek.py", """\
+            def occupancy(cache, now: float) -> int:
+                return cache.live_entry_count(now)
+            """)
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = check_snippet(tmp_path, "analysis/peek.py", """\
+            def occupancy(cache) -> int:
+                return len(cache._entries)  # repro: ignore[REP008]
+            """)
+        assert rule_ids(report) == []
+
+
 class TestFramework:
     def test_syntax_error_propagates(self, tmp_path):
         bad = tmp_path / "broken.py"

@@ -1,0 +1,126 @@
+"""Each invariant must fire on a tampered model and name its check id."""
+
+import pytest
+
+from repro.core.cache import DnsCache
+from repro.core.policies import LRUPolicy
+from repro.core.renewal import RenewalManager
+from repro.dns.name import Name
+from repro.dns.ranking import Rank
+from repro.dns.rrtypes import RRType
+from repro.simulation.engine import SimulationEngine
+from repro.validation.errors import InvariantViolation
+from repro.validation.fuzz import make_rrset
+from repro.validation.invariants import (
+    check_cache_invariants,
+    check_renewal_invariants,
+)
+
+ZONE = Name.from_text("x.test.")
+
+
+def seeded_cache(**kwargs):
+    cache = DnsCache(**kwargs)
+    cache.put(make_rrset("x.test.", RRType.NS, 100.0, "ns1.x.test."),
+              Rank.AUTH_AUTHORITY, 0.0)
+    cache.put(make_rrset("www.x.test.", RRType.A, 30.0, "10.0.0.1"),
+              Rank.AUTH_ANSWER, 0.0)
+    return cache
+
+
+def manager_rig(credit=2.0, refetch=lambda zone, now: True):
+    engine = SimulationEngine()
+    cache = DnsCache()
+    manager = RenewalManager(LRUPolicy(credit=credit), engine, cache, refetch)
+    return engine, cache, manager
+
+
+class TestCacheInvariants:
+    def test_clean_cache_passes(self):
+        check_cache_invariants(seeded_cache(), now=10.0)
+        check_cache_invariants(seeded_cache(max_entries=4), now=50.0)
+
+    def test_negative_published_ttl_flagged(self):
+        cache = seeded_cache()
+        cache.entry(ZONE, RRType.NS).published_ttl = -1.0
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=1.0)
+        assert excinfo.value.check == "cache-entry-sanity"
+
+    def test_overlong_lifetime_flagged(self):
+        cache = seeded_cache(max_effective_ttl=50.0)
+        # An entry living past min(published_ttl, cap) is corrupt.
+        cache.entry(ZONE, RRType.NS).expires_at = 500.0
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=1.0)
+        assert excinfo.value.check == "cache-entry-sanity"
+
+    def test_capacity_overflow_flagged(self):
+        cache = seeded_cache(max_entries=2)
+        rogue = make_rrset("rogue.test.", RRType.A, 10.0, "10.0.0.9")
+        from repro.core.cache import CacheEntry
+        cache._entries[rogue.key()] = CacheEntry(  # repro: ignore[REP008]
+            rrset=rogue, rank=Rank.AUTH_ANSWER, stored_at=0.0,
+            expires_at=10.0, published_ttl=10.0,
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=1.0)
+        assert excinfo.value.check == "cache-capacity"
+
+    def test_counter_drift_flagged(self):
+        cache = seeded_cache()
+        assert cache.live_entry_count(1.0) == 2  # switch counting on
+        cache._live_entries += 1  # simulate bookkeeping drift
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=1.0)
+        assert excinfo.value.check == "cache-live-counts"
+
+
+class TestRenewalInvariants:
+    def test_clean_manager_passes(self):
+        engine, cache, manager = manager_rig()
+        ns = make_rrset("x.test.", RRType.NS, 100.0, "ns1.x.test.")
+        result = cache.put(ns, Rank.AUTH_AUTHORITY, 0.0)
+        manager.note_zone_use(ZONE, 100.0, 0.0)
+        manager.note_irrs_cached(ZONE, result.expires_at)
+        check_renewal_invariants(manager, cache, now=1.0)
+
+    def test_armed_timer_on_dead_zone_flagged(self):
+        engine, cache, manager = manager_rig()
+        ns = make_rrset("x.test.", RRType.NS, 100.0, "ns1.x.test.")
+        result = cache.put(ns, Rank.AUTH_AUTHORITY, 0.0)
+        manager.note_irrs_cached(ZONE, result.expires_at)
+        cache.remove(ZONE, RRType.NS)
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_renewal_invariants(manager, cache, now=1.0)
+        assert excinfo.value.check == "renewal-armed-live"
+
+    def test_negative_credit_flagged(self):
+        engine, cache, manager = manager_rig()
+        manager.policy._credits[ZONE] = -0.5
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_renewal_invariants(manager, cache, now=1.0)
+        assert excinfo.value.check == "renewal-credit-sign"
+
+    def test_orphaned_credit_flagged(self):
+        engine, cache, manager = manager_rig()
+        # Credit with no timer and no live NS: the silent-drop signature.
+        manager.note_zone_use(ZONE, 100.0, 0.0)
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_renewal_invariants(manager, cache, now=1.0)
+        assert excinfo.value.check == "renewal-orphan-credit"
+
+    def test_orphaned_credit_allowed_under_serve_stale(self):
+        engine, cache, manager = manager_rig()
+        manager.note_zone_use(ZONE, 100.0, 0.0)
+        check_renewal_invariants(manager, cache, now=1.0,
+                                 allow_stale_credit=True)
+
+    def test_accounting_identity_flagged(self):
+        engine, cache, manager = manager_rig()
+        # A code path that bumps attempts but records neither outcome
+        # (e.g. a forgotten renewals_failed update) breaks the identity.
+        manager.renewals_attempted = 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_renewal_invariants(manager, cache, now=1.0)
+        assert excinfo.value.check == "renewal-accounting"
