@@ -295,6 +295,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"bench: {len(specs)} TINY replays "
           f"({total_queries:,} stub queries), {args.workers} workers")
 
+    if args.profile or args.profile_out:
+        # Profile the serial leg only: it runs in-process, so cProfile
+        # sees the replay hot path (worker processes would not be seen).
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_replays(specs, workers=1)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(f"profile written to {args.profile_out} "
+                  f"(inspect with python -m pstats)")
+        return 0
+
     started = time.perf_counter()  # repro: ignore[REP001] — benchmarking
     serial = run_replays(specs, workers=1)
     serial_seconds = time.perf_counter() - started  # repro: ignore[REP001]
@@ -414,6 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="time a TINY sweep serial vs parallel (smoke check)",
     )
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile the serial leg and print the top 20 "
+                            "functions by cumulative time (skips the "
+                            "parallel leg)")
+    bench.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="also dump pstats data to PATH (implies "
+                            "--profile)")
     bench.add_argument("--workers", type=int, default=4,
                        help="worker processes for the parallel leg")
     bench.add_argument("--seed", type=int, default=7)

@@ -18,17 +18,40 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.dns.name import Name
+from repro.dns.name import Name, name_for_id
 from repro.dns.ranking import Rank
 from repro.dns.records import RRset
-from repro.dns.rrtypes import RRType
+from repro.dns.rrtypes import RRTYPE_BITS, RRType
 from repro.obs.events import EventKind
 
 if TYPE_CHECKING:
     from repro.obs.events import EventBus
+
+_TYPE_MASK = (1 << RRTYPE_BITS) - 1
+_NS_CODE = int(RRType.NS)
+
+
+def cache_key(name: Name, rrtype: RRType) -> int:
+    """Pack ``(name, rrtype)`` into the int key the cache stores under.
+
+    Names carry a dense intern id (:attr:`~repro.dns.name.Name.iid`);
+    the rrtype fits in the low ``RRTYPE_BITS`` bits.  Int keys hash and
+    compare at C speed, which matters because every cache operation on
+    the replay hot path builds one.
+    """
+    return (name.iid << RRTYPE_BITS) | int(rrtype)
+
+
+def split_key(key: int) -> tuple[Name, RRType]:
+    """Unpack a packed int key back to ``(name, rrtype)``.
+
+    The inverse of :func:`cache_key`; used by validation audits and
+    diagnostics, never on the hot path.
+    """
+    return (name_for_id(key >> RRTYPE_BITS), RRType(key & _TYPE_MASK))
 
 
 @dataclass(slots=True)
@@ -41,6 +64,16 @@ class CacheEntry:
     expires_at: float
     published_ttl: float
     """The TTL the authority published (pre-cap), for gap normalisation."""
+
+    noop_result: "PutResult | None" = field(
+        default=None, repr=False, compare=False
+    )
+    """Memoized not-stored :class:`PutResult` for identity re-offers.
+
+    Zone response caching means the same RRset object is re-offered to
+    the cache thousands of times while this entry is live; the no-op
+    result is identical every time, so it is built once and cleared
+    whenever the entry's expiry changes."""
 
     def is_live(self, now: float) -> bool:
         return now < self.expires_at
@@ -92,9 +125,11 @@ class DnsCache:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive")
         # dict preserves insertion order; `_touch` re-inserts on use so
-        # iteration order is LRU-first.
-        self._entries: dict[tuple[Name, RRType], CacheEntry] = {}
-        self._negative: dict[tuple[Name, RRType], float] = {}
+        # iteration order is LRU-first.  Keys are packed ints (see
+        # `cache_key`), not (Name, RRType) tuples: the public API still
+        # speaks Names, but storage and every hot lookup run on ints.
+        self._entries: dict[int, CacheEntry] = {}
+        self._negative: dict[int, float] = {}
         self.max_effective_ttl = max_effective_ttl
         self.max_entries = max_entries
         self.evictions = 0
@@ -107,8 +142,8 @@ class DnsCache:
         # The whole machinery stays off (`_counting=False`, zero put-path
         # cost) until the first occupancy query builds it from the store.
         self._counting = False
-        self._counted: dict[tuple[Name, RRType], tuple[int, int]] = {}
-        self._expiry_heap: list[tuple[float, int, tuple[Name, RRType]]] = []
+        self._counted: dict[int, tuple[int, int]] = {}
+        self._expiry_heap: list[tuple[float, int, int]] = []
         self._tokens = itertools.count()
         self._count_horizon = float("-inf")
         self._live_entries = 0
@@ -127,15 +162,13 @@ class DnsCache:
         self._obs = bus
         self.get = self._observed_get  # type: ignore[method-assign]
 
-    def _touch(self, key: tuple[Name, RRType]) -> None:
+    def _touch(self, key: int) -> None:
         entry = self._entries.pop(key)
         self._entries[key] = entry
 
     # -- incremental occupancy bookkeeping ----------------------------------
 
-    def _count_in(
-        self, key: tuple[Name, RRType], entry: CacheEntry, now: float
-    ) -> None:
+    def _count_in(self, key: int, entry: CacheEntry, now: float) -> None:
         """Start counting ``entry`` as live (replacing any prior count)."""
         if not self._counting:
             return
@@ -146,11 +179,11 @@ class DnsCache:
             self._counted[key] = (token, nrecords)
             self._live_entries += 1
             self._live_records += nrecords
-            if key[1] == RRType.NS:
+            if key & _TYPE_MASK == _NS_CODE:
                 self._live_zones += 1
             heapq.heappush(self._expiry_heap, (entry.expires_at, token, key))
 
-    def _count_out(self, key: tuple[Name, RRType]) -> None:
+    def _count_out(self, key: int) -> None:
         """Stop counting ``key`` if it is currently counted as live."""
         if not self._counting:
             return
@@ -158,7 +191,7 @@ class DnsCache:
         if info is not None:
             self._live_entries -= 1
             self._live_records -= info[1]
-            if key[1] == RRType.NS:
+            if key & _TYPE_MASK == _NS_CODE:
                 self._live_zones -= 1
 
     def _build_counts(self, now: float) -> None:
@@ -177,7 +210,7 @@ class DnsCache:
             heap.append((expires_at, token, key))
             entries += 1
             records += nrecords
-            if key[1] == RRType.NS:
+            if key & _TYPE_MASK == _NS_CODE:
                 zones += 1
         heapq.heapify(heap)
         self._expiry_heap = heap
@@ -204,7 +237,7 @@ class DnsCache:
                 del counted[key]
                 self._live_entries -= 1
                 self._live_records -= info[1]
-                if key[1] == RRType.NS:
+                if key & _TYPE_MASK == _NS_CODE:
                     self._live_zones -= 1
         return True
 
@@ -225,8 +258,9 @@ class DnsCache:
             self._count_out(key)
             self.evictions += 1
             if obs is not None:
+                name, rrtype = split_key(key)
                 obs.emit(EventKind.CACHE_EVICTED, now,
-                         name=str(key[0]), rrtype=key[1].name, live=False)
+                         name=str(name), rrtype=rrtype.name, live=False)
         # Pass 2: evict live entries, LRU first.
         while len(self._entries) >= self.max_entries:
             oldest_key = next(iter(self._entries))
@@ -234,9 +268,9 @@ class DnsCache:
             self._count_out(oldest_key)
             self.evictions += 1
             if obs is not None:
+                name, rrtype = split_key(oldest_key)
                 obs.emit(EventKind.CACHE_EVICTED, now,
-                         name=str(oldest_key[0]), rrtype=oldest_key[1].name,
-                         live=True)
+                         name=str(name), rrtype=rrtype.name, live=True)
 
     # -- positive entries ---------------------------------------------------
 
@@ -252,12 +286,55 @@ class DnsCache:
             refresh: allow a same-rank same-rdata copy to restart the TTL
                 (the paper's refresh scheme; only IRR puts pass True).
         """
-        key = rrset.key()
+        key = rrset._ikey
+        existing = self._entries.get(key)
+        if (
+            existing is not None
+            and existing.rrset is rrset
+            and rank == existing.rank
+            and existing.expires_at > now
+        ):
+            # Identity fast paths: zone responses are cached and
+            # re-served, so the vast majority of puts re-offer the *same
+            # object* at the same rank against a live entry.  same_data
+            # is trivially true and equal rank always may_replace, which
+            # pins down both slow-path outcomes exactly:
+            if not refresh:
+                # ...without refresh it is a no-op returning the same
+                # not-stored result every time (memoized on the entry).
+                result = existing.noop_result
+                if result is None:
+                    result = PutResult(False, False, False,
+                                       existing.expires_at,
+                                       existing.published_ttl,
+                                       existing.expires_at)
+                    existing.noop_result = result
+                return result
+            # ...with refresh the slow path would rebuild an identical
+            # entry with a restarted countdown (published_ttl is
+            # unchanged: it came from this very rrset object).  Restart
+            # it in place instead of allocating.
+            ttl = rrset.ttl
+            cap = self.max_effective_ttl
+            if cap is not None and ttl > cap:
+                ttl = cap
+            previous_expiry = existing.expires_at
+            new_expiry = now + ttl
+            if self.max_entries is not None:
+                # Keep the pop-then-set MRU rule of the slow path.
+                del self._entries[key]
+                self._entries[key] = existing
+            existing.stored_at = now
+            existing.expires_at = new_expiry
+            existing.noop_result = None
+            if self._counting:
+                self._count_in(key, existing, now)
+            return PutResult(True, True, False, previous_expiry,
+                             existing.published_ttl, new_expiry)
         ttl = rrset.ttl
         if self.max_effective_ttl is not None:
             ttl = min(ttl, self.max_effective_ttl)
         new_expiry = now + ttl
-        existing = self._entries.get(key)
 
         if existing is None or not existing.is_live(now):
             replaced_expired = existing is not None
@@ -277,7 +354,8 @@ class DnsCache:
                 published_ttl=rrset.ttl,
             )
             self._entries[key] = entry
-            self._count_in(key, entry, now)
+            if self._counting:
+                self._count_in(key, entry, now)
             return PutResult(
                 stored=True,
                 refreshed=False,
@@ -314,7 +392,8 @@ class DnsCache:
             published_ttl=rrset.ttl,
         )
         self._entries[key] = entry
-        self._count_in(key, entry, now)
+        if self._counting:
+            self._count_in(key, entry, now)
         return PutResult(
             stored=True,
             refreshed=same_data,
@@ -326,7 +405,7 @@ class DnsCache:
 
     def get(self, name: Name, rrtype: RRType, now: float) -> RRset | None:
         """The live RRset for (name, type), or None."""
-        key = (name, rrtype)
+        key = (name.iid << RRTYPE_BITS) | rrtype
         entry = self._entries.get(key)
         # `entry.is_live(now)` inlined: this is the hottest call in a
         # replay and the method dispatch is measurable.
@@ -338,7 +417,7 @@ class DnsCache:
 
     def _observed_get(self, name: Name, rrtype: RRType, now: float) -> RRset | None:
         """``get`` with event emission; bound in by :meth:`attach_observer`."""
-        key = (name, rrtype)
+        key = (name.iid << RRTYPE_BITS) | rrtype
         entry = self._entries.get(key)
         obs = self._obs
         if entry is None:
@@ -375,7 +454,7 @@ class DnsCache:
         arbitrarily stale data, the unbounded comparator from related
         work.
         """
-        entry = self._entries.get((name, rrtype))
+        entry = self._entries.get(cache_key(name, rrtype))
         if entry is None:
             return None
         if max_stale is not None and now - entry.expires_at > max_stale:
@@ -384,11 +463,11 @@ class DnsCache:
 
     def entry(self, name: Name, rrtype: RRType) -> CacheEntry | None:
         """Raw entry access (live or lapsed) for instrumentation."""
-        return self._entries.get((name, rrtype))
+        return self._entries.get(cache_key(name, rrtype))
 
     def expires_at(self, name: Name, rrtype: RRType, now: float) -> float | None:
         """Expiry time of the live entry for (name, type), else None."""
-        entry = self._entries.get((name, rrtype))
+        entry = self._entries.get(cache_key(name, rrtype))
         if entry is None or not entry.is_live(now):
             return None
         return entry.expires_at
@@ -400,7 +479,7 @@ class DnsCache:
         same key: after a delegation change the old NXDOMAIN/NODATA
         verdict is just as obsolete as the old data.
         """
-        key = (name, rrtype)
+        key = cache_key(name, rrtype)
         removed_negative = self._negative.pop(key, None) is not None
         if self._entries.pop(key, None) is None:
             return removed_negative
@@ -411,11 +490,11 @@ class DnsCache:
 
     def put_negative(self, name: Name, rrtype: RRType, now: float, ttl: float) -> None:
         """Cache an NXDOMAIN / NODATA outcome for ``ttl`` seconds."""
-        self._negative[(name, rrtype)] = now + ttl
+        self._negative[(name.iid << RRTYPE_BITS) | rrtype] = now + ttl
 
     def get_negative(self, name: Name, rrtype: RRType, now: float) -> bool:
         """Whether a live negative entry covers (name, type)."""
-        expiry = self._negative.get((name, rrtype))
+        expiry = self._negative.get((name.iid << RRTYPE_BITS) | rrtype)
         return expiry is not None and now < expiry
 
     # -- zone-oriented views -----------------------------------------------------
@@ -438,18 +517,38 @@ class DnsCache:
         for the serve-stale comparator.
         """
         entries = self._entries
-        ns = RRType.NS
-        for ancestor in qname.ancestors():
-            if ancestor.is_root:
-                return None
+        for ancestor, ns_key in qname.ns_chain():
             if ancestor in exclude:
                 continue
-            entry = entries.get((ancestor, ns))
+            entry = entries.get(ns_key)
             if entry is None:
                 continue
-            if entry.is_live(now) or allow_stale:
+            if entry.expires_at > now or allow_stale:
                 return ancestor
         return None
+
+    def get_chain(
+        self, keys: "tuple[int, ...] | list[int]", now: float
+    ) -> list[RRset | None]:
+        """Batch-resolve a whole ancestor path of packed keys in one call.
+
+        One position per key: the live RRset, or None when absent or
+        lapsed.  Replaces N separate ``get`` calls on referral-chain
+        walks — one method dispatch, one clock comparison stream, and no
+        per-key tuple construction.  Like ``best_zone_for`` (which is
+        built on the same probe), this is a read-only scan: it neither
+        touches LRU recency nor emits observer events.
+        """
+        entries = self._entries
+        out: list[RRset | None] = []
+        append = out.append
+        for key in keys:
+            entry = entries.get(key)
+            if entry is not None and entry.expires_at > now:
+                append(entry.rrset)
+            else:
+                append(None)
+        return out
 
     # -- occupancy -----------------------------------------------------------------
 
@@ -475,8 +574,8 @@ class DnsCache:
             return self._live_zones
         return sum(
             1
-            for (name, rrtype), entry in self._entries.items()
-            if rrtype == RRType.NS and entry.is_live(now)
+            for key, entry in self._entries.items()
+            if key & _TYPE_MASK == _NS_CODE and entry.is_live(now)
         )
 
     def total_entry_count(self) -> int:

@@ -32,9 +32,9 @@ from repro.core.renewal import RenewalManager
 from repro.dns.errors import InvariantError
 from repro.dns.message import Message, Question
 from repro.dns.name import Name, root_name
-from repro.dns.ranking import Rank, section_rank
+from repro.dns.ranking import Rank
 from repro.dns.records import InfrastructureRecordSet, RRset
-from repro.dns.rrtypes import RRType
+from repro.dns.rrtypes import RRTYPE_BITS, RRType
 from repro.obs.events import EventBus, EventKind
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import ReplayMetrics
@@ -165,10 +165,25 @@ class CachingServer:
 
         # Server-selection state: smoothed RTT per address, hold-down
         # deadlines for unresponsive servers, and (under a RetryPolicy)
-        # the consecutive-failure counts driving the hold-down.
-        self._srtt: dict[str, float] = {}
-        self._held_down: dict[str, float] = {}
-        self._consecutive_failures: dict[str, int] = {}
+        # the consecutive-failure counts driving the hold-down.  All
+        # three are keyed by a dense per-server int id (`_addr_ids`)
+        # rather than the address string — these maps are probed for
+        # every candidate server of every referral step.
+        self._addr_ids: dict[str, int] = {}
+        self._srtt: dict[int, float] = {}
+        self._held_down: dict[int, float] = {}
+        self._consecutive_failures: dict[int, int] = {}
+
+        # zone.iid -> (NS rrset, its server-name tuple): memoises the
+        # per-query rebuild of the names tuple in `_zone_ns`; invalidated
+        # by identity whenever the cached NS rrset object changes.
+        self._ns_names: dict[int, tuple[RRset, tuple[Name, ...]]] = {}
+        # The root's server set never changes during a replay.
+        self._root_ns_info = (root_hints.server_names(), root_hints.ns.ttl)
+
+        # Question objects are immutable and recur per (name, rrtype);
+        # reusing them keeps their memoized wire size warm.
+        self._questions: dict[int, Question] = {}
 
         # Demand contacts per zone (answered queries to its servers) —
         # the λ the analytical availability model consumes.
@@ -182,6 +197,20 @@ class CachingServer:
     # Stub-facing API
     # ------------------------------------------------------------------
 
+    def _question_for(self, qname: Name, rrtype: RRType) -> Question:
+        """The memoized Question for (qname, rrtype).
+
+        Questions are frozen and recur for the whole replay; reusing one
+        object per key keeps its memoized wire size warm and avoids the
+        per-query allocation.
+        """
+        key = (qname.iid << RRTYPE_BITS) | rrtype
+        question = self._questions.get(key)
+        if question is None:
+            question = Question(qname, rrtype)
+            self._questions[key] = question
+        return question
+
     def handle_stub_query(
         self, qname: Name, rrtype: RRType, now: float
     ) -> Resolution:
@@ -190,7 +219,7 @@ class CachingServer:
         if obs is not None:
             obs.emit(EventKind.STUB_QUERY, now,
                      name=str(qname), rrtype=rrtype.name)
-        question = Question(qname, rrtype)
+        question = self._question_for(qname, rrtype)
         resolution = self.resolve(question, now)
         if (
             self.config.dnssec_validation
@@ -251,12 +280,14 @@ class CachingServer:
                     qname = target
                     continue
 
-            verdict = self._fetch(
-                Question(qname, question.rrtype), now, depth, stack
+            fetch_question = (
+                question if qname is question.name
+                else self._question_for(qname, question.rrtype)
             )
+            verdict = self._fetch(fetch_question, now, depth, stack)
             if verdict is _FAILURE and self.config.serve_stale:
                 verdict = self._fetch(
-                    Question(qname, question.rrtype), now, depth, stack, stale=True
+                    fetch_question, now, depth, stack, stale=True
                 )
                 if verdict is _FAILURE:
                     stale = self.cache.get_stale(
@@ -422,28 +453,37 @@ class CachingServer:
         if ns_info is None:
             return None
         server_names, published_ttl = ns_info
-        order = list(server_names)
-        if len(order) > 1:
-            pivot = self._rng.randrange(len(order))
-            order = order[pivot:] + order[:pivot]
-        candidates: list[tuple[Name, str]] = []
+        if len(server_names) > 1:
+            pivot = self._rng.randrange(len(server_names))
+            order = server_names[pivot:] + server_names[:pivot]
+        else:
+            order = server_names
+        addr_ids = self._addr_ids
+        held_down_until = self._held_down
+        candidates: list[tuple[str, int]] = []
         for server_name in order:
             address = self._address_for(server_name, zone, now, depth, stack, stale)
             if address is None:
                 continue
-            if self._held_down.get(address, 0.0) > now:
+            aid = addr_ids.get(address)
+            if aid is None:
+                aid = addr_ids[address] = len(addr_ids)
+            if held_down_until.get(aid, 0.0) > now:
                 continue  # dead-server hold-down: don't even try
-            candidates.append((server_name, address))
+            candidates.append((address, aid))
         if self.config.prefer_fast_servers and len(candidates) > 1:
             # Untried servers sort first (give them a chance), then by
             # smoothed RTT — BIND-flavoured server selection.
             candidates.sort(
-                key=lambda pair: self._srtt.get(pair[1], -1.0)
+                key=lambda entry: self._srtt.get(entry[1], -1.0)
             )
         obs = self.observer
         retry = self.config.retry_policy
         max_tries = retry.max_tries if retry is not None else 1
-        for server_name, address in candidates[: self.max_servers_per_zone]:
+        send = self.network.query
+        record_exchange = self.metrics.record_exchange
+        question_size = question.wire_size()
+        for address, aid in candidates[: self.max_servers_per_zone]:
             for attempt in range(max_tries):
                 if obs is not None:
                     if attempt == 0:
@@ -454,38 +494,39 @@ class CachingServer:
                         obs.emit(EventKind.QUERY_RETRY, now,
                                  zone=str(zone), server=address,
                                  attempt=attempt, renewal=renewal)
-                result = self.network.query(address, question, now)
+                result = send(address, question, now)
                 latency = result.latency
-                if not result.answered and result.timed_out and retry is not None:
+                message = result.message
+                if message is None and result.timed_out and retry is not None:
                     # The timeout actually paid follows the retransmit
                     # schedule: try n waits try_timeout * backoff**n.
                     latency = retry.try_cost(self.network.latency.timeout, attempt)
-                self.metrics.record_cs_query(
-                    now, failed=not result.answered, renewal=renewal
+                # Renewal refetches run in the background; only demand
+                # traffic sits on a lookup's critical path (latency is
+                # ignored for renewal inside record_exchange).
+                record_exchange(
+                    now,
+                    failed=message is None,
+                    renewal=renewal,
+                    bytes_out=question_size,
+                    bytes_in=message.wire_size() if message is not None else 0,
+                    latency=latency,
                 )
-                self.metrics.record_traffic(
-                    question.wire_size(),
-                    result.message.wire_size() if result.message else 0,
-                )
-                if not renewal:
-                    # Renewal refetches run in the background; only demand
-                    # traffic sits on a lookup's critical path.
-                    self.metrics.record_latency(latency)
-                if result.answered:
+                if message is not None:
                     if obs is not None:
                         obs.emit(EventKind.QUERY_ANSWERED, now,
                                  zone=str(zone), server=address,
                                  latency=latency, renewal=renewal)
-                    previous = self._srtt.get(address)
-                    self._srtt[address] = (
+                    previous = self._srtt.get(aid)
+                    self._srtt[aid] = (
                         latency if previous is None
                         else 0.7 * previous + 0.3 * latency
                     )
-                    self._held_down.pop(address, None)
-                    self._consecutive_failures.pop(address, None)
+                    self._held_down.pop(aid, None)
+                    self._consecutive_failures.pop(aid, None)
                     if not renewal:
                         self._note_zone_use(zone, published_ttl, now)
-                    return result.message
+                    return message
                 if obs is not None:
                     obs.emit(EventKind.QUERY_FAILED, now,
                              zone=str(zone), server=address,
@@ -494,7 +535,7 @@ class CachingServer:
                         obs.emit(EventKind.FAULT_DROP, now,
                                  server=address, reason=result.dropped_by,
                                  renewal=renewal)
-                held_down = self._note_server_failure(address, latency, now)
+                held_down = self._note_server_failure(address, aid, latency, now)
                 if held_down or not result.timed_out:
                     # Sidelined, or a fast negative (lame delegation):
                     # retransmitting to this server cannot help.
@@ -502,7 +543,7 @@ class CachingServer:
         return None
 
     def _note_server_failure(
-        self, address: str, cost: float, now: float
+        self, address: str, aid: int, cost: float, now: float
     ) -> bool:
         """Failure bookkeeping for one query attempt.
 
@@ -510,32 +551,34 @@ class CachingServer:
         a :class:`RetryPolicy` the timeout paid also feeds the smoothed
         RTT, so lossy/flapping servers lose their selection preference
         under ``prefer_fast_servers``; without one, behaviour is exactly
-        the legacy single-failure ``server_holddown`` rule.
+        the legacy single-failure ``server_holddown`` rule.  ``aid`` is
+        the address's dense id (`_addr_ids`); ``address`` is only for
+        event payloads.
         """
         retry = self.config.retry_policy
         if retry is None:
             if self.config.server_holddown is not None:
-                self._held_down[address] = now + self.config.server_holddown
+                self._held_down[aid] = now + self.config.server_holddown
             return False
-        previous = self._srtt.get(address)
-        self._srtt[address] = (
+        previous = self._srtt.get(aid)
+        self._srtt[aid] = (
             cost if previous is None else 0.7 * previous + 0.3 * cost
         )
-        count = self._consecutive_failures.get(address, 0) + 1
-        self._consecutive_failures[address] = count
+        count = self._consecutive_failures.get(aid, 0) + 1
+        self._consecutive_failures[aid] = count
         if retry.holddown is not None and count >= retry.holddown_failures:
             until = now + retry.holddown
-            self._held_down[address] = until
+            self._held_down[aid] = until
             # Restart the count so the server gets a clean slate when
             # the hold-down expires (one failure then re-arms it).
-            self._consecutive_failures.pop(address, None)
+            self._consecutive_failures.pop(aid, None)
             if self.observer is not None:
                 self.observer.emit(EventKind.SERVER_HOLDDOWN, now,
                                    server=address, until=until,
                                    failures=count)
             return True
         if self.config.server_holddown is not None:
-            self._held_down[address] = now + self.config.server_holddown
+            self._held_down[aid] = now + self.config.server_holddown
         return False
 
     def _zone_ns(
@@ -543,15 +586,21 @@ class CachingServer:
     ) -> tuple[tuple[Name, ...], float] | None:
         """The zone's server names plus published NS TTL, if known."""
         if zone == self._root:
-            return self._hints.server_names(), self._hints.ns.ttl
+            return self._root_ns_info
         entry = self.cache.entry(zone, RRType.NS)
         if entry is None:
             return None
         if not entry.is_live(now) and not stale:
             return None
-        names = tuple(
-            record.data for record in entry.rrset if isinstance(record.data, Name)
-        )
+        rrset = entry.rrset
+        cached = self._ns_names.get(zone.iid)
+        if cached is not None and cached[0] is rrset:
+            names = cached[1]
+        else:
+            names = tuple(
+                record.data for record in rrset if isinstance(record.data, Name)
+            )
+            self._ns_names[zone.iid] = (rrset, names)
         if not names:
             return None
         return names, entry.published_ttl
@@ -587,7 +636,7 @@ class CachingServer:
             # cycle a real resolver also cannot break.
             return None
         sub = self.resolve(
-            Question(server_name, RRType.A),
+            self._question_for(server_name, RRType.A),
             now,
             depth + 1,
             stack | {server_name},
@@ -606,53 +655,45 @@ class CachingServer:
     # ------------------------------------------------------------------
 
     def _ingest(self, message: Message, now: float) -> None:
-        """File every RRset of a response into the cache, ranked."""
-        auth = message.authoritative
-        # NS targets first so the additional section's glue is already
-        # recognisable as infrastructure data.
-        for rrset in message.all_rrsets():
-            if rrset.rrtype == RRType.NS:
-                for record in rrset:
-                    if isinstance(record.data, Name):
-                        self._known_server_names.add(record.data)
-        for section_name, section in (
-            ("answer", message.answer),
-            ("authority", message.authority),
-            ("additional", message.additional),
-        ):
-            rank = section_rank(section_name, auth)
-            for rrset in section:
-                self._cache_rrset(rrset, rank, now)
+        """File every RRset of a response into the cache, ranked.
 
-    def _cache_rrset(self, rrset: RRset, rank: Rank, now: float) -> None:
-        is_dnssec_irr = rrset.rrtype in (RRType.DNSKEY, RRType.DS, RRType.RRSIG)
-        is_irr = (
-            rrset.rrtype == RRType.NS
-            or is_dnssec_irr
-            or (rrset.rrtype.is_address()
-                and rrset.name in self._known_server_names)
-        )
-        refresh = self.config.ttl_refresh and is_irr
-        result = self.cache.put(rrset, rank, now, refresh=refresh)
-
-        if is_dnssec_irr and rrset.rrtype != RRType.RRSIG:
-            self._signed_zones.add(rrset.name)
-        if rrset.rrtype != RRType.NS:
-            return
-        zone = rrset.name
-        if (
-            result.replaced_expired
-            and self.gap_observer is not None
-            and result.previous_expiry is not None
-            and result.previous_published_ttl is not None
-        ):
-            gap = now - result.previous_expiry
-            self.gap_observer(zone, gap, result.previous_published_ttl)
-        if result.stored and result.expires_at is not None:
-            if self.renewal is not None:
-                self.renewal.note_irrs_cached(zone, result.expires_at)
-        if rank == Rank.NON_AUTH_AUTHORITY:
-            self._last_parent_learn[zone] = now
+        NS targets are registered first so the additional section's glue
+        is already recognisable as infrastructure data.  The section
+        walk, ranks and static infrastructure flags are precomputed (and
+        memoized) by the message; only the known-server-name check and
+        the puts themselves run per ingest.
+        """
+        ns_targets, ranked = message.ingest_plan()
+        known = self._known_server_names
+        if ns_targets:
+            known.update(ns_targets)
+        ttl_refresh = self.config.ttl_refresh
+        put = self.cache.put
+        gap_observer = self.gap_observer
+        renewal = self.renewal
+        for rrset, rank, is_ns, static_irr, is_addr, dnssec_key in ranked:
+            refresh = ttl_refresh and (
+                static_irr or (is_addr and rrset.name in known)
+            )
+            result = put(rrset, rank, now, refresh)
+            if dnssec_key:
+                self._signed_zones.add(rrset.name)
+            if not is_ns:
+                continue
+            zone = rrset.name
+            if (
+                result.replaced_expired
+                and gap_observer is not None
+                and result.previous_expiry is not None
+                and result.previous_published_ttl is not None
+            ):
+                gap = now - result.previous_expiry
+                gap_observer(zone, gap, result.previous_published_ttl)
+            if result.stored and result.expires_at is not None:
+                if renewal is not None:
+                    renewal.note_irrs_cached(zone, result.expires_at)
+            if rank == Rank.NON_AUTH_AUTHORITY:
+                self._last_parent_learn[zone] = now
 
     def _chain_keys_available(self, qname: Name, now: float) -> bool:
         """Whether every signed zone on ``qname``'s chain has a live key.
@@ -669,8 +710,9 @@ class CachingServer:
                 continue
             if self.cache.get(ancestor, RRType.DNSKEY, now) is not None:
                 continue
-            refetch = self.resolve(Question(ancestor, RRType.DNSKEY), now,
-                                   depth=1)
+            refetch = self.resolve(
+                self._question_for(ancestor, RRType.DNSKEY), now, depth=1
+            )
             if refetch.failed or refetch.answer is None:
                 return False
             if self.cache.get(ancestor, RRType.DNSKEY, now) is None:
@@ -711,7 +753,7 @@ class CachingServer:
         the refetch produced an authoritative NS answer (which, once
         ingested, restarts the TTL countdown).
         """
-        question = Question(zone, RRType.NS)
+        question = self._question_for(zone, RRType.NS)
         response = self._query_zone(
             zone, question, now, depth=0, stack=frozenset(), renewal=True
         )
@@ -723,6 +765,15 @@ class CachingServer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def srtt_of(self, address: str) -> float | None:
+        """The smoothed RTT estimate for a server address, if any.
+
+        The internal map is keyed by dense address ids; this decodes for
+        tests and diagnostics.
+        """
+        aid = self._addr_ids.get(address)
+        return None if aid is None else self._srtt.get(aid)
 
     def top_blamed_zones(self, count: int = 10) -> list[tuple[Name, int]]:
         """Zones whose server sets failed most often (attack diagnosis)."""

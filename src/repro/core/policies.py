@@ -24,19 +24,25 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from repro.dns.name import Name
+from repro.dns.name import Name, name_for_id
 
 DAY = 86400.0
 
 
 class RenewalPolicy(ABC):
-    """Tracks per-zone renewal credit."""
+    """Tracks per-zone renewal credit.
+
+    Balances are keyed internally by the zone name's dense intern id
+    (:attr:`~repro.dns.name.Name.iid`) — credit is topped up on every
+    zone contact, so the table sits on the replay hot path.  The public
+    API still speaks :class:`Name`; :meth:`balances` decodes.
+    """
 
     #: Display name, e.g. ``"a-lfu(c=3)"``.
     name: str
 
     def __init__(self) -> None:
-        self._credits: dict[Name, float] = {}
+        self._credits: dict[int, float] = {}
 
     @abstractmethod
     def on_zone_use(self, zone: Name, irr_ttl: float, now: float) -> None:
@@ -44,19 +50,19 @@ class RenewalPolicy(ABC):
 
     def take_renewal_credit(self, zone: Name) -> bool:
         """Spend one credit for a renewal refetch; False when broke."""
-        balance = self._credits.get(zone, 0.0)
+        balance = self._credits.get(zone.iid, 0.0)
         if balance < 1.0:
             return False
-        self._credits[zone] = balance - 1.0
+        self._credits[zone.iid] = balance - 1.0
         return True
 
     def credit_of(self, zone: Name) -> float:
         """Current balance (0 for unknown zones)."""
-        return self._credits.get(zone, 0.0)
+        return self._credits.get(zone.iid, 0.0)
 
     def forget(self, zone: Name) -> None:
         """Drop state for a zone that left the cache."""
-        self._credits.pop(zone, None)
+        self._credits.pop(zone.iid, None)
 
     def tracked_zones(self) -> int:
         """How many zones hold state (memory accounting)."""
@@ -64,7 +70,7 @@ class RenewalPolicy(ABC):
 
     def balances(self) -> dict[Name, float]:
         """A snapshot of every zone's credit balance (for validation)."""
-        return dict(self._credits)
+        return {name_for_id(iid): value for iid, value in self._credits.items()}
 
 
 class LRUPolicy(RenewalPolicy):
@@ -78,7 +84,7 @@ class LRUPolicy(RenewalPolicy):
         self.name = f"lru(c={credit:g})"
 
     def on_zone_use(self, zone: Name, irr_ttl: float, now: float) -> None:
-        self._credits[zone] = self.credit
+        self._credits[zone.iid] = self.credit
 
 
 class LFUPolicy(RenewalPolicy):
@@ -95,8 +101,8 @@ class LFUPolicy(RenewalPolicy):
         self.name = f"lfu(c={credit:g},m={self.max_credit:g})"
 
     def on_zone_use(self, zone: Name, irr_ttl: float, now: float) -> None:
-        balance = self._credits.get(zone, 0.0) + self.credit
-        self._credits[zone] = min(balance, self.max_credit)
+        balance = self._credits.get(zone.iid, 0.0) + self.credit
+        self._credits[zone.iid] = min(balance, self.max_credit)
 
 
 class AdaptiveLRUPolicy(RenewalPolicy):
@@ -112,7 +118,7 @@ class AdaptiveLRUPolicy(RenewalPolicy):
     def on_zone_use(self, zone: Name, irr_ttl: float, now: float) -> None:
         if irr_ttl <= 0:
             raise ValueError(f"non-positive IRR TTL {irr_ttl} for {zone}")
-        self._credits[zone] = self.credit * DAY / irr_ttl
+        self._credits[zone.iid] = self.credit * DAY / irr_ttl
 
 
 class AdaptiveLFUPolicy(RenewalPolicy):
@@ -132,8 +138,8 @@ class AdaptiveLFUPolicy(RenewalPolicy):
     def on_zone_use(self, zone: Name, irr_ttl: float, now: float) -> None:
         if irr_ttl <= 0:
             raise ValueError(f"non-positive IRR TTL {irr_ttl} for {zone}")
-        balance = self._credits.get(zone, 0.0) + self.credit * DAY / irr_ttl
-        self._credits[zone] = min(balance, self.max_credit)
+        balance = self._credits.get(zone.iid, 0.0) + self.credit * DAY / irr_ttl
+        self._credits[zone.iid] = min(balance, self.max_credit)
 
 
 _POLICY_KINDS = {

@@ -22,7 +22,6 @@ from repro.core.policies import RenewalPolicy
 from repro.dns.name import Name
 from repro.obs.events import EventBus, EventKind
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.events import EventHandle
 
 #: Seconds before expiry at which the refetch fires ("just before they
 #: are ready to expire").
@@ -57,7 +56,8 @@ class RenewalManager:
         self._refetch = refetch
         self._jitter_fraction = jitter_fraction
         self._rng = rng or random.Random(0)
-        self._timers: dict[Name, EventHandle] = {}
+        # Timer tokens from the engine's flat event queue (DESIGN §13).
+        self._timers: dict[Name, int] = {}
         self._armed_for: dict[Name, float] = {}
         self.renewals_attempted = 0
         self.renewals_succeeded = 0
@@ -77,7 +77,7 @@ class RenewalManager:
             return
         existing = self._timers.get(zone)
         if existing is not None:
-            existing.cancel()
+            self._engine.cancel(existing)
         fire_at = expires_at - RENEWAL_LEAD
         if self._jitter_fraction > 0.0:
             # Refetch a little early, by a random share of the remaining
@@ -96,9 +96,9 @@ class RenewalManager:
 
     def forget_zone(self, zone: Name) -> None:
         """Drop timers and credit for a zone (delegation removed, etc.)."""
-        handle = self._timers.pop(zone, None)
-        if handle is not None:
-            handle.cancel()
+        token = self._timers.pop(zone, None)
+        if token is not None:
+            self._engine.cancel(token)
         self._armed_for.pop(zone, None)
         self.policy.forget(zone)
 

@@ -14,10 +14,22 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.dns.name import Name
+from repro.dns.ranking import Rank, section_rank
 from repro.dns.records import RRset
 from repro.dns.rrtypes import RRClass, RRType
 
 _query_ids = itertools.count(1)
+
+IngestRow = tuple[RRset, Rank, bool, bool, bool, bool]
+"""One precomputed ingest step: ``(rrset, rank, is_ns, static_irr,
+is_address, is_dnssec_key)``.  The booleans are the static parts of the
+caching server's infrastructure classification — everything except the
+known-server-name check, which depends on resolver state."""
+
+IngestPlan = tuple[tuple[Name, ...], tuple[IngestRow, ...]]
+
+_DNSSEC_IRR = (RRType.DNSKEY, RRType.DS, RRType.RRSIG)
+_DNSSEC_KEY = (RRType.DNSKEY, RRType.DS)
 
 
 class Rcode(enum.IntEnum):
@@ -42,9 +54,15 @@ class Question:
     def __str__(self) -> str:
         return f"{self.name} {self.rrclass.name} {self.rrtype.name}"
 
+    _wire_size: int = field(default=-1, init=False, repr=False, compare=False)
+
     def wire_size(self) -> int:
         """Approximate query size in octets (header + question)."""
-        return 12 + self.name.wire_length() + 4
+        size = self._wire_size
+        if size < 0:
+            size = 12 + self.name.wire_length() + 4
+            object.__setattr__(self, "_wire_size", size)  # repro: ignore[REP006]
+        return size
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +81,16 @@ class Message:
     authority: tuple[RRset, ...] = ()
     additional: tuple[RRset, ...] = ()
     message_id: int = field(default_factory=lambda: next(_query_ids))
+    # Memo slots: responses are immutable, and with authoritative-side
+    # response caching the same Message object is served (and ingested)
+    # many times, so size/section walks are paid once per object.
+    _wire_size: int = field(default=-1, init=False, repr=False, compare=False)
+    _sections: tuple[RRset, ...] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _plan: IngestPlan | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def is_referral(self) -> bool:
         """True for a downward referral: non-authoritative, no answer, NS
@@ -100,7 +128,11 @@ class Message:
 
     def all_rrsets(self) -> tuple[RRset, ...]:
         """Every RRset in the message, section order preserved."""
-        return self.answer + self.authority + self.additional
+        sections = self._sections
+        if sections is None:
+            sections = self.answer + self.authority + self.additional
+            object.__setattr__(self, "_sections", sections)  # repro: ignore[REP006]
+        return sections
 
     def record_count(self) -> int:
         """Total records across all three sections."""
@@ -108,10 +140,52 @@ class Message:
 
     def wire_size(self) -> int:
         """Approximate response size in octets (header + question + RRs)."""
-        size = 12 + self.question.name.wire_length() + 4
-        for rrset in self.all_rrsets():
-            size += sum(record.wire_size() for record in rrset)
+        size = self._wire_size
+        if size < 0:
+            size = 12 + self.question.name.wire_length() + 4
+            for rrset in self.all_rrsets():
+                size += sum(record.wire_size() for record in rrset)
+            object.__setattr__(self, "_wire_size", size)  # repro: ignore[REP006]
         return size
+
+    def ingest_plan(self) -> IngestPlan:
+        """What a caching server files from this response, precomputed.
+
+        Returns ``(ns_targets, ranked)``: the server names every NS RRset
+        points at, and one :data:`IngestRow` per RRset carrying its RFC
+        2181 rank plus the static infrastructure-classification flags.
+        Everything depends only on the message's immutable sections and
+        AA bit, so the walk is done once per Message object.
+        """
+        plan = self._plan
+        if plan is None:
+            ns_targets = tuple(
+                record.data
+                for rrset in self.all_rrsets()
+                if rrset.rrtype == RRType.NS
+                for record in rrset
+                if isinstance(record.data, Name)
+            )
+            auth = self.authoritative
+            ranked = tuple(
+                (
+                    rrset,
+                    rank,
+                    rrset.rrtype == RRType.NS,
+                    rrset.rrtype == RRType.NS or rrset.rrtype in _DNSSEC_IRR,
+                    rrset.rrtype.is_address(),
+                    rrset.rrtype in _DNSSEC_KEY,
+                )
+                for section, rank in (
+                    (self.answer, section_rank("answer", auth)),
+                    (self.authority, section_rank("authority", auth)),
+                    (self.additional, section_rank("additional", auth)),
+                )
+                for rrset in section
+            )
+            plan = (ns_targets, ranked)
+            object.__setattr__(self, "_plan", plan)  # repro: ignore[REP006]
+        return plan
 
     def __str__(self) -> str:
         parts = [

@@ -12,6 +12,7 @@ simulator's hot paths can compare and hash them cheaply.
 from __future__ import annotations
 
 from repro.dns.errors import NameParseError
+from repro.dns.rrtypes import RRTYPE_BITS, RRType
 
 MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 255
@@ -23,6 +24,15 @@ _LABEL_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-_")
 # both memory and equality checks cheap.
 _INTERN: dict[tuple[str, ...], "Name"] = {}
 
+# Dense id registry: `_BY_ID[name.iid] is name`.  Ids are handed out at
+# intern time, so they are deterministic whenever the build order is —
+# zone construction and trace generation intern every name in a fixed
+# order before the replay hot path runs, which is what lets caches key on
+# the id instead of the object (DESIGN.md §13).
+_BY_ID: list["Name"] = []
+
+_NS_CODE = int(RRType.NS)
+
 
 class Name:
     """An immutable domain name.
@@ -31,9 +41,13 @@ class Name:
     the raw constructor assumes already-validated lowercase labels.
     """
 
-    __slots__ = ("labels", "_hash", "_ancestors", "_wire_length")
+    __slots__ = ("labels", "iid", "_hash", "_ancestors", "_wire_length",
+                 "_ns_chain")
 
     labels: tuple[str, ...]
+    iid: int
+    """Dense intern id; stable for the life of the process and
+    deterministic given a deterministic build order."""
 
     def __new__(cls, labels: tuple[str, ...]) -> "Name":
         cached = _INTERN.get(labels)
@@ -41,11 +55,14 @@ class Name:
             return cached
         self = super().__new__(cls)
         object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "iid", len(_BY_ID))
         object.__setattr__(self, "_hash", hash(labels))
         object.__setattr__(self, "_ancestors", None)
+        object.__setattr__(self, "_ns_chain", None)
         object.__setattr__(
             self, "_wire_length", sum(len(label) + 1 for label in labels) + 1
         )
+        _BY_ID.append(self)
         _INTERN[labels] = self
         return self
 
@@ -136,6 +153,26 @@ class Name:
             object.__setattr__(self, "_ancestors", chain)  # repro: ignore[REP006]
         return chain
 
+    def ns_chain(self) -> tuple[tuple["Name", int], ...]:
+        """``(ancestor, packed NS cache key)`` pairs, deepest first.
+
+        Covers every non-root ancestor including the name itself; the
+        packed key is ``(ancestor.iid << RRTYPE_BITS) | RRType.NS``, i.e.
+        exactly what :class:`~repro.core.cache.DnsCache` stores NS entries
+        under.  Precomputing the pairs turns ``best_zone_for`` — run once
+        or more per query — into a flat walk over an interned tuple with
+        no per-call key construction.
+        """
+        chain = self._ns_chain
+        if chain is None:
+            chain = tuple(
+                (ancestor, (ancestor.iid << RRTYPE_BITS) | _NS_CODE)
+                for ancestor in self.ancestors()
+                if ancestor.labels
+            )
+            object.__setattr__(self, "_ns_chain", chain)  # repro: ignore[REP006]
+        return chain
+
     def common_ancestor(self, other: "Name") -> "Name":
         """The deepest name that is an ancestor of both names."""
         shared: list[str] = []
@@ -209,3 +246,17 @@ _ROOT = Name(())
 def root_name() -> Name:
     """The DNS root name (zero labels)."""
     return _ROOT
+
+
+def name_for_id(iid: int) -> Name:
+    """The interned :class:`Name` carrying ``iid``.
+
+    Raises:
+        IndexError: for an id no name has been assigned yet.
+    """
+    return _BY_ID[iid]
+
+
+def intern_count() -> int:
+    """How many distinct names this process has interned."""
+    return len(_BY_ID)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 from repro.dns.name import Name
-from repro.dns.rrtypes import RRClass, RRType
+from repro.dns.rrtypes import RRTYPE_BITS, RRClass, RRType
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +85,7 @@ class RRset:
     records: tuple[ResourceRecord, ...]
     _data_key: tuple = field(init=False, repr=False, compare=False, hash=False)
     _key: tuple = field(init=False, repr=False, compare=False, hash=False)
+    _ikey: int = field(init=False, repr=False, compare=False, hash=False)
 
     def __post_init__(self) -> None:
         if not self.records:
@@ -101,6 +102,9 @@ class RRset:
             self, "_data_key", tuple(record.data for record in self.records)
         )
         object.__setattr__(self, "_key", (self.name, self.rrtype))
+        object.__setattr__(
+            self, "_ikey", (self.name.iid << RRTYPE_BITS) | int(self.rrtype)
+        )
 
     @classmethod
     def from_records(cls, records: Iterable[ResourceRecord]) -> "RRset":
@@ -142,6 +146,14 @@ class RRset:
     def key(self) -> tuple[Name, RRType]:
         """The (owner name, type) cache key (precomputed)."""
         return self._key
+
+    def ikey(self) -> int:
+        """The packed intern-id cache key (precomputed).
+
+        Layout matches :func:`repro.core.cache.cache_key`:
+        ``(name.iid << RRTYPE_BITS) | rrtype``.
+        """
+        return self._ikey
 
     def __iter__(self) -> Iterator[ResourceRecord]:
         return iter(self.records)

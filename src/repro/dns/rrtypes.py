@@ -49,6 +49,20 @@ class RRType(enum.IntEnum):
         )
 
 
+#: Bits reserved for the rrtype in a packed ``(name.iid << RRTYPE_BITS) |
+#: rrtype`` cache key.  Every modelled type must fit; the assertion below
+#: keeps a future type addition from silently corrupting packed keys.
+RRTYPE_BITS = 6
+
+for _rrtype in RRType:
+    if int(_rrtype) >= (1 << RRTYPE_BITS):  # pragma: no cover - layout guard
+        raise ImportError(
+            f"RRType.{_rrtype.name} exceeds RRTYPE_BITS; "
+            f"widen the packed-key layout"
+        )
+del _rrtype
+
+
 class RRClass(enum.IntEnum):
     """DNS CLASS values.  Everything in this project is IN."""
 

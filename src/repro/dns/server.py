@@ -22,7 +22,7 @@ from repro.dns.errors import LameDelegationError, ZoneConfigError
 from repro.dns.message import Message, Question, Rcode
 from repro.dns.name import Name
 from repro.dns.records import InfrastructureRecordSet, RRset
-from repro.dns.rrtypes import RRType
+from repro.dns.rrtypes import RRTYPE_BITS, RRClass, RRType
 from repro.dns.zone import Zone
 
 _MAX_CNAME_CHAIN = 8
@@ -35,10 +35,15 @@ class AuthoritativeServer:
         self.name = name
         self.address = address
         self._zones: dict[Name, Zone] = {}
+        # qname iid -> deepest hosted zone (or None); cleared whenever the
+        # served-zone set changes.  The ancestor walk is short but sits on
+        # the hot path of every single answered query.
+        self._deepest: dict[int, Zone | None] = {}
 
     def serve_zone(self, zone: Zone) -> None:
         """Register this server as authoritative for ``zone``."""
         self._zones[zone.name] = zone
+        self._deepest.clear()
 
     def withdraw_zone(self, zone_name: Name) -> bool:
         """Stop answering for a zone (delegation moved elsewhere).
@@ -48,6 +53,7 @@ class AuthoritativeServer:
         exactly like a decommissioned-but-running production server.
         Returns whether the zone was being served.
         """
+        self._deepest.clear()
         return self._zones.pop(zone_name, None) is not None
 
     def zones_served(self) -> tuple[Name, ...]:
@@ -60,12 +66,19 @@ class AuthoritativeServer:
 
     def deepest_zone_for(self, qname: Name) -> Zone | None:
         """The most specific hosted zone whose bailiwick contains ``qname``."""
+        memo = self._deepest
+        iid = qname.iid
+        if iid in memo:
+            return memo[iid]
+        found: Zone | None = None
         zones = self._zones
         for ancestor in qname.ancestors():
             zone = zones.get(ancestor)
             if zone is not None:
-                return zone
-        return None
+                found = zone
+                break
+        memo[iid] = found
+        return found
 
     # -- answering --------------------------------------------------------
 
@@ -83,14 +96,27 @@ class AuthoritativeServer:
                 f"server {self.name} is not authoritative for {question.name}"
             )
 
+        # Responses are a pure function of (question, zone content), so
+        # they are memoized on the zone itself (shared across all servers
+        # hosting it) and invalidated by the zone's operator actions.
+        cacheable = question.rrclass is RRClass.IN
+        key = (question.name.iid << RRTYPE_BITS) | int(question.rrtype)
+        if cacheable:
+            cached = zone.cached_response(key)
+            if cached is not None:
+                return cached
+
         delegation = zone.delegation_covering(question.name)
         if delegation is not None:
             # Below a cut the parent only refers; if this server also
             # hosts the child, the child was already picked as the
             # deepest zone and we never get here.
-            return self._referral(question, delegation)
-
-        return self._authoritative_answer(question, zone)
+            response = self._referral(question, delegation)
+        else:
+            response = self._authoritative_answer(question, zone)
+        if cacheable:
+            zone.store_response(key, response)
+        return response
 
     def _referral(
         self, question: Question, delegation: InfrastructureRecordSet

@@ -16,12 +16,15 @@ delegation invariants before the zone is used.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.dns.errors import ZoneConfigError
 from repro.dns.name import Name
 from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
 from repro.dns.rrtypes import RRType
+
+if TYPE_CHECKING:
+    from repro.dns.message import Message
 
 
 class Zone:
@@ -45,6 +48,12 @@ class Zone:
         self._rrsets = rrsets
         self._delegations = delegations
         self._irr_sections: tuple[tuple[RRset, ...], tuple[RRset, ...]] | None = None
+        # Memoized responses keyed by packed (qname iid, rrtype) question
+        # key.  Zone content only changes through the operator-action
+        # methods below, each of which clears this; replay traffic asks
+        # the same few questions millions of times, so answering from
+        # here turns the whole answering algorithm into one dict hit.
+        self._response_cache: dict[int, Message] = {}
         #: RFC 2308 negative-caching TTL; None when the zone has no SOA.
         self.soa_minimum: float | None = None
         # Every name that exists in the zone (for NXDOMAIN decisions),
@@ -88,6 +97,14 @@ class Zone:
             # refresh/renewal machinery sees them with every answer.
             self._irr_sections = ((irrs.ns,), irrs.glue + irrs.dnssec)
         return self._irr_sections
+
+    def cached_response(self, question_key: int) -> Message | None:
+        """A memoized response for a packed question key, if one is stored."""
+        return self._response_cache.get(question_key)
+
+    def store_response(self, question_key: int, message: Message) -> None:
+        """Memoize the response for a question against this zone's content."""
+        self._response_cache[question_key] = message
 
     def lookup(self, name: Name, rrtype: RRType) -> RRset | None:
         """The authoritative RRset for (name, type), if present.
@@ -158,6 +175,7 @@ class Zone:
         """
         self._apex_irrs = self._apex_irrs.with_ttl(ttl)
         self._irr_sections = None
+        self._response_cache.clear()
 
     def replace_infrastructure_records(self, irrs: InfrastructureRecordSet) -> None:
         """Swap the zone's own IRR set (operator changed name servers).
@@ -171,6 +189,7 @@ class Zone:
             )
         self._apex_irrs = irrs
         self._irr_sections = None
+        self._response_cache.clear()
         for rrset in irrs.glue:
             self._add_existing(rrset.name)
 
@@ -181,6 +200,7 @@ class Zone:
             KeyError: when ``child`` is not delegated from this zone.
         """
         self._delegations[child] = self._delegations[child].with_ttl(ttl)
+        self._response_cache.clear()
 
     def irr_snapshot(self) -> tuple:
         """Opaque snapshot of apex IRRs and delegation copies.
@@ -197,6 +217,7 @@ class Zone:
         self._apex_irrs = apex
         self._delegations = delegations
         self._irr_sections = None
+        self._response_cache.clear()
 
     def replace_delegation(self, irrs: InfrastructureRecordSet) -> None:
         """Point an existing delegation at a new server set.
@@ -210,6 +231,7 @@ class Zone:
         if irrs.zone not in self._delegations:
             raise KeyError(f"{self.name} does not delegate {irrs.zone}")
         self._delegations[irrs.zone] = irrs
+        self._response_cache.clear()
 
     def __repr__(self) -> str:
         return (

@@ -4,16 +4,16 @@ The engine owns virtual time.  Trace replay drives it with
 :meth:`SimulationEngine.advance_to` — between two trace queries, every
 timer (renewal refetches, metric sampling) due in the interval fires in
 timestamp order.  Components schedule work with :meth:`schedule` /
-:meth:`schedule_in`.
+:meth:`schedule_in`; both return an int token that :meth:`cancel`
+accepts (see :class:`~repro.simulation.events.EventQueue`).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.dns.errors import InvariantError
 from repro.obs.events import EventKind
-from repro.simulation.events import EventHandle, EventQueue
+from repro.simulation.events import EventQueue
 
 if TYPE_CHECKING:
     from repro.obs.events import EventBus
@@ -36,20 +36,24 @@ class SimulationEngine:
         self._running = False
         self.observer: "EventBus | None" = None
 
-    def schedule(self, time: float, action: Callable[[float], None]) -> EventHandle:
+    def schedule(self, time: float, action: Callable[[float], None]) -> int:
         """Run ``action(fire_time)`` at absolute virtual ``time``.
 
         Scheduling in the past is clamped to "immediately" (fires at the
         current time on the next advance), mirroring how a real timer API
-        treats overdue deadlines.
+        treats overdue deadlines.  Returns a cancel token.
         """
         return self._queue.push(max(time, self.now), action)
 
-    def schedule_in(self, delay: float, action: Callable[[float], None]) -> EventHandle:
+    def schedule_in(self, delay: float, action: Callable[[float], None]) -> int:
         """Run ``action`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         return self._queue.push(self.now + delay, action)
+
+    def cancel(self, token: int) -> bool:
+        """Cancel a scheduled event; True when it was still pending."""
+        return self._queue.cancel(token)
 
     def advance_to(self, time: float) -> int:
         """Advance the clock to ``time``, firing every event due on the way.
@@ -70,19 +74,16 @@ class SimulationEngine:
             return 0
         fired = 0
         observer = self.observer
+        pop_due = queue.pop_due
         while True:
-            next_time = queue.peek_time()
-            if next_time is None or next_time > time:
+            item = pop_due(time)
+            if item is None:
                 break
-            handle = queue.pop()
-            if handle is None:
-                raise InvariantError(
-                    "event queue emptied between peek and pop"
-                )
-            self.now = handle.time
+            fire_time, action = item
+            self.now = fire_time
             if observer is not None:
-                observer.emit(_TIMER_FIRED, handle.time)
-            handle.action(handle.time)
+                observer.emit(_TIMER_FIRED, fire_time)
+            action(fire_time)
             fired += 1
         self.now = time
         return fired
@@ -96,14 +97,16 @@ class SimulationEngine:
             return self.advance_to(until)
         fired = 0
         observer = self.observer
+        pop = self._queue.pop
         while True:
-            handle = self._queue.pop()
-            if handle is None:
+            item = pop()
+            if item is None:
                 return fired
-            self.now = handle.time
+            fire_time, action = item
+            self.now = fire_time
             if observer is not None:
-                observer.emit(_TIMER_FIRED, handle.time)
-            handle.action(handle.time)
+                observer.emit(_TIMER_FIRED, fire_time)
+            action(fire_time)
             fired += 1
 
     def pending_events(self) -> int:

@@ -137,6 +137,38 @@ class ReplayMetrics:
         self.bytes_out += bytes_out
         self.bytes_in += bytes_in
 
+    def record_exchange(
+        self,
+        now: float,
+        failed: bool,
+        renewal: bool,
+        bytes_out: int,
+        bytes_in: int,
+        latency: float,
+    ) -> None:
+        """One CS query attempt's full bookkeeping in a single call.
+
+        Equivalent to ``record_cs_query`` + ``record_traffic`` (+
+        ``record_latency`` for demand traffic); fused because the trio
+        runs for every query the resolver sends.
+        """
+        self.bytes_out += bytes_out
+        self.bytes_in += bytes_in
+        if renewal:
+            self.cs_renewal_queries += 1
+            if failed:
+                self.cs_renewal_failures += 1
+            return
+        self.total_latency += latency
+        self.cs_demand_queries += 1
+        if failed:
+            self.cs_demand_failures += 1
+        for window in self.windows:
+            if window.contains(now):
+                window.cs_queries += 1
+                if failed:
+                    window.cs_failures += 1
+
     @property
     def total_bytes(self) -> int:
         """Total traffic (both directions) in octets."""

@@ -15,7 +15,7 @@ path is exactly the pre-fault code — the disabled layer costs nothing.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.dns.errors import LameDelegationError
 from repro.dns.message import Message, Question
@@ -41,13 +41,22 @@ class LatencyModel:
     rtt: float = 0.04
     timeout: float = 2.0
     rtt_spread: float = 0.5
+    # Per-address memo: rtt_for is pure, and the crc32-based spread is
+    # recomputed for the same handful of addresses on every query.
+    _memo: dict[str, float] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def rtt_for(self, address: str) -> float:
         """The stable round-trip time to ``address``."""
         if self.rtt_spread <= 0.0:
             return self.rtt
-        factor = (zlib.crc32(address.encode("ascii")) % 1000) / 1000.0
-        return self.rtt * (1.0 + self.rtt_spread * (2.0 * factor - 1.0))
+        value = self._memo.get(address)
+        if value is None:
+            factor = (zlib.crc32(address.encode("ascii")) % 1000) / 1000.0
+            value = self.rtt * (1.0 + self.rtt_spread * (2.0 * factor - 1.0))
+            self._memo[address] = value
+        return value
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.cache import CacheEntry, DnsCache, PutResult
+from repro.core.cache import CacheEntry, DnsCache, PutResult, cache_key, split_key
 from repro.dns.name import Name
 from repro.dns.ranking import Rank
 from repro.dns.records import RRset
@@ -260,7 +260,10 @@ class DifferentialCache(DnsCache):
         recently.
         """
         oracle = self._oracle
-        primary_keys = sorted(self._entries)
+        # The primary stores packed int keys (see `cache_key`); decode to
+        # (Name, RRType) pairs so the comparison speaks the oracle's
+        # vocabulary — a packing bug then shows up as a key mismatch.
+        primary_keys = sorted(split_key(k) for k in self._entries)
         oracle_keys = sorted(oracle.snapshot_keys())
         if primary_keys != oracle_keys:
             only_primary = [k for k in primary_keys if k not in oracle_keys]
@@ -272,9 +275,12 @@ class DifferentialCache(DnsCache):
         for key in primary_keys:
             self._compare(
                 f"audit [entry {key[0]}/{key[1].name}]",
-                _entry_fields(self._entries[key]),
+                _entry_fields(self._entries[cache_key(*key)]),
                 _entry_fields(oracle.entry(*key)),
             )
-        self._compare("audit [negative entries]",
-                      dict(self._negative), oracle.snapshot_negatives())
+        self._compare(
+            "audit [negative entries]",
+            {split_key(k): expiry for k, expiry in self._negative.items()},
+            oracle.snapshot_negatives(),
+        )
         self._compare_occupancy("audit", now)

@@ -31,7 +31,7 @@ Invariants checked:
 
 from __future__ import annotations
 
-from repro.core.cache import DnsCache
+from repro.core.cache import DnsCache, split_key
 from repro.core.renewal import RenewalManager
 from repro.dns.rrtypes import RRType
 from repro.validation.errors import InvariantViolation
@@ -47,7 +47,8 @@ def check_cache_invariants(cache: DnsCache, now: float) -> None:
     census_entries = 0
     census_records = 0
     census_zones = 0
-    for (name, rrtype), entry in entries.items():
+    for key, entry in entries.items():
+        name, rrtype = split_key(key)
         if entry.published_ttl < 0:
             raise InvariantViolation(
                 f"{name}/{rrtype.name}: negative published TTL "

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.cache import DnsCache
+from repro.core.cache import DnsCache, split_key
 from repro.dns.name import Name
 from repro.dns.ranking import Rank
 from repro.dns.records import ResourceRecord, RRset
@@ -281,7 +281,7 @@ def _scan_counts(cache: DnsCache, now: float) -> tuple[int, int, int]:
     return (
         len(live),
         sum(len(entry.rrset) for _, entry in live),
-        sum(1 for (_, rrtype), _ in live if rrtype == RRType.NS),
+        sum(1 for key, _ in live if split_key(key)[1] == RRType.NS),
     )
 
 

@@ -85,15 +85,14 @@ class TestRttSelection:
             mini.address_of("ns1.example.test."),
             mini.address_of("ns2.example.test."),
         ]
-        known = [a for a in addresses if a in server._srtt]
+        known = [a for a in addresses if server.srtt_of(a) is not None]
         assert known, "no RTT estimates learned"
         fast = min(addresses, key=network.latency.rtt_for)
         # Once both are known, further queries should go to the fast one;
         # its estimate converges towards its true RTT.
         if len(known) == 2:
-            assert server._srtt[fast] <= server._srtt[
-                max(addresses, key=network.latency.rtt_for)
-            ] + 1e-9
+            slow = max(addresses, key=network.latency.rtt_for)
+            assert server.srtt_of(fast) <= server.srtt_of(slow) + 1e-9
 
     def test_rtt_for_is_stable_and_spread(self, mini):
         from repro.simulation.network import LatencyModel
@@ -228,6 +227,6 @@ class TestRetryPolicy:
                                      step * 700.0)
         # Failed tries feed the smoothed RTT: the always-down server's
         # estimate dwarfs the steady server's real RTT.
-        assert flappy in server._srtt
-        assert steady in server._srtt
-        assert server._srtt[flappy] > server._srtt[steady]
+        assert server.srtt_of(flappy) is not None
+        assert server.srtt_of(steady) is not None
+        assert server.srtt_of(flappy) > server.srtt_of(steady)

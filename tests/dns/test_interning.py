@@ -1,0 +1,122 @@
+"""The name intern table: the foundation under every packed cache key.
+
+Every hot path keys on ``(name.iid << RRTYPE_BITS) | rrtype`` instead of
+``(Name, RRType)`` tuples, so three properties are load-bearing:
+
+* ids are *deterministic* — the same build sequence hands out the same
+  ids in every process (what makes forked-worker replays byte-identical
+  to serial ones);
+* ids are *stable* — zone churn (delegation swaps, TTL rewrites) never
+  reassigns an existing name's id;
+* packed keys built from ids agree with the canonical ``cache_key``
+  helper, whatever order the names were interned in.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.cache import cache_key, split_key
+from repro.dns.name import Name, name_for_id
+from repro.dns.rrtypes import RRTYPE_BITS, RRType
+from repro.experiments.scenarios import Scale, make_scenario
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_DUMP_IDS = """
+import json, sys
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.dns.name import Name
+
+order = sys.argv[1]
+if order == "traces-first":
+    # Interning a few query names before the hierarchy exists shifts
+    # every later id, but must do so identically in every process that
+    # runs this same sequence.
+    for text in ("early.example.com.", "zzz.test.", "a.b.c.d.e."):
+        Name.from_text(text)
+scenario = make_scenario(Scale.TINY, seed=7)
+names = {}
+for zone in scenario.built.tree.zone_names():
+    names[str(zone)] = zone.iid
+json.dump(names, sys.stdout)
+"""
+
+
+def _subprocess_ids(order: str) -> dict[str, int]:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    out = subprocess.run(
+        [sys.executable, "-c", _DUMP_IDS, order],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    import json
+
+    return json.loads(out.stdout)
+
+
+class TestInternDeterminism:
+    def test_same_build_sequence_same_ids_across_processes(self):
+        first = _subprocess_ids("hierarchy-first")
+        second = _subprocess_ids("hierarchy-first")
+        assert first == second
+
+    def test_build_order_shifts_ids_but_not_identity(self):
+        """Different intern orders renumber names; lookups stay coherent.
+
+        This is why worker determinism holds: a worker's ids may differ
+        from the parent's under ``spawn``, but all of a process's packed
+        keys are built from its *own* table, so results match anyway.
+        """
+        plain = _subprocess_ids("hierarchy-first")
+        shifted = _subprocess_ids("traces-first")
+        assert set(plain) == set(shifted)  # same zones either way
+        # ids are a permutation-free dense prefix: distinct per name.
+        assert len(set(plain.values())) == len(plain)
+        assert len(set(shifted.values())) == len(shifted)
+
+    def test_round_trip_through_the_registry(self):
+        name = Name.from_text("round.trip.example.")
+        assert name_for_id(name.iid) is name
+        assert Name.from_text("round.trip.example.") is name
+
+
+class TestIdStabilityUnderChurn:
+    def test_zone_churn_never_reassigns_ids(self):
+        scenario = make_scenario(Scale.TINY, seed=7)
+        tree = scenario.built.tree
+        zones = list(tree.zone_names())
+        before = {str(zone): zone.iid for zone in zones}
+
+        # Churn: rewrite infrastructure and delegation TTLs on every
+        # zone the hierarchy exposes.
+        for zone_name in zones:
+            zone = tree.zone(zone_name)
+            zone.set_infrastructure_ttl(321.0)
+            for child in zone.child_zone_names():
+                zone.set_delegation_ttl(child, 123.0)
+
+        after = {str(zone): zone.iid for zone in tree.zone_names()}
+        assert after == before
+        for zone in tree.zone_names():
+            assert name_for_id(zone.iid) is zone
+
+    def test_new_names_extend_rather_than_recycle(self):
+        anchor = Name.from_text("anchor.example.")
+        fresh = Name.from_text(f"fresh-{anchor.iid}.example.")
+        assert fresh.iid != anchor.iid
+        assert name_for_id(anchor.iid) is anchor
+
+
+class TestPackedKeys:
+    def test_cache_key_matches_manual_packing(self):
+        name = Name.from_text("packed.example.")
+        for rrtype in (RRType.A, RRType.NS, RRType.DNSKEY):
+            key = cache_key(name, rrtype)
+            assert key == (name.iid << RRTYPE_BITS) | int(rrtype)
+            assert split_key(key) == (name, rrtype)
+
+    def test_ns_chain_keys_agree_with_cache_key(self):
+        name = Name.from_text("www.deep.example.com.")
+        for ancestor, packed in name.ns_chain():
+            assert packed == cache_key(ancestor, RRType.NS)

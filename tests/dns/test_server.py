@@ -109,3 +109,42 @@ class TestLameness:
         root = server_for(mini, "a.root.")
         assert root.is_authoritative_for(name("."))
         assert not root.is_authoritative_for(name("test."))
+
+
+class TestResponseCache:
+    """Responses are pure functions of (question, zone content), so the
+    zone memoises them — and must forget them on every operator action."""
+
+    def test_repeat_question_returns_identical_object(self, mini):
+        root = server_for(mini, "a.root.")
+        question = Question(name("www.example.test."), RRType.A)
+        first = root.respond(question)
+        second = root.respond(question)
+        assert second is first
+
+    def test_shared_across_servers_hosting_the_zone(self, mini):
+        question = Question(name("www.example.test."), RRType.A)
+        a_response = server_for(mini, "a.root.").respond(question)
+        b_response = server_for(mini, "b.root.").respond(question)
+        assert b_response is a_response
+
+    def test_set_infrastructure_ttl_invalidates(self, mini):
+        tld = server_for(mini, "ns1.test.")
+        question = Question(name("example.test."), RRType.NS)
+        before = tld.respond(question)
+        mini.tree.zone(name("test.")).set_infrastructure_ttl(42.0)
+        after = tld.respond(question)
+        assert after is not before
+
+    def test_set_delegation_ttl_invalidates_and_changes_answer(self, mini):
+        tld = server_for(mini, "ns1.test.")
+        question = Question(name("www.example.test."), RRType.A)
+        before = tld.respond(question)
+        mini.tree.zone(name("test.")).set_delegation_ttl(
+            name("example.test."), 17.0
+        )
+        after = tld.respond(question)
+        assert after is not before
+        ns_ttls = {rrset.ttl for rrset in after.authority
+                   if rrset.rrtype == RRType.NS}
+        assert ns_ttls == {17.0}

@@ -134,6 +134,16 @@ def _hang_worker(spec):
 
 
 class TestFailureSurface:
+    @pytest.fixture(autouse=True)
+    def _fresh_pool(self, monkeypatch):
+        """Fork a fresh pool so the monkeypatched module reaches workers.
+
+        A reused warm pool predates the patch (fork copies memory at
+        pool-creation time), so these tests must opt out of reuse.
+        """
+        monkeypatch.setenv(parallel.POOL_REUSE_ENV_VAR, "0")
+        parallel.shutdown_shared_pool()
+
     def test_dead_worker_reported_clearly(self, scenario, monkeypatch):
         monkeypatch.setattr(parallel, "_execute_spec", _crash_worker)
         with pytest.raises(ReplayExecutionError, match="worker process died"):
@@ -146,6 +156,57 @@ class TestFailureSurface:
             run_replays(_sweep_specs(scenario)[:2], workers=2, timeout=1.0)
         # The hung workers were killed, not waited out.
         assert time.monotonic() - started < 30.0
+
+
+class TestPoolReuse:
+    @pytest.fixture(autouse=True)
+    def _clean_slate(self, monkeypatch):
+        monkeypatch.delenv(parallel.POOL_REUSE_ENV_VAR, raising=False)
+        parallel.shutdown_shared_pool()
+        yield
+        parallel.shutdown_shared_pool()
+
+    def test_pool_survives_across_calls(self, scenario):
+        specs = _sweep_specs(scenario)
+        run_replays(specs, workers=2)
+        first = parallel._shared_pool
+        assert first is not None
+        run_replays(specs, workers=2)
+        assert parallel._shared_pool is first
+
+    def test_worker_count_change_replaces_pool(self, scenario):
+        specs = _sweep_specs(scenario)
+        run_replays(specs, workers=2)
+        first = parallel._shared_pool
+        run_replays(specs, workers=3)
+        assert parallel._shared_pool is not first
+
+    def test_escape_hatch_disables_reuse(self, scenario, monkeypatch):
+        monkeypatch.setenv(parallel.POOL_REUSE_ENV_VAR, "0")
+        assert not parallel.pool_reuse_enabled()
+        run_replays(_sweep_specs(scenario), workers=2)
+        assert parallel._shared_pool is None
+
+    def test_reused_pool_results_stay_identical(self, scenario):
+        specs = _sweep_specs(scenario)
+        serial = run_replays(specs, workers=1)
+        warm_once = run_replays(specs, workers=2)
+        warm_twice = run_replays(specs, workers=2)  # reused pool
+        assert warm_once == serial
+        assert warm_twice == serial
+
+    def test_shutdown_is_idempotent(self):
+        parallel.shutdown_shared_pool()
+        parallel.shutdown_shared_pool()
+
+
+class TestUsableCpuCount:
+    def test_positive_and_bounded_by_machine(self):
+        usable = parallel.usable_cpu_count()
+        assert usable >= 1
+        cpus = os.cpu_count()
+        if cpus is not None:
+            assert usable <= cpus
 
 
 class TestWorkersEnvVar:

@@ -64,13 +64,14 @@ class TestScheduling:
         with pytest.raises(ValueError):
             engine.advance_to(4.0)
 
-    def test_cancelled_handle_does_not_fire(self):
+    def test_cancelled_token_does_not_fire(self):
         engine = SimulationEngine()
         fired = []
-        handle = engine.schedule(1.0, lambda t: fired.append(t))
-        handle.cancel()
+        token = engine.schedule(1.0, lambda t: fired.append(t))
+        assert engine.cancel(token)
         engine.advance_to(2.0)
         assert fired == []
+        assert not engine.cancel(token)
 
     def test_run_drains_everything(self):
         engine = SimulationEngine()

@@ -1,4 +1,4 @@
-"""Unit + property tests for the event queue."""
+"""Unit + property tests for the flat event queue."""
 
 from hypothesis import given, strategies as st
 
@@ -9,13 +9,21 @@ def noop(_):
     pass
 
 
+def drain(queue, limit=float("inf")):
+    """Pop every due event, returning the (time, action) pairs."""
+    items = []
+    while (item := queue.pop_due(limit)) is not None:
+        items.append(item)
+    return items
+
+
 class TestEventQueue:
     def test_pop_in_time_order(self):
         queue = EventQueue()
         queue.push(3.0, noop)
         queue.push(1.0, noop)
         queue.push(2.0, noop)
-        times = [queue.pop().time for _ in range(3)]
+        times = [queue.pop()[0] for _ in range(3)]
         assert times == [1.0, 2.0, 3.0]
 
     def test_fifo_within_same_time(self):
@@ -23,45 +31,77 @@ class TestEventQueue:
         order = []
         queue.push(1.0, lambda t: order.append("first"))
         queue.push(1.0, lambda t: order.append("second"))
-        while (handle := queue.pop()) is not None:
-            handle.action(handle.time)
+        for time, action in drain(queue):
+            action(time)
         assert order == ["first", "second"]
+
+    def test_pop_due_respects_limit(self):
+        queue = EventQueue()
+        queue.push(1.0, noop)
+        queue.push(5.0, noop)
+        assert queue.pop_due(3.0)[0] == 1.0
+        assert queue.pop_due(3.0) is None
+        # The later event survives for a wider drain.
+        assert queue.pop_due(10.0)[0] == 5.0
 
     def test_cancel_prevents_delivery(self):
         queue = EventQueue()
-        handle = queue.push(1.0, noop)
+        token = queue.push(1.0, noop)
         queue.push(2.0, noop)
-        handle.cancel()
+        assert queue.cancel(token)
         popped = queue.pop()
-        assert popped.time == 2.0
+        assert popped[0] == 2.0
         assert queue.pop() is None
 
     def test_cancel_is_idempotent(self):
         queue = EventQueue()
-        handle = queue.push(1.0, noop)
-        handle.cancel()
-        handle.cancel()
+        token = queue.push(1.0, noop)
+        assert queue.cancel(token)
+        assert not queue.cancel(token)
         assert queue.pop() is None
+
+    def test_cancel_after_delivery_is_rejected(self):
+        queue = EventQueue()
+        token = queue.push(1.0, noop)
+        assert queue.pop() is not None
+        assert not queue.cancel(token)
+
+    def test_slot_reuse_does_not_confuse_cancellation(self):
+        # Cancelling frees a slot; the next push may reuse it.  The stale
+        # token must not be able to cancel the new occupant, and the
+        # stale heap tombstone must not shadow it.
+        queue = EventQueue()
+        stale = queue.push(1.0, noop)
+        queue.cancel(stale)
+        order = []
+        queue.push(2.0, lambda t: order.append("live"))
+        assert not queue.cancel(stale)
+        for time, action in drain(queue):
+            action(time)
+        assert order == ["live"]
 
     def test_peek_skips_cancelled(self):
         queue = EventQueue()
         first = queue.push(1.0, noop)
         queue.push(5.0, noop)
-        first.cancel()
+        queue.cancel(first)
         assert queue.peek_time() == 5.0
 
     def test_len_counts_live_only(self):
         queue = EventQueue()
-        handle = queue.push(1.0, noop)
+        token = queue.push(1.0, noop)
         queue.push(2.0, noop)
-        handle.cancel()
+        queue.cancel(token)
         assert len(queue) == 1
+        assert queue.is_empty() is False
 
     def test_empty_behaviour(self):
         queue = EventQueue()
         assert queue.pop() is None
+        assert queue.pop_due(100.0) is None
         assert queue.peek_time() is None
         assert not queue
+        assert queue.is_empty()
 
     @given(st.lists(st.floats(min_value=0, max_value=1e6,
                               allow_nan=False), min_size=1, max_size=50))
@@ -69,9 +109,7 @@ class TestEventQueue:
         queue = EventQueue()
         for time in times:
             queue.push(time, noop)
-        popped = []
-        while (handle := queue.pop()) is not None:
-            popped.append(handle.time)
+        popped = [item[0] for item in drain(queue)]
         assert popped == sorted(times)
 
     @given(
@@ -81,15 +119,34 @@ class TestEventQueue:
     )
     def test_cancelled_subset_never_delivered(self, times, data):
         queue = EventQueue()
-        handles = [queue.push(time, noop) for time in times]
+        tokens = [queue.push(time, noop) for time in times]
         doomed = data.draw(st.sets(
-            st.integers(min_value=0, max_value=len(handles) - 1)))
+            st.integers(min_value=0, max_value=len(tokens) - 1)))
         for index in doomed:
-            handles[index].cancel()
+            queue.cancel(tokens[index])
         survivors = sorted(
             time for index, time in enumerate(times) if index not in doomed
         )
-        popped = []
-        while (handle := queue.pop()) is not None:
-            popped.append(handle.time)
+        popped = [item[0] for item in drain(queue)]
         assert popped == survivors
+
+    @given(
+        st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                     allow_nan=False),
+                           st.booleans()),
+                 min_size=1, max_size=40),
+    )
+    def test_interleaved_push_cancel_reuse(self, plan):
+        # Free-list slot recycling under an arbitrary push/cancel
+        # interleaving must deliver exactly the never-cancelled events.
+        queue = EventQueue()
+        expected = []
+        for time, cancel_it in plan:
+            token = queue.push(time, noop)
+            if cancel_it:
+                queue.cancel(token)
+            else:
+                expected.append(time)
+        popped = [item[0] for item in drain(queue)]
+        assert popped == sorted(expected)
+        assert len(queue) == 0

@@ -9,7 +9,7 @@ operation.
 
 import pytest
 
-from repro.core.cache import DnsCache
+from repro.core.cache import DnsCache, cache_key
 from repro.core.renewal import RenewalManager
 from repro.dns.name import Name
 from repro.dns.ranking import Rank
@@ -34,7 +34,7 @@ def _buggy_put(self, rrset, rank, now, refresh=False):
     Implemented as a wrapper that undoes the fix's pop-then-set by
     restoring the key to the slot it occupied before the store.
     """
-    key = rrset.key()
+    key = rrset.ikey()
     if key not in self._entries:  # repro: ignore[REP008]
         return _REAL_PUT(self, rrset, rank, now, refresh)
     order = list(self._entries)  # repro: ignore[REP008]
@@ -57,7 +57,7 @@ def _buggy_total_entry_count(self):
 def _buggy_remove(self, name, rrtype):
     # Pre-fix: only the positive entry was dropped; a negative verdict
     # under the same key survived a delegation change.
-    key = (name, rrtype)
+    key = cache_key(name, rrtype)
     if self._entries.pop(key, None) is None:  # repro: ignore[REP008]
         return False
     self._count_out(key)

@@ -59,7 +59,7 @@ class TestCacheInvariants:
         cache = seeded_cache(max_entries=2)
         rogue = make_rrset("rogue.test.", RRType.A, 10.0, "10.0.0.9")
         from repro.core.cache import CacheEntry
-        cache._entries[rogue.key()] = CacheEntry(  # repro: ignore[REP008]
+        cache._entries[rogue.ikey()] = CacheEntry(  # repro: ignore[REP008]
             rrset=rogue, rank=Rank.AUTH_ANSWER, stored_at=0.0,
             expires_at=10.0, published_ttl=10.0,
         )
@@ -97,7 +97,7 @@ class TestRenewalInvariants:
 
     def test_negative_credit_flagged(self):
         engine, cache, manager = manager_rig()
-        manager.policy._credits[ZONE] = -0.5
+        manager.policy._credits[ZONE.iid] = -0.5
         with pytest.raises(InvariantViolation) as excinfo:
             check_renewal_invariants(manager, cache, now=1.0)
         assert excinfo.value.check == "renewal-credit-sign"
