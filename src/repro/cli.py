@@ -444,10 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=7)
     bench.set_defaults(func=_cmd_bench)
 
+    from repro.devtools.audit.cli import add_audit_parser
     from repro.devtools.cli import add_check_parser
     from repro.validation.cli import add_validate_parser
 
     add_check_parser(subparsers)
+    add_audit_parser(subparsers)
     add_validate_parser(subparsers)
 
     return parser

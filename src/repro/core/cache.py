@@ -65,6 +65,9 @@ class CacheEntry:
     published_ttl: float
     """The TTL the authority published (pre-cap), for gap normalisation."""
 
+    # repro: memo(noop: field=noop_result,
+    #   depends=[rrset, rank, stored_at, expires_at, published_ttl],
+    #   invalidator=none)
     noop_result: "PutResult | None" = field(
         default=None, repr=False, compare=False
     )

@@ -1,0 +1,157 @@
+"""Accepted-findings baseline for ``repro audit``.
+
+A baseline entry is a **fingerprint** of a finding — rule, path and
+message, deliberately *not* the line number, so unrelated edits that
+shift code do not churn the file — plus a required human justification.
+The committed ``audit-baseline.json`` is the reviewed list of findings
+the team has decided to live with; ``--update-baseline`` rewrites it
+from the current run, preserving justifications for findings that are
+still present and dropping entries whose findings no longer occur
+(*expired* entries, which ``--strict`` treats as an error so the file
+cannot rot).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.checks import Violation
+
+#: Version tag of the baseline file format.
+BASELINE_SCHEMA = "repro-audit-baseline/1"
+
+_DEFAULT_JUSTIFICATION = "TODO: justify or fix"
+
+
+def fingerprint(violation: Violation) -> str:
+    """A stable, line-independent identity for one finding."""
+    payload = f"{violation.rule}|{violation.path}|{violation.message}"
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=12).hexdigest()
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding and why it is accepted."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+
+@dataclass
+class Baseline:
+    """The set of accepted findings, loaded from / saved to JSON."""
+
+    entries: dict[str, BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries={})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline.
+
+        Raises:
+            ValueError: on an unrecognised schema tag — silently
+                ignoring an incompatible file would un-suppress (or
+                worse, keep suppressing) findings without review.
+        """
+        if not path.exists():
+            return cls.empty()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        schema = data.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported baseline schema {schema!r} "
+                f"(expected {BASELINE_SCHEMA})"
+            )
+        entries = {}
+        for raw in data.get("entries", []):
+            entry = BaselineEntry(
+                fingerprint=raw["fingerprint"],
+                rule=raw["rule"],
+                path=raw["path"],
+                message=raw["message"],
+                justification=raw.get(
+                    "justification", _DEFAULT_JUSTIFICATION
+                ),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "message": entry.message,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(
+                    self.entries.values(),
+                    key=lambda e: (e.path, e.rule, e.message),
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def __contains__(self, violation: Violation) -> bool:
+        return fingerprint(violation) in self.entries
+
+    def split(
+        self, violations: tuple[Violation, ...]
+    ) -> tuple[tuple[Violation, ...], tuple[Violation, ...], tuple[BaselineEntry, ...]]:
+        """``(new, accepted, expired)`` for one run's findings.
+
+        *new* findings are absent from the baseline; *accepted* ones
+        match an entry; *expired* entries match no current finding and
+        should be removed (``--strict`` fails on them).
+        """
+        current = {fingerprint(v) for v in violations}
+        new = tuple(v for v in violations if fingerprint(v) not in self.entries)
+        accepted = tuple(
+            v for v in violations if fingerprint(v) in self.entries
+        )
+        expired = tuple(
+            entry
+            for key, entry in sorted(self.entries.items())
+            if key not in current
+        )
+        return new, accepted, expired
+
+    def updated_from(
+        self, violations: tuple[Violation, ...]
+    ) -> "Baseline":
+        """A baseline accepting exactly ``violations``.
+
+        Justifications of still-present entries are preserved; new
+        entries get a TODO placeholder that review is expected to fill
+        in.
+        """
+        entries: dict[str, BaselineEntry] = {}
+        for violation in violations:
+            key = fingerprint(violation)
+            existing = self.entries.get(key)
+            entries[key] = BaselineEntry(
+                fingerprint=key,
+                rule=violation.rule,
+                path=violation.path,
+                message=violation.message,
+                justification=(
+                    existing.justification
+                    if existing is not None
+                    else _DEFAULT_JUSTIFICATION
+                ),
+            )
+        return Baseline(entries=entries)

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 rendering for audit findings.
+
+The output targets GitHub code scanning: one run, one driver
+(``repro-audit``), one result per violation with the rule id, message,
+fix hint and a physical location.  Only the subset of SARIF the
+consumer actually reads is emitted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.devtools.checks import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    rules: Iterable[tuple[str, str, str]],
+    tool_name: str = "repro-audit",
+) -> dict[str, object]:
+    """Render ``violations`` as a SARIF log object.
+
+    ``rules`` is ``(rule_id, title, rationale)`` triples describing
+    every rule the run enforced — including clean ones, so code
+    scanning can show what was checked.
+    """
+    rule_objects = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": title},
+            "fullDescription": {"text": rationale},
+        }
+        for rule_id, title, rationale in rules
+    ]
+    results = []
+    for violation in violations:
+        message = violation.message
+        if violation.fix_hint:
+            message += f" Fix: {violation.fix_hint}."
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "level": "error",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": max(violation.line, 1)
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": (
+                            "https://example.invalid/repro-audit"
+                        ),
+                        "rules": rule_objects,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    rules: Iterable[tuple[str, str, str]],
+    tool_name: str = "repro-audit",
+) -> str:
+    return json.dumps(
+        to_sarif(violations, rules, tool_name=tool_name), indent=2
+    ) + "\n"

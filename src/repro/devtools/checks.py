@@ -21,6 +21,7 @@ to the code they excuse.
 from __future__ import annotations
 
 import ast
+import fnmatch
 import re
 from dataclasses import dataclass
 from pathlib import Path
@@ -33,6 +34,12 @@ _SUPPRESS_RE = re.compile(
 #: Sentinel stored in a suppression map for "every rule on this line".
 SUPPRESS_ALL = "*"
 
+#: Version tag of the shared machine-readable findings shape emitted by
+#: both ``repro check --json`` and ``repro audit --json``.  Bump when a
+#: field changes meaning or is removed; adding optional fields is
+#: backwards-compatible within a version.
+FINDINGS_SCHEMA = "repro-findings/2"
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -42,18 +49,24 @@ class Violation:
     path: str
     line: int
     message: str
+    fix_hint: str | None = None
 
     def format(self) -> str:
         """Render as the conventional ``path:line: RULE message`` line."""
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+        rendered = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.fix_hint:
+            rendered += f"\n    fix: {self.fix_hint}"
+        return rendered
 
     def as_dict(self) -> dict[str, object]:
-        """The machine-readable shape emitted by ``repro check --json``."""
+        """One finding in the ``repro-findings`` schema (see
+        :data:`FINDINGS_SCHEMA`), shared by ``check`` and ``audit``."""
         return {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "message": self.message,
+            "fix_hint": self.fix_hint,
         }
 
 
@@ -62,19 +75,24 @@ def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
 
     Comment scanning is line-based on the raw source, so suppressions
     work even on lines the AST attributes to a different statement.
+    Rule ids are case-normalised, whitespace inside the bracket list is
+    ignored, and multiple markers on one line union their rule sets
+    (a bare ``ignore`` anywhere on the line silences everything).
     """
     suppressed: dict[int, frozenset[str]] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        rules = match.group("rules")
-        if rules is None:
-            suppressed[lineno] = frozenset((SUPPRESS_ALL,))
-        else:
-            suppressed[lineno] = frozenset(
-                rule.strip().upper() for rule in rules.split(",") if rule.strip()
-            )
+        rules_on_line: set[str] = set()
+        for match in _SUPPRESS_RE.finditer(line):
+            rules = match.group("rules")
+            if rules is None:
+                rules_on_line.add(SUPPRESS_ALL)
+            else:
+                rules_on_line.update(
+                    rule.strip().upper()
+                    for rule in rules.split(",") if rule.strip()
+                )
+        if rules_on_line:
+            suppressed[lineno] = frozenset(rules_on_line)
     return suppressed
 
 
@@ -119,7 +137,11 @@ class Rule:
         raise NotImplementedError
 
     def violation(
-        self, module: ModuleSource, node: ast.AST, message: str
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        fix_hint: str | None = None,
     ) -> Violation:
         """Build a :class:`Violation` anchored at ``node``'s line."""
         return Violation(
@@ -127,6 +149,7 @@ class Rule:
             path=module.display_path,
             line=getattr(node, "lineno", 0),
             message=message,
+            fix_hint=fix_hint,
         )
 
 
@@ -220,8 +243,14 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 def run_checks(
     paths: Sequence[Path],
     rules: Iterable[Rule] | None = None,
+    exclude: Sequence[str] = (),
 ) -> CheckReport:
-    """Run ``rules`` (default: all registered) over every file in ``paths``."""
+    """Run ``rules`` (default: all registered) over every file in ``paths``.
+
+    ``exclude`` is a list of fnmatch globs matched against each file's
+    posix display path; matching files are skipped entirely (they count
+    neither as checked nor as suppressed).
+    """
     if rules is None:
         from repro.devtools.rules import ALL_RULES
 
@@ -231,6 +260,9 @@ def run_checks(
     suppressed = 0
     files = 0
     for file_path in iter_python_files(paths):
+        display = file_path.as_posix()
+        if any(fnmatch.fnmatch(display, pattern) for pattern in exclude):
+            continue
         module = load_module(file_path)
         files += 1
         for rule in rule_list:

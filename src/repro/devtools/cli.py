@@ -1,11 +1,15 @@
 """The ``repro check`` subcommand: run the determinism gate from the CLI.
 
-Default targets are ``src/repro`` and ``benchmarks`` relative to the
-current directory when they exist, falling back to the installed package
-location — so the command works both from a checkout and against an
-installed wheel.  ``--strict`` additionally shells out to ``mypy`` and
-``ruff`` when they are installed (CI installs them via the ``dev``
-extra; the gate itself has zero dependencies).
+Default targets are ``src/repro``, ``benchmarks`` and ``tests`` relative
+to the current directory when they exist, falling back to the installed
+package location — so the command works both from a checkout and against
+an installed wheel.  Test files are held to a *scoped* rule set
+(:data:`TEST_RULE_IDS`): wall-clock and unseeded-randomness reads are
+still banned there (a test that reads real time is flaky by
+construction), but structural rules about caches, specs and name
+hygiene only apply to shipped code.  ``--strict`` additionally shells
+out to ``mypy`` and ``ruff`` when they are installed (CI installs them
+via the ``dev`` extra; the gate itself has zero dependencies).
 """
 
 from __future__ import annotations
@@ -17,12 +21,30 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.devtools.checks import CheckReport, run_checks
+from repro.devtools.checks import (
+    FINDINGS_SCHEMA,
+    CheckReport,
+    Rule,
+    run_checks,
+)
 from repro.devtools.rules import ALL_RULES
+
+#: The rules test files are held to.  Determinism of *inputs* (time,
+#: randomness) matters everywhere; the structural rules (REP003+) encode
+#: contracts of shipped code that tests legitimately poke at.
+TEST_RULE_IDS = ("REP001", "REP002")
+
+#: Files the gate never checks, as fnmatch globs over posix paths.
+#: Scoped and rare by design: prefer a per-line ``# repro: ignore[...]``
+#: (visible in review next to the code it excuses) and reserve this
+#: list for generated or vendored files where editing lines is not an
+#: option.  ``--ignore`` adds one-off entries from the command line.
+DEFAULT_IGNORE_GLOBS: tuple[str, ...] = ()
 
 
 def default_check_paths() -> list[Path]:
-    """``src/repro`` + ``benchmarks`` under cwd, else the package itself."""
+    """``src/repro`` + ``benchmarks`` + ``tests`` under cwd, else the
+    package itself."""
     paths: list[Path] = []
     source_tree = Path("src") / "repro"
     if source_tree.is_dir():
@@ -33,10 +55,22 @@ def default_check_paths() -> list[Path]:
         package_file = repro.__file__
         if package_file is not None:
             paths.append(Path(package_file).parent)
-    benchmarks = Path("benchmarks")
-    if benchmarks.is_dir():
-        paths.append(benchmarks)
+    for extra in (Path("benchmarks"), Path("tests")):
+        if extra.is_dir():
+            paths.append(extra)
     return paths
+
+
+def is_test_path(path: Path) -> bool:
+    """True when ``path`` lives under a ``tests`` directory."""
+    return "tests" in path.parts
+
+
+def scoped_rules_for(path: Path) -> tuple[Rule, ...]:
+    """The rule set ``path`` is held to (scoped down for test files)."""
+    if is_test_path(path):
+        return tuple(r for r in ALL_RULES if r.rule_id in TEST_RULE_IDS)
+    return ALL_RULES
 
 
 def add_check_parser(
@@ -55,13 +89,27 @@ def add_check_parser(
         "paths",
         nargs="*",
         default=None,
-        help="files or directories to check (default: src/repro, benchmarks)",
+        help=(
+            "files or directories to check "
+            "(default: src/repro, benchmarks, tests)"
+        ),
     )
     check.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
-        help="emit violations as a JSON list of {rule, path, line, message}",
+        help=f"emit findings in the {FINDINGS_SCHEMA} JSON schema",
+    )
+    check.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        dest="ignore_globs",
+        help=(
+            "skip files whose path matches GLOB (fnmatch, repeatable); "
+            "extends the built-in ignore list"
+        ),
     )
     check.add_argument(
         "--strict",
@@ -98,13 +146,11 @@ def run_check_command(args: argparse.Namespace) -> int:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    report = run_checks(paths)
+    exclude = (*DEFAULT_IGNORE_GLOBS, *args.ignore_globs)
+    report = check_paths(paths, exclude=exclude)
 
     if args.as_json:
-        print(json.dumps(
-            [violation.as_dict() for violation in report.violations],
-            indent=2,
-        ))
+        print(json.dumps(_json_payload(report), indent=2))
     else:
         _print_report(report)
 
@@ -112,6 +158,53 @@ def run_check_command(args: argparse.Namespace) -> int:
     if args.strict:
         exit_code = max(exit_code, _run_strict_tools(paths, quiet=args.as_json))
     return exit_code
+
+
+def check_paths(
+    paths: list[Path], exclude: tuple[str, ...] = ()
+) -> CheckReport:
+    """Run the gate over ``paths``, scoping rules per path.
+
+    Paths under a ``tests`` directory get :data:`TEST_RULE_IDS` only;
+    everything else gets the full registry.  Results merge into one
+    report so callers and output formats see a single run.
+    """
+    full_scope = [p for p in paths if not is_test_path(p)]
+    test_scope = [p for p in paths if is_test_path(p)]
+    reports = []
+    if full_scope:
+        reports.append(run_checks(full_scope, exclude=exclude))
+    if test_scope:
+        reports.append(run_checks(
+            test_scope,
+            rules=scoped_rules_for(test_scope[0]),
+            exclude=exclude,
+        ))
+    if len(reports) == 1:
+        return reports[0]
+    violations = sorted(
+        (v for r in reports for v in r.violations),
+        key=lambda v: (v.path, v.line, v.rule),
+    )
+    return CheckReport(
+        violations=tuple(violations),
+        files_checked=sum(r.files_checked for r in reports),
+        suppressed_count=sum(r.suppressed_count for r in reports),
+    )
+
+
+def _json_payload(report: CheckReport) -> dict[str, object]:
+    """The shared ``repro-findings`` envelope (same shape as audit)."""
+    return {
+        "schema": FINDINGS_SCHEMA,
+        "tool": "repro-check",
+        "findings": [violation.as_dict() for violation in report.violations],
+        "summary": {
+            "files": report.files_checked,
+            "rules": len(ALL_RULES),
+            "suppressed": report.suppressed_count,
+        },
+    }
 
 
 def _print_report(report: CheckReport) -> None:

@@ -54,6 +54,10 @@ class Question:
     def __str__(self) -> str:
         return f"{self.name} {self.rrclass.name} {self.rrtype.name}"
 
+    # Fill-only memo on a frozen class: nothing may mutate the
+    # dependency fields, so no invalidator exists by construction.
+    # repro: memo(wire_size: field=_wire_size, depends=[name],
+    #   invalidator=none)
     _wire_size: int = field(default=-1, init=False, repr=False, compare=False)
 
     def wire_size(self) -> int:
@@ -84,10 +88,20 @@ class Message:
     # Memo slots: responses are immutable, and with authoritative-side
     # response caching the same Message object is served (and ingested)
     # many times, so size/section walks are paid once per object.
+    # All three are fill-only memos on a frozen class — `repro audit`
+    # (REP010) proves no code mutates their dependency fields.
+    # repro: memo(wire_size: field=_wire_size,
+    #   depends=[question, answer, authority, additional],
+    #   invalidator=none)
     _wire_size: int = field(default=-1, init=False, repr=False, compare=False)
+    # repro: memo(sections: field=_sections,
+    #   depends=[answer, authority, additional], invalidator=none)
     _sections: tuple[RRset, ...] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    # repro: memo(plan: field=_plan,
+    #   depends=[answer, authority, additional, authoritative],
+    #   invalidator=none)
     _plan: IngestPlan | None = field(
         default=None, init=False, repr=False, compare=False
     )

@@ -44,6 +44,16 @@ class Name:
     __slots__ = ("labels", "iid", "_hash", "_ancestors", "_wire_length",
                  "_ns_chain")
 
+    # Fill-only memos on an interned immutable class; `repro audit`
+    # (REP010) proves nothing outside __new__ writes the label data
+    # they are derived from.
+    # repro: memo(ancestors: field=_ancestors, depends=[labels],
+    #   invalidator=none)
+    # repro: memo(ns_chain: field=_ns_chain, depends=[labels, iid],
+    #   invalidator=none)
+    # repro: memo(wire_length: field=_wire_length, depends=[labels],
+    #   invalidator=none)
+
     labels: tuple[str, ...]
     iid: int
     """Dense intern id; stable for the life of the process and

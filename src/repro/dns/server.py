@@ -38,6 +38,8 @@ class AuthoritativeServer:
         # qname iid -> deepest hosted zone (or None); cleared whenever the
         # served-zone set changes.  The ancestor walk is short but sits on
         # the hot path of every single answered query.
+        # repro: memo(deepest: field=_deepest, depends=[_zones],
+        #   invalidator=none)
         self._deepest: dict[int, Zone | None] = {}
 
     def serve_zone(self, zone: Zone) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.annotations import invalidates
 from repro.dns.errors import ZoneConfigError
 from repro.dns.name import Name
 from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
@@ -36,12 +37,22 @@ class Zone:
     raising the TTL of the zone's own IRRs (the paper's "long TTL" knob).
     """
 
+    # The audited memo contract (enforced by `repro audit`, REP010):
+    # every method that mutates a dependency field must reach the
+    # declared invalidator, or the memoized responses go stale.
+    # repro: memo(response: field=_response_cache,
+    #   depends=[_apex_irrs, _rrsets, _delegations, _existing_names,
+    #   soa_minimum], invalidator=_invalidate_response_cache)
+    # repro: memo(irr_sections: field=_irr_sections,
+    #   depends=[_apex_irrs], invalidator=_invalidate_response_cache)
+
     def __init__(
         self,
         name: Name,
         apex_irrs: InfrastructureRecordSet,
         rrsets: dict[tuple[Name, RRType], RRset],
         delegations: dict[Name, InfrastructureRecordSet],
+        soa_minimum: float | None = None,
     ) -> None:
         self.name = name
         self._apex_irrs = apex_irrs
@@ -55,7 +66,7 @@ class Zone:
         # here turns the whole answering algorithm into one dict hit.
         self._response_cache: dict[int, Message] = {}
         #: RFC 2308 negative-caching TTL; None when the zone has no SOA.
-        self.soa_minimum: float | None = None
+        self.soa_minimum = soa_minimum
         # Every name that exists in the zone (for NXDOMAIN decisions),
         # including empty non-terminals and delegation points.
         self._existing_names: set[Name] = {name}
@@ -74,6 +85,20 @@ class Zone:
                 break
             self._existing_names.add(ancestor)
         self._existing_names.add(self.name)
+        # Memoized NXDOMAIN answers key off name existence; a name
+        # appearing after the fact (new glue) must drop them.  During
+        # __init__ the cache is empty, so the clear is a no-op there.
+        self._invalidate_response_cache()
+
+    @invalidates("response", "irr_sections")
+    def _invalidate_response_cache(self) -> None:
+        """Drop every memoized view of zone content.
+
+        The single funnel all operator actions go through; `repro audit`
+        proves each dependency-field mutator reaches it.
+        """
+        self._irr_sections = None
+        self._response_cache.clear()
 
     # -- reads -----------------------------------------------------------
 
@@ -174,8 +199,7 @@ class Zone:
         so CDN-style short-TTL host records are unaffected (paper §4).
         """
         self._apex_irrs = self._apex_irrs.with_ttl(ttl)
-        self._irr_sections = None
-        self._response_cache.clear()
+        self._invalidate_response_cache()
 
     def replace_infrastructure_records(self, irrs: InfrastructureRecordSet) -> None:
         """Swap the zone's own IRR set (operator changed name servers).
@@ -188,8 +212,7 @@ class Zone:
                 f"IRRs for {irrs.zone} cannot serve zone {self.name}"
             )
         self._apex_irrs = irrs
-        self._irr_sections = None
-        self._response_cache.clear()
+        self._invalidate_response_cache()
         for rrset in irrs.glue:
             self._add_existing(rrset.name)
 
@@ -200,7 +223,7 @@ class Zone:
             KeyError: when ``child`` is not delegated from this zone.
         """
         self._delegations[child] = self._delegations[child].with_ttl(ttl)
-        self._response_cache.clear()
+        self._invalidate_response_cache()
 
     def irr_snapshot(self) -> tuple:
         """Opaque snapshot of apex IRRs and delegation copies.
@@ -216,8 +239,7 @@ class Zone:
         apex, delegations = snapshot
         self._apex_irrs = apex
         self._delegations = delegations
-        self._irr_sections = None
-        self._response_cache.clear()
+        self._invalidate_response_cache()
 
     def replace_delegation(self, irrs: InfrastructureRecordSet) -> None:
         """Point an existing delegation at a new server set.
@@ -231,7 +253,7 @@ class Zone:
         if irrs.zone not in self._delegations:
             raise KeyError(f"{self.name} does not delegate {irrs.zone}")
         self._delegations[irrs.zone] = irrs
-        self._response_cache.clear()
+        self._invalidate_response_cache()
 
     def __repr__(self) -> str:
         return (
@@ -387,6 +409,5 @@ class ZoneBuilder:
                         f"record {owner} lies inside delegated subtree {child}"
                     )
             rrsets[key] = RRset.from_records(records)
-        zone = Zone(self.name, apex, rrsets, dict(self._delegations))
-        zone.soa_minimum = self._soa_minimum
-        return zone
+        return Zone(self.name, apex, rrsets, dict(self._delegations),
+                    soa_minimum=self._soa_minimum)

@@ -108,6 +108,10 @@ class ReplaySpec:
     carrying the built hierarchy.
     """
 
+    # Crosses the worker process boundary; `repro audit` (REP012)
+    # walks every transitively reachable field type for picklability.
+    # repro: pickled-boundary
+
     scale: Scale
     scenario_seed: int
     trace_name: str
@@ -172,6 +176,8 @@ class ReplaySpec:
 @dataclass(frozen=True)
 class FleetSpec:
     """One fleet replay (several traces over shared virtual time)."""
+
+    # repro: pickled-boundary
 
     scale: Scale
     scenario_seed: int
@@ -284,6 +290,7 @@ def _prepare_shared(
     built world copy-on-write and never pickle or rebuild it.  Returns
     the warm-up keys for :func:`_warm_worker` (the spawn fallback).
     """
+    # repro: publishes
     wanted: dict[tuple[Scale, int], set[str]] = {}
     for spec in spec_list:
         names = wanted.setdefault((spec.scale, spec.scenario_seed), set())

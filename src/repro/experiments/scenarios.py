@@ -120,10 +120,17 @@ def _parameters_for(scale: Scale) -> ScenarioParameters:
 class Scenario:
     """A built hierarchy plus its trace set."""
 
+    # Instances are built once in the parent and inherited by forked
+    # replay workers copy-on-write; `repro audit` (REP011) proves the
+    # parent never mutates them after the publish point.
+    # repro: published
+
     scale: Scale
     seed: int
     built: BuiltHierarchy
     parameters: ScenarioParameters
+    # repro: memo(traces: field=_traces,
+    #   depends=[scale, seed, built, parameters], invalidator=none)
     _traces: dict[str, Trace] = field(default_factory=dict, repr=False)
 
     WEEK_TRACES = ("TRC1", "TRC2", "TRC3", "TRC4", "TRC5")

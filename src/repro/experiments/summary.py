@@ -64,6 +64,10 @@ class ReplaySummary(AttackWindowRates):
     overhead tables can treat summaries and metrics interchangeably.
     """
 
+    # Returned from worker processes by pickle; `repro audit` (REP012)
+    # walks every transitively reachable field type for picklability.
+    # repro: pickled-boundary
+
     label: str
     trace_name: str
 
@@ -181,6 +185,8 @@ class FleetMemberSummary:
 @dataclass
 class FleetSummary:
     """Picklable fleet outcome: per-member windows plus aggregates."""
+
+    # repro: pickled-boundary
 
     label: str
     members: list[FleetMemberSummary] = field(default_factory=list)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the whole-program audit tests.
+
+Fixtures write small synthetic package trees into ``tmp_path``.  The
+audit treats each root directory's own name as the package name, so a
+tree rooted at ``tmp_path / "repro"`` indexes as ``repro.*`` — which is
+exactly what the REP013 sink prefixes (``repro.simulation`` /
+``repro.core``) key on.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.audit.rules import AuditContext
+
+
+@pytest.fixture
+def write_tree(tmp_path):
+    """Write ``{relpath: source}`` under a package root and return it."""
+
+    def _write(files: dict, package: str = "repro") -> Path:
+        root = tmp_path / package
+        for relpath, source in files.items():
+            target = root / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+        return root
+
+    return _write
+
+
+@pytest.fixture
+def build_context(write_tree):
+    """Write a tree and build the full :class:`AuditContext` over it."""
+
+    def _build(files: dict, package: str = "repro") -> AuditContext:
+        return AuditContext.build([write_tree(files, package)])
+
+    return _build

@@ -1,0 +1,145 @@
+"""Tests for per-function mutation sets and the transitive closure."""
+
+from repro.devtools.audit.callgraph import CallGraph
+from repro.devtools.audit.mutation import MutationAnalysis
+from repro.devtools.audit.project import ProjectIndex
+
+
+def analysis_over(write_tree, files) -> MutationAnalysis:
+    return MutationAnalysis(CallGraph(ProjectIndex.build([write_tree(files)])))
+
+
+def direct_keys(analysis: MutationAnalysis, qualname: str) -> set:
+    return {write.key for write in analysis.direct.get(qualname, ())}
+
+
+class TestDirectWrites:
+    def test_attribute_assignment(self, write_tree):
+        analysis = analysis_over(write_tree, {
+            "mod.py": """\
+                class Zone:
+                    def bump(self):
+                        self.serial = 1
+                """,
+        })
+        assert direct_keys(analysis, "repro.mod.Zone.bump") == {
+            ("repro.mod.Zone", "serial")
+        }
+
+    def test_augmented_assignment(self, write_tree):
+        analysis = analysis_over(write_tree, {
+            "mod.py": """\
+                class Zone:
+                    def bump(self):
+                        self.serial += 1
+                """,
+        })
+        assert ("repro.mod.Zone", "serial") in direct_keys(
+            analysis, "repro.mod.Zone.bump"
+        )
+
+    def test_subscript_store_into_field(self, write_tree):
+        analysis = analysis_over(write_tree, {
+            "mod.py": """\
+                class Cache:
+                    def put(self, key, value):
+                        self._entries[key] = value
+                """,
+        })
+        assert ("repro.mod.Cache", "_entries") in direct_keys(
+            analysis, "repro.mod.Cache.put"
+        )
+
+    def test_mutating_method_on_field(self, write_tree):
+        analysis = analysis_over(write_tree, {
+            "mod.py": """\
+                class Cache:
+                    def reset(self):
+                        self._entries.clear()
+                """,
+        })
+        assert ("repro.mod.Cache", "_entries") in direct_keys(
+            analysis, "repro.mod.Cache.reset"
+        )
+
+    def test_mutation_through_local_alias(self, write_tree):
+        analysis = analysis_over(write_tree, {
+            "mod.py": """\
+                class Cache:
+                    def trim(self):
+                        entries = self._entries
+                        entries.pop()
+                """,
+        })
+        assert ("repro.mod.Cache", "_entries") in direct_keys(
+            analysis, "repro.mod.Cache.trim"
+        )
+
+    def test_object_setattr_counts_as_a_write(self, write_tree):
+        analysis = analysis_over(write_tree, {
+            "mod.py": """\
+                class Frozen:
+                    def _fill(self, value):
+                        object.__setattr__(self, "cached", value)
+                """,
+        })
+        assert ("repro.mod.Frozen", "cached") in direct_keys(
+            analysis, "repro.mod.Frozen._fill"
+        )
+
+    def test_read_only_method_has_no_writes(self, write_tree):
+        analysis = analysis_over(write_tree, {
+            "mod.py": """\
+                class Zone:
+                    def peek(self):
+                        return self.serial
+                """,
+        })
+        assert analysis.direct.get("repro.mod.Zone.peek", ()) == ()
+        assert analysis.is_pure("repro.mod.Zone.peek")
+
+
+class TestTransitiveClosure:
+    FILES = {
+        "mod.py": """\
+            class Zone:
+                def outer(self):
+                    self._inner()
+
+                def _inner(self):
+                    self.serial = 1
+
+                def unrelated(self):
+                    return None
+            """,
+    }
+
+    def test_writes_flow_up_the_call_chain(self, write_tree):
+        analysis = analysis_over(write_tree, self.FILES)
+        assert analysis.mutates(
+            "repro.mod.Zone.outer", "repro.mod.Zone", "serial"
+        )
+
+    def test_purity_respects_the_closure(self, write_tree):
+        analysis = analysis_over(write_tree, self.FILES)
+        assert not analysis.is_pure("repro.mod.Zone.outer")
+        assert analysis.is_pure("repro.mod.Zone.unrelated")
+
+    def test_cross_class_mutation_attributes_to_the_target(self, write_tree):
+        analysis = analysis_over(write_tree, {
+            "mod.py": """\
+                class Entry:
+                    def touch(self):
+                        self.hits = 1
+
+
+                class Cache:
+                    entry: Entry
+
+                    def hit(self):
+                        self.entry.touch()
+                """,
+        })
+        assert analysis.mutates(
+            "repro.mod.Cache.hit", "repro.mod.Entry", "hits"
+        )

@@ -15,6 +15,7 @@ import pytest
 import repro
 from repro.cli import main
 from repro.devtools.checks import (
+    FINDINGS_SCHEMA,
     CheckReport,
     parse_suppressions,
     run_checks,
@@ -46,6 +47,42 @@ class TestSuppressionParsing:
 
     def test_plain_comment_is_not_a_suppression(self):
         assert parse_suppressions("x = 1  # a comment\n") == {}
+
+    def test_rule_ids_are_case_normalised(self):
+        suppressed = parse_suppressions("x = 1  # repro: ignore[rep001]\n")
+        assert suppressed[1] == frozenset(("REP001",))
+
+    def test_whitespace_inside_bracket_list(self):
+        suppressed = parse_suppressions(
+            "x = 1  # repro: ignore[ REP001 ,REP003,  rep005 ]\n"
+        )
+        assert suppressed[1] == frozenset(("REP001", "REP003", "REP005"))
+
+    def test_empty_entries_in_rule_list_are_dropped(self):
+        suppressed = parse_suppressions("x = 1  # repro: ignore[REP001,,]\n")
+        assert suppressed[1] == frozenset(("REP001",))
+
+    def test_multiple_markers_on_one_line_union(self):
+        suppressed = parse_suppressions(
+            "x = 1  # repro: ignore[REP001] # repro: ignore[REP002]\n"
+        )
+        assert suppressed[1] == frozenset(("REP001", "REP002"))
+
+    def test_bare_marker_next_to_rule_list_still_suppresses_all(self):
+        suppressed = parse_suppressions(
+            "x = 1  # repro: ignore # repro: ignore[REP001]\n"
+        )
+        assert "*" in suppressed[1]
+
+    def test_marker_after_unrelated_comment_text(self):
+        suppressed = parse_suppressions(
+            "x = 1  # see DESIGN.md  # repro: ignore[REP001]\n"
+        )
+        assert suppressed[1] == frozenset(("REP001",))
+
+    def test_extra_spaces_around_marker_keywords(self):
+        suppressed = parse_suppressions("x = 1  #  repro:   ignore\n")
+        assert suppressed[1] == frozenset(("*",))
 
 
 class TestWallClockRule:
@@ -429,7 +466,7 @@ class TestFramework:
                 return rate == 0.0
             """)
         entry = report.violations[0].as_dict()
-        assert set(entry) == {"rule", "path", "line", "message"}
+        assert set(entry) == {"rule", "path", "line", "message", "fix_hint"}
         assert entry["rule"] == "REP005"
         assert entry["line"] == 2
 
@@ -460,16 +497,48 @@ class TestCheckCommand:
         )
         assert main(["check", str(bad), "--json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert isinstance(payload, list) and len(payload) == 1
-        assert payload[0]["rule"] == "REP005"
-        assert payload[0]["line"] == 2
-        assert payload[0]["path"].endswith("rates.py")
+        assert payload["schema"] == FINDINGS_SCHEMA
+        assert payload["tool"] == "repro-check"
+        findings = payload["findings"]
+        assert len(findings) == 1
+        assert findings[0]["rule"] == "REP005"
+        assert findings[0]["line"] == 2
+        assert findings[0]["path"].endswith("rates.py")
+        assert payload["summary"]["files"] == 1
 
-    def test_json_output_is_empty_list_when_clean(self, tmp_path, capsys):
+    def test_json_output_has_empty_findings_when_clean(self, tmp_path, capsys):
         clean = tmp_path / "ok.py"
         clean.write_text("VALUE = 1\n", encoding="utf-8")
         assert main(["check", str(clean), "--json"]) == 0
-        assert json.loads(capsys.readouterr().out) == []
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == FINDINGS_SCHEMA
+        assert payload["findings"] == []
+
+    def test_ignore_glob_skips_file(self, tmp_path, capsys):
+        bad = tmp_path / "analysis" / "rates.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "def at_zero(rate: float) -> bool:\n    return rate == 0.0\n",
+            encoding="utf-8",
+        )
+        assert main(["check", str(bad), "--ignore", "*/rates.py"]) == 0
+        assert "0 files clean" in capsys.readouterr().out
+
+    def test_tests_are_held_to_scoped_rules_only(self, tmp_path, capsys):
+        """Wall-clock reads flag in tests; structural rules do not."""
+        test_file = tmp_path / "tests" / "analysis" / "test_rates.py"
+        test_file.parent.mkdir(parents=True)
+        test_file.write_text(
+            "import time\n\n\n"
+            "def test_rates() -> None:\n"
+            "    assert time.time() > 0  # REP001 applies\n"
+            "    assert 0.5 == 0.5  # REP005 would fire in src, not here\n",
+            encoding="utf-8",
+        )
+        assert main(["check", str(test_file)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert "REP005" not in out
 
     def test_missing_path_is_usage_error(self, tmp_path, capsys):
         assert main(["check", str(tmp_path / "nope")]) == 2
