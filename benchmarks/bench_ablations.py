@@ -12,7 +12,7 @@ from repro.experiments.ablations import (
     scale_sensitivity,
     stale_comparison,
 )
-from repro.experiments.max_damage import max_damage_experiment
+from repro.experiments.max_damage import _max_damage_experiment
 from repro.experiments.scenarios import Scale
 
 
@@ -58,7 +58,7 @@ def bench_holddown(run_once, scenario, record_artifact):
 
 
 def bench_max_damage(run_once, scenario, record_artifact):
-    result = run_once(max_damage_experiment, scenario)
+    result = run_once(_max_damage_experiment, scenario)
     record_artifact("max_damage", result.render())
     assert result.rate_of("greedy (oracle)", "vanilla") >= \
         result.rate_of("random", "vanilla")

@@ -8,21 +8,23 @@ These quantify two §4 claims the paper argues but does not plot:
   `bench_latency`.
 """
 
-from repro.experiments.churn import churn_experiment
-from repro.experiments.latency import latency_experiment
+from repro.experiments.churn import ChurnSpec
+from repro.experiments.churn import run as run_churn_experiment
+from repro.experiments.latency import _latency_experiment
 from repro.hierarchy.builder import HierarchyConfig
 from repro.workload.generator import WorkloadConfig
 
 
 def bench_churn(run_once, record_artifact):
     result = run_once(
-        churn_experiment,
-        hierarchy_config=HierarchyConfig(num_tlds=10, num_slds=300,
-                                         num_providers=4),
-        workload_config=WorkloadConfig(duration_days=7.0,
-                                       queries_per_day=6_000,
-                                       num_clients=120),
-        churn_fraction=0.25,
+        run_churn_experiment,
+        ChurnSpec(
+            hierarchy=HierarchyConfig(num_tlds=10, num_slds=300,
+                                      num_providers=4),
+            workload=WorkloadConfig(duration_days=7.0, queries_per_day=6_000,
+                                    num_clients=120),
+            churn_fraction=0.25,
+        ),
     )
     record_artifact("churn", result.render())
     for row in result.rows:
@@ -32,7 +34,7 @@ def bench_churn(run_once, record_artifact):
 
 
 def bench_latency(run_once, scenario, record_artifact):
-    result = run_once(latency_experiment, scenario)
+    result = run_once(_latency_experiment, scenario)
     record_artifact("latency", result.render())
     assert result.row("refresh+ttl7d").mean_latency <= \
         result.row("vanilla").mean_latency

@@ -6,20 +6,21 @@ the combination scheme — extended to cover DNSSEC IRRs — neutralises the
 amplification.
 """
 
-from repro.experiments.dnssec import dnssec_experiment
+from repro.experiments.dnssec import DnssecSpec
+from repro.experiments.dnssec import run as run_dnssec_experiment
 from repro.hierarchy.builder import HierarchyConfig
 from repro.workload.generator import WorkloadConfig
 
 
 def bench_dnssec(run_once, record_artifact):
     result = run_once(
-        dnssec_experiment,
-        hierarchy_config=HierarchyConfig(num_tlds=12, num_slds=400,
-                                         num_providers=4,
-                                         dnssec_fraction=1.0),
-        workload_config=WorkloadConfig(duration_days=7.0,
-                                       queries_per_day=6_000,
-                                       num_clients=150),
+        run_dnssec_experiment,
+        DnssecSpec(
+            hierarchy=HierarchyConfig(num_tlds=12, num_slds=400,
+                                      num_providers=4, dnssec_fraction=1.0),
+            workload=WorkloadConfig(duration_days=7.0, queries_per_day=6_000,
+                                    num_clients=150),
+        ),
     )
     record_artifact("dnssec", result.render())
     assert result.row("vanilla+dnssec").sr_failure_rate > \

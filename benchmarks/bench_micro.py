@@ -107,7 +107,7 @@ def bench_cold_resolution(benchmark):
         server = CachingServer(
             root_hints=mini.tree.root_hints(),
             network=Network(mini.tree),
-            engine=SimulationEngine(),
+            clock=SimulationEngine(),
             config=ResilienceConfig.vanilla(),
             metrics=ReplayMetrics(),
         )
@@ -122,7 +122,7 @@ def bench_warm_resolution(benchmark):
     server = CachingServer(
         root_hints=mini.tree.root_hints(),
         network=Network(mini.tree),
-        engine=SimulationEngine(),
+        clock=SimulationEngine(),
         config=ResilienceConfig.vanilla(),
         metrics=ReplayMetrics(),
     )

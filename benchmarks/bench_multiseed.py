@@ -5,11 +5,11 @@ honest form of the single-replay numbers in Figures 4/5/9, and the check
 that the paper's ordering is robust to simulation randomness.
 """
 
-from repro.experiments.multiseed import multiseed_experiment
+from repro.experiments.multiseed import _multiseed_experiment
 
 
 def bench_multiseed(run_once, scenario, record_artifact):
-    result = run_once(multiseed_experiment, scenario, seeds=(0, 1, 2))
+    result = run_once(_multiseed_experiment, scenario, seeds=(0, 1, 2))
     record_artifact("multiseed", result.render())
     vanilla = result.row("vanilla")
     combo = result.row("combo+a-lfu3+ttl3d")

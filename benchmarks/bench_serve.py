@@ -1,0 +1,59 @@
+"""Serve front-end throughput (writes BENCH_serve.json).
+
+Starts the real asyncio UDP front end on a loopback port over the
+TINY zone tree, drives it with the closed-loop selftest load driver
+(8 clients, one query in flight each — the paper's stub model), and
+records throughput and the latency tail as machine-readable JSON so
+the serving path's perf trajectory is tracked across PRs like the
+replay benches.
+
+This is a wall-clock bench by nature (real sockets, real timers); it
+lives under ``benchmarks/`` which the REP001 gate exempts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.experiments.scenarios import Scale
+from repro.serve.driver import selftest
+from repro.serve.spec import ServeSpec
+
+#: Total queries the closed-loop driver sends (env-overridable so CI
+#: can shrink it).
+BENCH_QUERIES = int(os.environ.get("REPRO_SERVE_QUERIES", "1000"))
+BENCH_CLIENTS = int(os.environ.get("REPRO_SERVE_CLIENTS", "8"))
+
+
+def bench_serve_throughput(run_once, record_bench_json):
+    scale = Scale.from_env(default=Scale.TINY)
+    spec = ServeSpec(
+        host="127.0.0.1",
+        port=0,
+        metrics_port=-1,
+        scale=scale,
+        seed=7,
+        selftest=True,
+        selftest_queries=BENCH_QUERIES,
+        selftest_clients=BENCH_CLIENTS,
+    )
+    report = run_once(lambda: asyncio.run(selftest(spec)))
+    print(f"\n{report.render()}")
+    assert report.answered == report.queries, (
+        f"{report.failed} of {report.queries} queries failed against a "
+        f"healthy loopback front end"
+    )
+    payload = report.as_dict()
+    for key in ("duration_seconds", "qps", "p50_ms", "p99_ms"):
+        payload[key] = round(float(payload[key]), 3)
+    record_bench_json(
+        "BENCH_serve",
+        {
+            "scale": scale.value,
+            "scheme": spec.scheme,
+            "seed": spec.seed,
+            "clients": BENCH_CLIENTS,
+            **payload,
+        },
+    )

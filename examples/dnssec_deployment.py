@@ -14,7 +14,8 @@ Usage::
 """
 
 from repro import Name, RRType, sign_irrs
-from repro.experiments.dnssec import dnssec_experiment
+from repro.api import EXPERIMENTS
+from repro.experiments.dnssec import DnssecSpec
 from repro.hierarchy.builder import HierarchyConfig
 from repro.workload.generator import WorkloadConfig
 
@@ -40,14 +41,12 @@ def main() -> None:
           f"{signed.record_count()} after)\n")
 
     print("=== 2. The amplification experiment ===")
-    result = dnssec_experiment(
-        hierarchy_config=HierarchyConfig(num_tlds=8, num_slds=150,
-                                         num_providers=3,
-                                         dnssec_fraction=1.0),
-        workload_config=WorkloadConfig(duration_days=7.0,
-                                       queries_per_day=2_500,
-                                       num_clients=60),
-    )
+    result = EXPERIMENTS["dnssec"].run(DnssecSpec(
+        hierarchy=HierarchyConfig(num_tlds=8, num_slds=150,
+                                  num_providers=3, dnssec_fraction=1.0),
+        workload=WorkloadConfig(duration_days=7.0, queries_per_day=2_500,
+                                num_clients=60),
+    ))
     print(result.render())
     print()
     print("Reading the table: with validation on (+dnssec rows), vanilla")

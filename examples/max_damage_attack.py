@@ -13,9 +13,10 @@ Usage::
 """
 
 from repro import Scale, make_scenario
+from repro.api import EXPERIMENTS
 from repro.experiments.max_damage import (
+    MaxDamageSpec,
     greedy_targets,
-    max_damage_experiment,
     upcoming_query_counts,
 )
 
@@ -43,7 +44,9 @@ def main() -> None:
           + ", ".join(str(t) for t in targets))
     print()
 
-    result = max_damage_experiment(scenario, budget=budget)
+    result = EXPERIMENTS["maxdamage"].run(
+        MaxDamageSpec(scale=scale, budget=budget)
+    )
     print(result.render())
     print()
     print("Notes (paper §6): the oracle needs every resolver's future")

@@ -21,8 +21,10 @@ Typical use::
 
 from __future__ import annotations
 
+from repro.core.clock import Clock, VirtualClock
 from repro.core.config import ResilienceConfig, RetryPolicy
 from repro.core.schemes import parse_scheme, scheme_syntax
+from repro.core.transport import Upstream
 from repro.experiments import EXPERIMENTS
 from repro.experiments.harness import AttackSpec, ReplayResult, run_replay
 from repro.experiments.parallel import (
@@ -34,7 +36,7 @@ from repro.experiments.parallel import (
     run_replays,
     summarize_replay,
 )
-from repro.experiments.registry import ExperimentDef, resolve_scale
+from repro.experiments.registry import CommandDef, ExperimentDef, resolve_scale
 from repro.experiments.scenarios import Scale, Scenario, make_scenario
 from repro.experiments.summary import ReplaySummary
 from repro.obs import (
@@ -50,6 +52,8 @@ from repro.obs import (
     StageTimings,
     TimeSeriesSink,
 )
+from repro.serve import ServeSpec, serve
+from repro.serve.clock import WallClock
 from repro.simulation.faults import FaultInjector, FaultSpec
 from repro.validation import (
     DifferentialCache,
@@ -63,10 +67,12 @@ from repro.validation import (
 )
 
 __all__ = [
-    "EXPERIMENTS",
     "AttackSpec",
+    "Clock",
+    "CommandDef",
     "DifferentialCache",
     "DivergenceError",
+    "EXPERIMENTS",
     "Event",
     "EventBus",
     "EventKind",
@@ -92,9 +98,13 @@ __all__ = [
     "RetryPolicy",
     "Scale",
     "Scenario",
+    "ServeSpec",
     "StageTimings",
     "TimeSeriesSink",
+    "Upstream",
     "ValidationError",
+    "VirtualClock",
+    "WallClock",
     "check_cache_invariants",
     "check_renewal_invariants",
     "make_scenario",
@@ -104,5 +114,6 @@ __all__ = [
     "run_replay",
     "run_replays",
     "scheme_syntax",
+    "serve",
     "summarize_replay",
 ]

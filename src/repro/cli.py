@@ -23,6 +23,11 @@ Commands
 ``bench``
     Time a TINY sweep through the serial and parallel replay paths and
     print the speedup (smoke check for the batch runner).
+``serve``
+    Answer real DNS queries (UDP + TCP + a Prometheus endpoint) from
+    the simulated hierarchy via an asyncio front end over the same
+    caching-server core the replays use; ``--selftest`` drives it with
+    a closed-loop client and prints qps/p50/p99.
 ``check``
     Run the determinism/static-analysis gate (custom AST lint rules
     REP001...; ``--strict`` adds mypy/ruff when installed).
@@ -40,7 +45,9 @@ refresh+long-TTL.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+from dataclasses import field
 from typing import Any, Callable, Sequence
 
 from repro import __version__
@@ -50,8 +57,10 @@ from repro.core.schemes import parse_scheme, scheme_syntax
 from repro.experiments import EXPERIMENTS, ExperimentDef, figures
 from repro.experiments.harness import AttackSpec, run_replay
 from repro.experiments.registry import (
+    CommandDef,
     Renderable,
     add_spec_arguments,
+    resolve_scale,
     spec_from_args,
 )
 from repro.experiments.scenarios import Scale, make_scenario
@@ -161,31 +170,50 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_events(args: argparse.Namespace) -> int:
+@dataclasses.dataclass(frozen=True)
+class EventsSpec:
+    """Flags for ``repro events`` (flight-recorder replay)."""
+
+    scheme: str = field(default="vanilla", metadata={
+        "help": "e.g. vanilla, refresh, a-lfu:5, long-ttl:7"})
+    trace: str = field(default="TRC1", metadata={
+        "help": "built-in trace name (TRC1..TRC6)"})
+    attack_hours: float = field(default=6.0, metadata={
+        "help": "root+TLD attack duration; 0 disables"})
+    last: int = field(default=20, metadata={
+        "help": "flight-recorder ring size / tail length"})
+    out: str | None = field(default=None, metadata={
+        "help": "also stream every event to this JSONL file"})
+    seed: int = field(default=7, metadata={"help": "scenario seed"})
+    scale: Scale | None = field(default=None, metadata={
+        "help": "experiment scale (default: $REPRO_SCALE or tiny)"})
+
+
+def _cmd_events(spec: EventsSpec) -> int:
     """Replay with the flight recorder on and show the event stream."""
-    config = parse_scheme(args.scheme)
-    scenario = make_scenario(_resolve_scale(args), seed=args.seed)
-    trace = scenario.trace(args.trace)
+    config = parse_scheme(spec.scheme)
+    scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+    trace = scenario.trace(spec.trace)
     attack = None
-    if args.attack_hours > 0:
+    if spec.attack_hours > 0:
         attack = AttackSpec(start=scenario.attack_start,
-                            duration=args.attack_hours * HOUR)
-    observe = ObservationSpec(events_path=args.out, ring_size=args.last)
+                            duration=spec.attack_hours * HOUR)
+    observe = ObservationSpec(events_path=spec.out, ring_size=spec.last)
     result = run_replay(scenario.built, trace, config, attack=attack,
-                        seed=args.seed, observe=observe)
+                        seed=spec.seed, observe=observe)
     recorder = result.recorder
     if recorder is None:  # pragma: no cover - ring_size >= 1 is enforced
         print("error: flight recorder was not attached", file=sys.stderr)
         return 1
     print(f"trace {trace.name}: {result.event_count:,} events "
-          f"({recorder.dropped:,} beyond the {args.last}-event ring)")
+          f"({recorder.dropped:,} beyond the {spec.last}-event ring)")
     for kind_value, count in recorder.counts_by_kind().items():
         print(f"  {kind_value:<16} {count:,}")
-    print(f"last {len(recorder.last(args.last))} events:")
-    for event in recorder.last(args.last):
+    print(f"last {len(recorder.last(spec.last))} events:")
+    for event in recorder.last(spec.last):
         print(f"  {event.to_json()}")
-    if args.out:
-        print(f"event log written to {args.out}")
+    if spec.out:
+        print(f"event log written to {spec.out}")
     return 0
 
 
@@ -274,13 +302,27 @@ def _experiment_command(
     return handler
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+@dataclasses.dataclass(frozen=True)
+class BenchSpec:
+    """Flags for ``repro bench`` (serial-vs-parallel smoke check)."""
+
+    profile: bool = field(default=False, metadata={
+        "help": "cProfile the serial leg and print the top 20 functions "
+                "by cumulative time (skips the parallel leg)"})
+    profile_out: str | None = field(default=None, metadata={
+        "help": "also dump pstats data to this path (implies --profile)"})
+    workers: int = field(default=4, metadata={
+        "help": "worker processes for the parallel leg"})
+    seed: int = field(default=7, metadata={"help": "scenario seed"})
+
+
+def _cmd_bench(spec: BenchSpec) -> int:
     """Smoke-check the parallel runner: serial vs fanned sweep, timed."""
     import time
 
     from repro.experiments.parallel import ReplaySpec, run_replays
 
-    scenario = make_scenario(Scale.TINY, seed=args.seed)
+    scenario = make_scenario(Scale.TINY, seed=spec.seed)
     attack = AttackSpec(start=scenario.attack_start, duration=6 * HOUR)
     schemes = (ResilienceConfig.vanilla(), ResilienceConfig.refresh())
     trace_names = ("TRC1", "TRC2")
@@ -293,9 +335,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         len(scenario.trace(trace_name)) for trace_name in trace_names
     )
     print(f"bench: {len(specs)} TINY replays "
-          f"({total_queries:,} stub queries), {args.workers} workers")
+          f"({total_queries:,} stub queries), {spec.workers} workers")
 
-    if args.profile or args.profile_out:
+    if spec.profile or spec.profile_out:
         # Profile the serial leg only: it runs in-process, so cProfile
         # sees the replay hot path (worker processes would not be seen).
         import cProfile
@@ -307,9 +349,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stdout)
         stats.sort_stats("cumulative").print_stats(20)
-        if args.profile_out:
-            stats.dump_stats(args.profile_out)
-            print(f"profile written to {args.profile_out} "
+        if spec.profile_out:
+            stats.dump_stats(spec.profile_out)
+            print(f"profile written to {spec.profile_out} "
                   f"(inspect with python -m pstats)")
         return 0
 
@@ -320,7 +362,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"({total_queries / serial_seconds:,.0f} queries/s)")
 
     started = time.perf_counter()  # repro: ignore[REP001] — benchmarking
-    fanned = run_replays(specs, workers=args.workers)
+    fanned = run_replays(specs, workers=spec.workers)
     parallel_seconds = time.perf_counter() - started  # repro: ignore[REP001]
     print(f"parallel: {parallel_seconds:6.2f} s "
           f"({total_queries / parallel_seconds:,.0f} queries/s)")
@@ -331,6 +373,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     print("outputs:  bitwise-identical to serial")
     return 0
+
+
+def _commands() -> "tuple[CommandDef, ...]":
+    """Non-experiment subcommands, registered like experiments are.
+
+    Imported lazily so ``repro events`` does not pay for the serve
+    package (and vice versa) until the subcommand actually runs.
+    """
+    from repro.serve.cli import SERVE_COMMAND
+
+    return (
+        CommandDef(
+            name="events",
+            help="replay with the flight recorder and print the event stream",
+            spec_type=EventsSpec,
+            handler=_cmd_events,
+        ),
+        CommandDef(
+            name="bench",
+            help="time a TINY sweep serial vs parallel (smoke check)",
+            spec_type=BenchSpec,
+            handler=_cmd_bench,
+        ),
+        SERVE_COMMAND,
+    )
+
+
+def _command_handler(
+    definition: CommandDef,
+) -> Callable[[argparse.Namespace], int]:
+    """One CLI handler per command entry: args -> spec -> run."""
+
+    def handler(args: argparse.Namespace) -> int:
+        spec = spec_from_args(definition.spec_type, args)
+        return definition.run(spec)
+
+    return handler
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -410,39 +489,10 @@ def build_parser() -> argparse.ArgumentParser:
         add_spec_arguments(experiment, definition.spec_type)
         experiment.set_defaults(func=_experiment_command(definition))
 
-    events = subparsers.add_parser(
-        "events",
-        help="replay with the flight recorder and print the event stream",
-    )
-    events.add_argument("--scheme", default="vanilla",
-                        help="e.g. vanilla, refresh, a-lfu:5, long-ttl:7")
-    events.add_argument("--trace", default="TRC1",
-                        help="built-in trace name (TRC1..TRC6)")
-    events.add_argument("--attack-hours", type=float, default=6.0,
-                        help="root+TLD attack duration; 0 disables")
-    events.add_argument("--last", type=int, default=20,
-                        help="flight-recorder ring size / tail length")
-    events.add_argument("--out", default=None,
-                        help="also stream every event to this JSONL file")
-    events.add_argument("--seed", type=int, default=7)
-    _add_scale_argument(events)
-    events.set_defaults(func=_cmd_events)
-
-    bench = subparsers.add_parser(
-        "bench",
-        help="time a TINY sweep serial vs parallel (smoke check)",
-    )
-    bench.add_argument("--profile", action="store_true",
-                       help="cProfile the serial leg and print the top 20 "
-                            "functions by cumulative time (skips the "
-                            "parallel leg)")
-    bench.add_argument("--profile-out", default=None, metavar="PATH",
-                       help="also dump pstats data to PATH (implies "
-                            "--profile)")
-    bench.add_argument("--workers", type=int, default=4,
-                       help="worker processes for the parallel leg")
-    bench.add_argument("--seed", type=int, default=7)
-    bench.set_defaults(func=_cmd_bench)
+    for command in _commands():
+        sub = subparsers.add_parser(command.name, help=command.help)
+        add_spec_arguments(sub, command.spec_type)
+        sub.set_defaults(func=_command_handler(command))
 
     from repro.devtools.audit.cli import add_audit_parser
     from repro.devtools.cli import add_check_parser

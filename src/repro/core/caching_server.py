@@ -24,11 +24,13 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.cache import DnsCache
+from repro.core.clock import Clock, as_clock
 from repro.core.config import ResilienceConfig
 from repro.core.renewal import RenewalManager
+from repro.core.transport import Upstream
 from repro.dns.errors import InvariantError
 from repro.dns.message import Message, Question
 from repro.dns.name import Name, root_name
@@ -36,9 +38,10 @@ from repro.dns.ranking import Rank
 from repro.dns.records import InfrastructureRecordSet, RRset
 from repro.dns.rrtypes import RRTYPE_BITS, RRType
 from repro.obs.events import EventBus, EventKind
-from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import ReplayMetrics
-from repro.simulation.network import Network
+
+if TYPE_CHECKING:
+    from repro.simulation.engine import SimulationEngine
 
 GapObserver = Callable[[Name, float, float], None]
 """Called as ``observer(zone, gap_seconds, published_ttl)`` when a zone's
@@ -91,8 +94,8 @@ class CachingServer:
     def __init__(
         self,
         root_hints: InfrastructureRecordSet,
-        network: Network,
-        engine: SimulationEngine,
+        network: Upstream,
+        clock: "Clock | SimulationEngine",
         config: ResilienceConfig | None = None,
         metrics: ReplayMetrics | None = None,
         gap_observer: GapObserver | None = None,
@@ -102,8 +105,13 @@ class CachingServer:
         validation: bool = False,
     ) -> None:
         self.config = config or ResilienceConfig.vanilla()
+        # The transport and the clock are both protocols (DESIGN §15):
+        # replays pass the simulated Network and a SimulationEngine
+        # (normalised to a VirtualClock); `repro serve` passes a real
+        # UDP upstream and a WallClock.  The resolution logic below is
+        # identical under either pair.
         self.network = network
-        self.engine = engine
+        self.clock = as_clock(clock)
         self.metrics = metrics or ReplayMetrics()
         if validation:
             # Shadow every cache operation with the naive oracle model
@@ -151,7 +159,7 @@ class CachingServer:
         if policy is not None:
             self.renewal = RenewalManager(
                 policy=policy,
-                engine=engine,
+                clock=self.clock,
                 cache=self.cache,
                 refetch=self._renewal_refetch,
                 jitter_fraction=self.config.renewal_jitter,
@@ -500,7 +508,7 @@ class CachingServer:
                 if message is None and result.timed_out and retry is not None:
                     # The timeout actually paid follows the retransmit
                     # schedule: try n waits try_timeout * backoff**n.
-                    latency = retry.try_cost(self.network.latency.timeout, attempt)
+                    latency = retry.try_cost(self.network.query_timeout, attempt)
                 # Renewal refetches run in the background; only demand
                 # traffic sits on a lookup's critical path (latency is
                 # ignored for renewal inside record_exchange).

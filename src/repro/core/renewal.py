@@ -15,13 +15,16 @@ Just before the NS set expires the timer fires:
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.cache import DnsCache
+from repro.core.clock import Clock, as_clock
 from repro.core.policies import RenewalPolicy
 from repro.dns.name import Name
 from repro.obs.events import EventBus, EventKind
-from repro.simulation.engine import SimulationEngine
+
+if TYPE_CHECKING:
+    from repro.simulation.engine import SimulationEngine
 
 #: Seconds before expiry at which the refetch fires ("just before they
 #: are ready to expire").
@@ -40,7 +43,7 @@ class RenewalManager:
     def __init__(
         self,
         policy: RenewalPolicy,
-        engine: SimulationEngine,
+        clock: "Clock | SimulationEngine",
         cache: DnsCache,
         refetch: RefetchFn,
         jitter_fraction: float = 0.0,
@@ -51,12 +54,19 @@ class RenewalManager:
             raise ValueError("jitter_fraction must be in [0, 1)")
         self.observer = observer
         self.policy = policy
-        self._engine = engine
+        # Timers run against the Clock protocol: a VirtualClock during
+        # replays (bare engines are normalised for the pre-redesign call
+        # shape), a WallClock under `repro serve`.  Expiry instants are
+        # armed via schedule_at — an absolute time squeezed through a
+        # relative delay is not float-exact, and the byte-identical
+        # event-log guarantee rides on those exact fire times.
+        self._clock = as_clock(clock)
         self._cache = cache
         self._refetch = refetch
         self._jitter_fraction = jitter_fraction
         self._rng = rng or random.Random(0)
-        # Timer tokens from the engine's flat event queue (DESIGN §13).
+        # Timer tokens from the clock (the engine's flat event queue
+        # under a VirtualClock, DESIGN §13).
         self._timers: dict[Name, int] = {}
         self._armed_for: dict[Name, float] = {}
         self.renewals_attempted = 0
@@ -77,7 +87,7 @@ class RenewalManager:
             return
         existing = self._timers.get(zone)
         if existing is not None:
-            self._engine.cancel(existing)
+            self._clock.cancel(existing)
         fire_at = expires_at - RENEWAL_LEAD
         if self._jitter_fraction > 0.0:
             # Refetch a little early, by a random share of the remaining
@@ -86,10 +96,10 @@ class RenewalManager:
             # this a cold-start simulation renews every zone learned at
             # t=0 in lockstep, which manufactures synchronised mass
             # expiries (e.g. all TLD keys dying at the attack start).
-            remaining = max(0.0, expires_at - self._engine.now)
+            remaining = max(0.0, expires_at - self._clock.now())
             fire_at -= self._rng.uniform(0.0, self._jitter_fraction * remaining)
-        fire_at = max(fire_at, self._engine.now)
-        self._timers[zone] = self._engine.schedule(
+        fire_at = max(fire_at, self._clock.now())
+        self._timers[zone] = self._clock.schedule_at(
             fire_at, lambda now, zone=zone: self._on_timer(zone, now)
         )
         self._armed_for[zone] = expires_at
@@ -98,7 +108,7 @@ class RenewalManager:
         """Drop timers and credit for a zone (delegation removed, etc.)."""
         token = self._timers.pop(zone, None)
         if token is not None:
-            self._engine.cancel(token)
+            self._clock.cancel(token)
         self._armed_for.pop(zone, None)
         self.policy.forget(zone)
 

@@ -1,0 +1,41 @@
+"""The Upstream protocol: how the resolution core reaches authorities.
+
+:class:`~repro.core.caching_server.CachingServer` talks to
+authoritative servers through exactly two members: ``query`` (send one
+question to one address, get a :class:`QueryResult`) and
+``query_timeout`` (the per-attempt timeout its retry policy charges).
+:class:`Upstream` names that contract so the simulated
+:class:`~repro.simulation.network.Network` and a real UDP socket
+(:class:`repro.serve.upstream.UdpUpstream`) are interchangeable behind
+one interface — the same resolver walks a modelled delegation tree in a
+replay and the real Internet under ``repro serve``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.dns.message import Question
+    from repro.simulation.network import QueryResult
+
+
+@runtime_checkable
+class Upstream(Protocol):
+    """What the caching server requires of a transport."""
+
+    @property
+    def query_timeout(self) -> float:
+        """Seconds one unanswered query attempt costs before giving up."""
+        ...
+
+    def query(
+        self, address: str, question: "Question", now: float
+    ) -> "QueryResult":
+        """Send ``question`` to the server at ``address``.
+
+        Returns an unanswered result (``message is None``) on timeout,
+        drop or lame delegation; never raises for ordinary delivery
+        failures.
+        """
+        ...

@@ -3,8 +3,14 @@
 Virtual time flows from :class:`repro.simulation.engine.SimulationEngine`
 only.  A single ``time.time()`` in a replay path makes results depend on
 the host's clock and destroys the bitwise serial-vs-parallel guarantee.
-Benchmark harnesses (``benchmarks/bench_*.py``) legitimately measure
-wall-clock time and are out of scope.
+
+Two subtrees legitimately live on the wall clock and are out of scope:
+benchmark harnesses (``benchmarks/bench_*.py``) and the serve front end
+(``repro/serve/``), whose whole job is real time — its ``WallClock``
+satisfies the same ``Clock`` protocol the simulation's virtual clock
+does, so the core underneath it stays in scope.  The exemption is the
+path prefix only: core/ and simulation/ code stays banned even when
+serve/ calls into it (``repro audit`` REP013 guards that direction).
 """
 
 from __future__ import annotations
@@ -42,7 +48,11 @@ class WallClockRule(Rule):
 
     def applies_to(self, display_path: str) -> bool:
         name = display_path.rsplit("/", 1)[-1]
-        return "benchmarks/" not in display_path and not name.startswith("bench_")
+        if "benchmarks/" in display_path or name.startswith("bench_"):
+            return False
+        # The serve front end is wall-clock territory by design (REP002
+        # unseeded-randomness still applies there).
+        return "repro/serve/" not in display_path
 
     def check(self, module: ModuleSource) -> Iterator[Violation]:
         imports = ImportMap(module.tree)

@@ -22,6 +22,7 @@ argument that the long-TTL downside is latency, not correctness.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
@@ -104,7 +105,7 @@ def run_churn_replay(
     server = CachingServer(
         root_hints=tree.root_hints(),
         network=network,
-        engine=engine,
+        clock=engine,
         config=config,
         metrics=metrics,
         seed=seed,
@@ -192,7 +193,16 @@ def churn_experiment(
     decommission_old: bool = True,
     seed: int = 3,
 ) -> ChurnExperimentResult:
-    """Deprecated shim: build a :class:`ChurnSpec` and call :func:`run`."""
+    """Deprecated shim: build a :class:`ChurnSpec` and call :func:`run`.
+
+    Emits a :class:`DeprecationWarning`; will be removed, see CHANGES.md.
+    """
+    warnings.warn(
+        "churn_experiment() is deprecated; use "
+        "EXPERIMENTS['churn'].run(ChurnSpec(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run(ChurnSpec(
         seed=seed,
         churn_fraction=churn_fraction,

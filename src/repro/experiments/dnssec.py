@@ -15,6 +15,7 @@ combination scheme holds both variants near its usual floor.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
@@ -123,7 +124,16 @@ def dnssec_experiment(
     attack_hours: float = 6.0,
     seed: int = 5,
 ) -> DnssecExperimentResult:
-    """Deprecated shim: build a :class:`DnssecSpec` and call :func:`run`."""
+    """Deprecated shim: build a :class:`DnssecSpec` and call :func:`run`.
+
+    Emits a :class:`DeprecationWarning`; will be removed, see CHANGES.md.
+    """
+    warnings.warn(
+        "dnssec_experiment() is deprecated; use "
+        "EXPERIMENTS['dnssec'].run(DnssecSpec(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run(DnssecSpec(
         seed=seed,
         attack_hours=attack_hours,

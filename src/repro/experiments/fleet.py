@@ -174,7 +174,7 @@ def _run(
         server = CachingServer(
             root_hints=built.tree.root_hints(),
             network=network,
-            engine=engine,
+            clock=engine,
             config=config,
             metrics=metrics,
             seed=seed + index,

@@ -174,7 +174,7 @@ def _replay(
         server = CachingServer(
             root_hints=built.tree.root_hints(),
             network=network,
-            engine=engine,
+            clock=engine,
             config=config,
             metrics=metrics,
             gap_observer=gap_tracker,

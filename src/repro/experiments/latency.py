@@ -11,8 +11,9 @@ other: fewer tree walks ⇒ fewer round trips ⇒ lower latency.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -77,10 +78,26 @@ class LatencySpec:
 def run(spec: LatencySpec) -> LatencyResult:
     """Registry entry point: build the scenario, run the comparison."""
     scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
-    return latency_experiment(scenario, trace_name=spec.trace_name)
+    return _latency_experiment(scenario, trace_name=spec.trace_name)
 
 
-def latency_experiment(
+def latency_experiment(*args: Any, **kwargs: Any) -> LatencyResult:
+    """Deprecated alias kept from before the registry (PR 3).
+
+    Use ``EXPERIMENTS["latency"].run(LatencySpec(...))`` (or this
+    module's :func:`run`) instead; this alias will be removed, see
+    CHANGES.md.
+    """
+    warnings.warn(
+        "latency_experiment() is deprecated; use "
+        "EXPERIMENTS['latency'].run(LatencySpec(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _latency_experiment(*args, **kwargs)
+
+
+def _latency_experiment(
     scenario: Scenario,
     schemes: Sequence[tuple[str, ResilienceConfig]] = DEFAULT_SCHEMES,
     trace_name: str = "TRC1",

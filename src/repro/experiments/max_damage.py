@@ -14,8 +14,10 @@ random-target strawman, with and without the combination scheme.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 import random
+import warnings
+from dataclasses import dataclass
+from typing import Any
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -127,7 +129,7 @@ class MaxDamageSpec:
 def run(spec: MaxDamageSpec) -> MaxDamageResult:
     """Registry entry point: build the scenario, run the exploration."""
     scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
-    return max_damage_experiment(
+    return _max_damage_experiment(
         scenario,
         budget=spec.budget,
         attack_hours=spec.attack_hours,
@@ -135,7 +137,23 @@ def run(spec: MaxDamageSpec) -> MaxDamageResult:
     )
 
 
-def max_damage_experiment(
+def max_damage_experiment(*args: Any, **kwargs: Any) -> MaxDamageResult:
+    """Deprecated alias kept from before the registry (PR 3).
+
+    Use ``EXPERIMENTS["maxdamage"].run(MaxDamageSpec(...))`` (or this
+    module's :func:`run`) instead; this alias will be removed, see
+    CHANGES.md.
+    """
+    warnings.warn(
+        "max_damage_experiment() is deprecated; use "
+        "EXPERIMENTS['maxdamage'].run(MaxDamageSpec(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _max_damage_experiment(*args, **kwargs)
+
+
+def _max_damage_experiment(
     scenario: Scenario,
     budget: int | None = None,
     attack_hours: float = 6.0,

@@ -11,8 +11,9 @@ form of every headline number.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -100,7 +101,7 @@ class MultiSeedSpec:
 def run(spec: MultiSeedSpec) -> MultiSeedResult:
     """Registry entry point: replicate the headline rates across seeds."""
     scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
-    return multiseed_experiment(
+    return _multiseed_experiment(
         scenario,
         seeds=spec.seeds,
         trace_name=spec.trace_name,
@@ -108,7 +109,23 @@ def run(spec: MultiSeedSpec) -> MultiSeedResult:
     )
 
 
-def multiseed_experiment(
+def multiseed_experiment(*args: Any, **kwargs: Any) -> MultiSeedResult:
+    """Deprecated alias kept from before the registry (PR 3).
+
+    Use ``EXPERIMENTS["multiseed"].run(MultiSeedSpec(...))`` (or this
+    module's :func:`run`) instead; this alias will be removed, see
+    CHANGES.md.
+    """
+    warnings.warn(
+        "multiseed_experiment() is deprecated; use "
+        "EXPERIMENTS['multiseed'].run(MultiSeedSpec(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _multiseed_experiment(*args, **kwargs)
+
+
+def _multiseed_experiment(
     scenario: Scenario,
     schemes: Sequence[ResilienceConfig] = DEFAULT_SCHEMES,
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4),

@@ -58,6 +58,34 @@ class ExperimentDef:
         return self.runner(spec)
 
 
+@dataclasses.dataclass(frozen=True)
+class CommandDef:
+    """A non-experiment CLI subcommand built on the same spec machinery.
+
+    Experiments return a :class:`Renderable` summary; commands (serve,
+    events, bench) own their output and return a process exit status.
+    Both generate their flags from a frozen spec dataclass via
+    :func:`add_spec_arguments`, so there is exactly one way a
+    subcommand's surface is defined in this repo.
+    """
+
+    name: str
+    help: str
+    spec_type: type
+    handler: Callable[[Any], int]
+
+    def run(self, spec: Any = None) -> int:
+        """Execute with ``spec`` (or the spec type's defaults)."""
+        if spec is None:
+            spec = self.spec_type()
+        if not isinstance(spec, self.spec_type):
+            raise TypeError(
+                f"command {self.name!r} expects "
+                f"{self.spec_type.__name__}, got {type(spec).__name__}"
+            )
+        return self.handler(spec)
+
+
 def _cli_fields(spec_type: type) -> "list[tuple[dataclasses.Field, Any]]":
     """The (field, resolved type) pairs that become CLI flags."""
     hints = typing.get_type_hints(spec_type)

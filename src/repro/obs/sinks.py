@@ -132,6 +132,10 @@ class JsonlSink:
 class PrometheusSink:
     """Whole-run counters in the Prometheus text exposition format."""
 
+    #: What scrapers expect a text-format body to be served as; the
+    #: ``repro serve`` metrics endpoint sends :meth:`render` under it.
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
     def __init__(self) -> None:
         self._counts: Counter[EventKind] = Counter()
         self._last_time = 0.0

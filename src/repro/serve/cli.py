@@ -1,0 +1,70 @@
+"""The ``repro serve`` subcommand: handler + registry entry.
+
+Registered through the same :class:`~repro.experiments.registry.CommandDef`
+machinery as ``repro events`` and ``repro bench`` — every flag below is
+generated from :class:`~repro.serve.spec.ServeSpec`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import sys
+
+from repro.experiments.registry import CommandDef
+from repro.serve.driver import selftest
+from repro.serve.spec import ServeSpec
+
+
+async def _serve_forever(spec: ServeSpec) -> int:
+    from repro.serve.server import DnsFrontEnd
+
+    front_end = DnsFrontEnd(spec)
+    await front_end.start()
+    try:
+        if front_end.udp_address is None:
+            raise RuntimeError("front end did not bind a UDP port")
+        host, port = front_end.udp_address
+        print(f"repro serve: DNS on {host}:{port} (udp+tcp), "
+              f"scheme {spec.scheme}, seed {spec.seed}")
+        if front_end.metrics_address is not None:
+            mhost, mport = front_end.metrics_address
+            print(f"repro serve: metrics on http://{mhost}:{mport}/metrics")
+        names = front_end.sample_names(spec.print_names)
+        for name in names:
+            print(f"  try: dig @{host} -p {port} {name} A")
+        await asyncio.Event().wait()  # until cancelled (Ctrl-C)
+    finally:
+        await front_end.stop()
+    return 0
+
+
+def run_serve(spec: ServeSpec) -> int:
+    """Serve forever, or run the hermetic selftest when asked."""
+    if spec.selftest:
+        # The selftest must not collide with a real deployment: bind
+        # ephemeral ports regardless of what the spec says.
+        hermetic = dataclasses.replace(spec, port=0, metrics_port=-1)
+        report = asyncio.run(selftest(hermetic))
+        print(report.render())
+        if spec.selftest_out:
+            with open(spec.selftest_out, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            print(f"load report written to {spec.selftest_out}")
+        if report.answered == 0:
+            print("error: selftest resolved nothing", file=sys.stderr)
+            return 1
+        return 0
+    try:
+        return asyncio.run(_serve_forever(spec))
+    except KeyboardInterrupt:
+        print("repro serve: stopped")
+        return 0
+
+
+SERVE_COMMAND = CommandDef(
+    name="serve",
+    help="answer real DNS queries (UDP+TCP) from the simulated hierarchy",
+    spec_type=ServeSpec,
+    handler=run_serve,
+)

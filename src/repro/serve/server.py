@@ -1,0 +1,357 @@
+"""The asyncio DNS front end: UDP + TCP listeners over a CachingServer.
+
+Threading model (the whole design in one paragraph): the asyncio loop
+thread owns sockets, parses/encodes packets, and keeps the singleflight
+and serve-stale state; one dedicated resolver thread owns the
+:class:`~repro.core.caching_server.CachingServer` — every stub query
+*and* every renewal timer body (via :class:`~repro.serve.clock.WallClock`'s
+runner) executes there, preserving the core's single-threaded
+discipline without any locks inside it.
+
+Front-end semantics layered on top of the core:
+
+* **Singleflight** — concurrent identical questions (same name/type)
+  collapse onto one in-flight resolution; followers await its future.
+* **Serve-stale during refetch** — a follower that finds a previous
+  answer within ``ttl + stale_grace`` is answered from it immediately
+  instead of waiting on the in-flight refetch (the refetch still
+  completes and refreshes the memo).
+* **Truncation + TCP fallback** — UDP responses above the spec's
+  payload ceiling degrade to TC-marked header+question; the TCP
+  listener answers the retry without a ceiling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.caching_server import CachingServer, Resolution, ResolutionOutcome
+from repro.core.schemes import parse_scheme
+from repro.dns.message import Message, Question, Rcode
+from repro.dns.name import Name
+from repro.dns.rrtypes import RRTYPE_BITS
+from repro.experiments.registry import resolve_scale
+from repro.experiments.scenarios import make_scenario
+from repro.obs.events import EventBus
+from repro.obs.sinks import PrometheusSink
+from repro.serve.clock import WallClock
+from repro.serve.metrics import ServeMetrics, start_metrics_server
+from repro.serve.spec import ServeSpec
+from repro.serve.wire import (
+    FLAG_QR,
+    FLAG_TC,
+    HEADER,
+    DecodedQuery,
+    WireFormatError,
+    decode_query,
+    encode_response,
+    frame_tcp,
+)
+
+_TCP_LENGTH = struct.Struct("!H")
+
+#: Non-failure outcomes without an answer RRset (NXDOMAIN / NODATA) are
+#: memoised for this long — the serve-stale memo's negative TTL.
+_NEGATIVE_MEMO_TTL = 5.0
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, front_end: "DnsFrontEnd") -> None:
+        self._front_end = front_end
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+
+    def datagram_received(self, data: bytes, addr: tuple) -> None:
+        transport = self.transport
+        if transport is not None:
+            self._front_end._on_udp(data, addr, transport)
+
+
+class DnsFrontEnd:
+    """One bound front end: sockets, metrics, and the resolver thread."""
+
+    def __init__(self, spec: ServeSpec) -> None:
+        self.spec = spec
+        scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+        self._built = scenario.built
+        self._config = parse_scheme(spec.scheme)
+        self.metrics = ServeMetrics()
+        self.bus = EventBus()
+        self.prometheus = PrometheusSink().attach(self.bus)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-resolver"
+        )
+        self.clock: WallClock | None = None
+        self.server: CachingServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        # Singleflight: packed question key -> the in-flight resolution.
+        self._inflight: dict[int, asyncio.Future[Resolution]] = {}
+        # Serve-stale memo: packed key -> (stored_at, ttl, resolution).
+        self._last_good: dict[int, tuple[float, float, Resolution]] = {}
+        self._udp_transport: asyncio.DatagramTransport | None = None
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self.udp_address: tuple[str, int] | None = None
+        self.metrics_address: tuple[str, int] | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind UDP/TCP/metrics listeners and build the resolver core."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self.clock = WallClock(loop, runner=self._executor.submit)
+        self.server = CachingServer(
+            root_hints=self._built.tree.root_hints(),
+            network=self._make_upstream(),
+            clock=self.clock,
+            config=self._config,
+            observer=self.bus,
+        )
+        spec = self.spec
+        self._udp_transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self),
+            local_addr=(spec.host, spec.port),
+        )
+        sockname = self._udp_transport.get_extra_info("sockname")
+        self.udp_address = (sockname[0], sockname[1])
+        # TCP binds the port UDP actually got (matters when port=0).
+        self._tcp_server = await asyncio.start_server(
+            self._on_tcp, spec.host, self.udp_address[1]
+        )
+        if spec.metrics_port >= 0:
+            self._metrics_server = await start_metrics_server(
+                spec.host, spec.metrics_port, self.metrics, self.prometheus
+            )
+            msock = self._metrics_server.sockets[0].getsockname()
+            self.metrics_address = (msock[0], msock[1])
+
+    def _make_upstream(self):  # noqa: ANN202 - Upstream protocol
+        """The transport the core resolves through.
+
+        The front end answers from the *simulated* zone tree (that is
+        the point: real traffic against the paper's hierarchy), so this
+        is the simulated Network; swap in
+        :class:`~repro.serve.upstream.UdpUpstream` here to resolve
+        against live servers instead.
+        """
+        from repro.simulation.network import Network
+
+        return Network(self._built.tree)
+
+    async def stop(self) -> None:
+        """Close listeners, drain in-flight work, stop the resolver."""
+        for task in list(self._tasks):
+            task.cancel()
+        if self._udp_transport is not None:
+            self._udp_transport.close()
+        for server in (self._tcp_server, self._metrics_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def sample_names(self, count: int) -> tuple[Name, ...]:
+        """Deterministic resolvable host names (for clients and tests)."""
+        names = [
+            hosts[0]
+            for _zone, hosts in sorted(self._built.catalog.items())
+            if hosts
+        ]
+        return tuple(names[:count])
+
+    # -- datagram / stream entry points -------------------------------------
+
+    def _on_udp(
+        self, data: bytes, addr: tuple, transport: asyncio.DatagramTransport
+    ) -> None:
+        try:
+            query = decode_query(data)
+        except WireFormatError:
+            self.metrics.formerr += 1
+            reject = _formerr_for(data)
+            if reject is not None:
+                transport.sendto(reject, addr)
+            return
+        self.metrics.udp_queries += 1
+        self._spawn(self._answer_udp(query, addr, transport))
+
+    async def _answer_udp(
+        self,
+        query: DecodedQuery,
+        addr: tuple,
+        transport: asyncio.DatagramTransport,
+    ) -> None:
+        message = await self._resolve(query)
+        payload = encode_response(
+            message,
+            message_id=query.message_id,
+            raw_labels=query.raw_labels,
+            recursion_desired=query.recursion_desired,
+            max_size=self.spec.udp_payload_max,
+        )
+        if payload[2] & (FLAG_TC >> 8):
+            self.metrics.truncated += 1
+        transport.sendto(payload, addr)
+
+    async def _on_tcp(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(_TCP_LENGTH.size)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                (length,) = _TCP_LENGTH.unpack(header)
+                data = await reader.readexactly(length)
+                try:
+                    query = decode_query(data)
+                except WireFormatError:
+                    self.metrics.formerr += 1
+                    reject = _formerr_for(data)
+                    if reject is None:
+                        return
+                    writer.write(frame_tcp(reject))
+                    await writer.drain()
+                    continue
+                self.metrics.tcp_queries += 1
+                message = await self._resolve(query)
+                payload = encode_response(
+                    message,
+                    message_id=query.message_id,
+                    raw_labels=query.raw_labels,
+                    recursion_desired=query.recursion_desired,
+                )
+                writer.write(frame_tcp(payload))
+                await writer.drain()
+        finally:
+            writer.close()
+
+    # -- resolution: singleflight + serve-stale -----------------------------
+
+    async def _resolve(self, query: DecodedQuery) -> Message:
+        question = query.question
+        key = (question.name.iid << RRTYPE_BITS) | question.rrtype
+        flight = self._inflight.get(key)
+        if flight is not None:
+            self.metrics.singleflight_hits += 1
+            stale = self._usable_memo(key)
+            if stale is not None:
+                self.metrics.stale_served += 1
+                return self._render(question, query.message_id, stale)
+            resolution = await asyncio.shield(flight)
+        else:
+            resolution = await self._resolve_leader(key, question)
+        if resolution.failed:
+            self.metrics.servfail += 1
+        return self._render(question, query.message_id, resolution)
+
+    async def _resolve_leader(self, key: int, question: Question) -> Resolution:
+        loop, clock, server = self._loop, self.clock, self.server
+        if loop is None or clock is None or server is None:
+            raise RuntimeError("front end not started")
+        future: asyncio.Future[Resolution] = loop.create_future()
+        self._inflight[key] = future
+
+        def work() -> Resolution:
+            return server.handle_stub_query(
+                question.name, question.rrtype, clock.now()
+            )
+
+        try:
+            resolution = await loop.run_in_executor(self._executor, work)
+        except BaseException as error:
+            if not future.done():
+                future.set_exception(error)
+            # The future's consumers re-raise; keep the memo untouched.
+            future.exception()  # mark retrieved for followers-free case
+            raise
+        else:
+            if not future.done():
+                future.set_result(resolution)
+            if not resolution.failed:
+                ttl = (
+                    resolution.answer.ttl
+                    if resolution.answer is not None
+                    else _NEGATIVE_MEMO_TTL
+                )
+                self._last_good[key] = (clock.now(), ttl, resolution)
+            return resolution
+        finally:
+            self._inflight.pop(key, None)
+
+    def _usable_memo(self, key: int) -> Resolution | None:
+        if self.clock is None:
+            raise RuntimeError("front end not started")
+        memo = self._last_good.get(key)
+        if memo is None:
+            return None
+        stored_at, ttl, resolution = memo
+        age = self.clock.now() - stored_at
+        if age <= ttl + self.spec.stale_grace:
+            return resolution
+        del self._last_good[key]
+        return None
+
+    def _render(
+        self, question: Question, message_id: int, resolution: Resolution
+    ) -> Message:
+        rcode = Rcode.NOERROR
+        answer: tuple = ()
+        if resolution.failed:
+            rcode = Rcode.SERVFAIL
+        elif resolution.outcome is ResolutionOutcome.NXDOMAIN:
+            rcode = Rcode.NXDOMAIN
+        elif resolution.answer is not None:
+            answer = (resolution.answer,)
+        return Message(
+            question=question,
+            rcode=rcode,
+            authoritative=False,
+            answer=answer,
+            message_id=message_id,
+        )
+
+    def _spawn(self, coroutine) -> None:  # noqa: ANN001
+        if self._loop is None:
+            raise RuntimeError("front end not started")
+        task = self._loop.create_task(coroutine)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+
+def _formerr_for(data: bytes) -> bytes | None:
+    """A minimal FORMERR reply when the packet at least carries an id."""
+    if len(data) < HEADER.size:
+        return None
+    message_id, flags = struct.unpack_from("!HH", data)
+    if flags & FLAG_QR:
+        return None  # never answer answers
+    return HEADER.pack(
+        message_id, FLAG_QR | int(Rcode.FORMERR), 0, 0, 0, 0
+    )
+
+
+async def serve_until(
+    spec: ServeSpec,
+    shutdown: "asyncio.Event | None" = None,
+) -> DnsFrontEnd:
+    """Start a front end and (when given) block until ``shutdown``.
+
+    Returns the running front end; the caller owns ``stop()`` when no
+    shutdown event is supplied.
+    """
+    front_end = DnsFrontEnd(spec)
+    await front_end.start()
+    if shutdown is not None:
+        try:
+            await shutdown.wait()
+        finally:
+            await front_end.stop()
+    return front_end

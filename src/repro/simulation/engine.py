@@ -16,6 +16,7 @@ from repro.obs.events import EventKind
 from repro.simulation.events import EventQueue
 
 if TYPE_CHECKING:
+    from repro.core.clock import VirtualClock
     from repro.obs.events import EventBus
 
 _TIMER_FIRED = EventKind.TIMER_FIRED
@@ -112,3 +113,10 @@ class SimulationEngine:
     def pending_events(self) -> int:
         """Live events still queued (diagnostic)."""
         return len(self._queue)
+
+    def clock(self) -> "VirtualClock":
+        """This engine viewed through the :class:`~repro.core.clock.Clock`
+        protocol (the virtual half of the virtual/wall split, DESIGN §15)."""
+        from repro.core.clock import VirtualClock
+
+        return VirtualClock(self)

@@ -81,7 +81,14 @@ class QueryResult:
 
 
 class Network:
-    """Routes questions to authoritative servers, honouring attacks."""
+    """Routes questions to authoritative servers, honouring attacks.
+
+    This is the simulated implementation of the
+    :class:`~repro.core.transport.Upstream` protocol the caching server
+    resolves through; ``repro serve`` swaps in a real UDP socket
+    (:class:`repro.serve.upstream.UdpUpstream`) behind the same two
+    members (``query`` / ``query_timeout``).
+    """
 
     def __init__(
         self,
@@ -96,6 +103,11 @@ class Network:
         self.latency = latency or LatencyModel()
         self.queries_sent = 0
         self.queries_lost = 0
+
+    @property
+    def query_timeout(self) -> float:
+        """Seconds one unanswered query costs (the Upstream contract)."""
+        return self.latency.timeout
 
     @property
     def attacks(self) -> AttackSchedule | None:

@@ -39,7 +39,7 @@ def make_stack(
     server = CachingServer(
         root_hints=mini.tree.root_hints(),
         network=network,
-        engine=engine,
+        clock=engine,
         config=config,
         metrics=metrics,
         gap_observer=gap_observer,

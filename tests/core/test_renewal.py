@@ -31,7 +31,7 @@ class Harness:
         self.refetch_succeeds = refetch_succeeds
         self.manager = RenewalManager(
             policy=self.policy,
-            engine=self.engine,
+            clock=self.engine,
             cache=self.cache,
             refetch=self._refetch,
         )
@@ -184,7 +184,7 @@ class TestSilentDropRegression:
         cache = DnsCache()
         policy = LRUPolicy(credit=credit)
         manager = RenewalManager(
-            policy=policy, engine=engine, cache=cache, refetch=refetch
+            policy=policy, clock=engine, cache=cache, refetch=refetch
         )
         return engine, cache, policy, manager
 

@@ -545,6 +545,46 @@ class TestDeterminismTaint:
         }
         assert findings(write_tree, files, self.rule) == ()
 
+    def test_serve_internal_wall_clock_is_clean(self, write_tree):
+        """serve/ is not a determinism sink: its wall clock is its job."""
+        files = {
+            "serve/clock.py": """\
+                import time
+
+
+                def now():
+                    return time.time()
+
+
+                def schedule(delay):
+                    return now() + delay
+                """,
+        }
+        assert findings(write_tree, files, self.rule) == ()
+
+    def test_core_calling_into_serve_still_flags(self, write_tree):
+        """The serve exemption must not launder taint back into core/."""
+        files = {
+            "serve/clock.py": """\
+                import time
+
+
+                def wall_now():
+                    return time.time()
+                """,
+            "core/cache.py": """\
+                from repro.serve.clock import wall_now
+
+
+                def expire():
+                    return wall_now()
+                """,
+        }
+        (violation,) = findings(write_tree, files, self.rule)
+        assert violation.rule == "REP013"
+        assert violation.path.endswith("core/cache.py")
+        assert "chain: expire -> wall_now" in violation.message
+
     def test_suppressed_source_is_sanctioned(self, write_tree):
         """A reviewed # repro: ignore[REP001] sanctions the whole chain."""
         files = {

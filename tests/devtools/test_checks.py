@@ -121,6 +121,45 @@ class TestWallClockRule:
             """)
         assert report.clean
 
+    def test_serve_front_end_is_exempt(self, tmp_path):
+        """repro/serve/ is wall-clock territory by design (PR 8)."""
+        report = check_snippet(tmp_path, "repro/serve/clock.py", """\
+            import time
+
+            def now() -> float:
+                return time.monotonic()
+            """)
+        assert report.clean
+
+    def test_serve_exemption_does_not_leak_into_core(self, tmp_path):
+        """A serve-sounding file under core/ stays in scope."""
+        report = check_snippet(tmp_path, "repro/core/serve_bridge.py", """\
+            import time
+
+            def now() -> float:
+                return time.monotonic()
+            """)
+        assert rule_ids(report) == ["REP001"]
+
+    def test_serve_exemption_does_not_leak_into_simulation(self, tmp_path):
+        report = check_snippet(tmp_path, "repro/simulation/serve.py", """\
+            import time
+
+            def now() -> float:
+                return time.time()
+            """)
+        assert rule_ids(report) == ["REP001"]
+
+    def test_serve_is_not_exempt_from_unseeded_randomness(self, tmp_path):
+        """Only REP001 is waived in serve/; REP002 still applies there."""
+        report = check_snippet(tmp_path, "repro/serve/jitter.py", """\
+            import random
+
+            def jitter() -> float:
+                return random.random()
+            """)
+        assert rule_ids(report) == ["REP002"]
+
     def test_suppression(self, tmp_path):
         report = check_snippet(tmp_path, "simulation/clock.py", """\
             import time

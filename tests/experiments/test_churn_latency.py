@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.experiments.churn import churn_experiment
-from repro.experiments.latency import latency_experiment
+from repro.experiments import churn, latency
+from repro.experiments.churn import ChurnSpec
+from repro.experiments.latency import LatencySpec
 from repro.experiments.scenarios import Scale, make_scenario
 from repro.hierarchy.builder import HierarchyConfig
 from repro.workload.generator import WorkloadConfig
@@ -11,13 +12,12 @@ from repro.workload.generator import WorkloadConfig
 
 @pytest.fixture(scope="module")
 def churn_result():
-    return churn_experiment(
-        hierarchy_config=HierarchyConfig(num_tlds=6, num_slds=80,
-                                         num_providers=2),
-        workload_config=WorkloadConfig(duration_days=7.0,
-                                       queries_per_day=1_500, num_clients=40),
+    return churn.run(ChurnSpec(
+        hierarchy=HierarchyConfig(num_tlds=6, num_slds=80, num_providers=2),
+        workload=WorkloadConfig(duration_days=7.0, queries_per_day=1_500,
+                                num_clients=40),
         churn_fraction=0.3,
-    )
+    ))
 
 
 class TestChurnExperiment:
@@ -44,7 +44,7 @@ class TestChurnExperiment:
 class TestLatencyExperiment:
     @pytest.fixture(scope="class")
     def result(self):
-        return latency_experiment(make_scenario(Scale.TINY))
+        return latency.run(LatencySpec(scale=Scale.TINY))
 
     def test_long_ttl_lowers_latency(self, result):
         # Fewer tree walks => lower mean wait (paper §4).

@@ -1,0 +1,58 @@
+"""The five legacy ``*_experiment`` aliases warn and still delegate.
+
+PR 3 replaced these call surfaces with the spec/``run`` registry path;
+this PR deprecates the aliases ahead of removal (see CHANGES.md).  Each
+test monkeypatches the delegate so no replay actually runs — the
+contract under test is *warn, then forward untouched*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import churn, dnssec, latency, max_damage, multiseed
+
+_SENTINEL = object()
+
+
+def _capture(calls):
+    def delegate(*args, **kwargs):
+        calls.append((args, kwargs))
+        return _SENTINEL
+
+    return delegate
+
+
+@pytest.mark.parametrize(
+    ("module", "alias", "delegate"),
+    [
+        (multiseed, "multiseed_experiment", "_multiseed_experiment"),
+        (latency, "latency_experiment", "_latency_experiment"),
+        (max_damage, "max_damage_experiment", "_max_damage_experiment"),
+        (churn, "churn_experiment", "run"),
+        (dnssec, "dnssec_experiment", "run"),
+    ],
+)
+def test_alias_warns_and_delegates(monkeypatch, module, alias, delegate):
+    calls: list = []
+    monkeypatch.setattr(module, delegate, _capture(calls))
+    with pytest.warns(DeprecationWarning, match=alias):
+        result = getattr(module, alias)()
+    assert result is _SENTINEL
+    assert len(calls) == 1
+
+
+def test_kwargs_forwarded_to_impl(monkeypatch):
+    calls: list = []
+    monkeypatch.setattr(multiseed, "_multiseed_experiment", _capture(calls))
+    with pytest.warns(DeprecationWarning):
+        multiseed.multiseed_experiment("scenario", seeds=(1, 2))
+    assert calls == [(("scenario",), {"seeds": (1, 2)})]
+
+
+def test_shim_builds_equivalent_spec(monkeypatch):
+    specs: list = []
+    monkeypatch.setattr(churn, "run", lambda spec: specs.append(spec))
+    with pytest.warns(DeprecationWarning):
+        churn.churn_experiment(churn_fraction=0.5, seed=11)
+    assert specs == [churn.ChurnSpec(seed=11, churn_fraction=0.5)]

@@ -2,21 +2,19 @@
 
 import pytest
 
-from repro.experiments.dnssec import dnssec_experiment
+from repro.experiments.dnssec import DnssecSpec, run
 from repro.hierarchy.builder import HierarchyConfig
 from repro.workload.generator import WorkloadConfig
 
 
 @pytest.fixture(scope="module")
 def result():
-    return dnssec_experiment(
-        hierarchy_config=HierarchyConfig(num_tlds=6, num_slds=80,
-                                         num_providers=2,
-                                         dnssec_fraction=1.0),
-        workload_config=WorkloadConfig(duration_days=7.0,
-                                       queries_per_day=1_500,
-                                       num_clients=40),
-    )
+    return run(DnssecSpec(
+        hierarchy=HierarchyConfig(num_tlds=6, num_slds=80, num_providers=2,
+                                  dnssec_fraction=1.0),
+        workload=WorkloadConfig(duration_days=7.0, queries_per_day=1_500,
+                                num_clients=40),
+    ))
 
 
 class TestDnssecExperiment:
@@ -37,11 +35,11 @@ class TestDnssecExperiment:
 
     def test_rejects_unsigned_hierarchy(self):
         with pytest.raises(ValueError):
-            dnssec_experiment(
-                hierarchy_config=HierarchyConfig(num_tlds=4, num_slds=10,
-                                                 num_providers=1,
-                                                 dnssec_fraction=0.0)
-            )
+            run(DnssecSpec(
+                hierarchy=HierarchyConfig(num_tlds=4, num_slds=10,
+                                          num_providers=1,
+                                          dnssec_fraction=0.0)
+            ))
 
     def test_unknown_row(self, result):
         with pytest.raises(KeyError):

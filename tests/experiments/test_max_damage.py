@@ -4,8 +4,8 @@ import pytest
 
 from repro.dns.name import root_name
 from repro.experiments.max_damage import (
+    _max_damage_experiment,
     greedy_targets,
-    max_damage_experiment,
     random_targets,
     upcoming_query_counts,
 )
@@ -69,24 +69,24 @@ class TestTargetSelection:
 
 class TestExperiment:
     def test_greedy_beats_random(self, scenario):
-        result = max_damage_experiment(scenario, budget=4)
+        result = _max_damage_experiment(scenario, budget=4)
         greedy = result.rate_of("greedy (oracle)", "vanilla")
         random_rate = result.rate_of("random", "vanilla")
         assert greedy >= random_rate
 
     def test_combination_blunts_every_strategy(self, scenario):
-        result = max_damage_experiment(scenario, budget=4)
+        result = _max_damage_experiment(scenario, budget=4)
         for strategy in ("greedy (oracle)", "root+TLDs", "random"):
             assert result.rate_of(strategy, "combination") <= \
                 result.rate_of(strategy, "vanilla") + 1e-9
 
     def test_render(self, scenario):
-        result = max_damage_experiment(scenario, budget=3)
+        result = _max_damage_experiment(scenario, budget=3)
         text = result.render()
         assert "budget = 3" in text
         assert "greedy (oracle)" in text
 
     def test_unknown_row_raises(self, scenario):
-        result = max_damage_experiment(scenario, budget=3)
+        result = _max_damage_experiment(scenario, budget=3)
         with pytest.raises(KeyError):
             result.rate_of("nonexistent", "vanilla")

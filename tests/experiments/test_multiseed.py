@@ -7,7 +7,7 @@ from repro.dns.name import root_name
 from repro.experiments.harness import AttackSpec, run_replay
 from repro.experiments.multiseed import (
     SeedStatistics,
-    multiseed_experiment,
+    _multiseed_experiment,
 )
 from repro.experiments.scenarios import Scale, make_scenario
 
@@ -39,7 +39,7 @@ class TestSeedStatistics:
 class TestMultiSeed:
     @pytest.fixture(scope="class")
     def result(self, scenario):
-        return multiseed_experiment(
+        return _multiseed_experiment(
             scenario,
             schemes=(ResilienceConfig.vanilla(), ResilienceConfig.combination()),
             seeds=(0, 1, 2),
@@ -60,7 +60,7 @@ class TestMultiSeed:
 
     def test_requires_seeds(self, scenario):
         with pytest.raises(ValueError):
-            multiseed_experiment(scenario, seeds=())
+            _multiseed_experiment(scenario, seeds=())
 
 
 class TestTrafficBytes:

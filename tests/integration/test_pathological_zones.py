@@ -88,7 +88,7 @@ def stack():
     server = CachingServer(
         root_hints=tree.root_hints(),
         network=Network(tree),
-        engine=engine,
+        clock=engine,
         config=ResilienceConfig.vanilla(),
         metrics=metrics,
     )
@@ -156,7 +156,7 @@ class TestPathologies:
         server = CachingServer(
             root_hints=tree.root_hints(),
             network=Network(tree),
-            engine=engine,
+            clock=engine,
             config=ResilienceConfig.vanilla(),
             metrics=ReplayMetrics(),
         )

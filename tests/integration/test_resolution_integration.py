@@ -31,7 +31,7 @@ def make_server(built, config=None):
     server = CachingServer(
         root_hints=built.tree.root_hints(),
         network=network,
-        engine=engine,
+        clock=engine,
         config=config or ResilienceConfig.vanilla(),
         metrics=metrics,
     )

@@ -60,7 +60,7 @@ def run_sequence(sequence, config, seed=0):
     server = CachingServer(
         root_hints=mini.tree.root_hints(),
         network=Network(mini.tree),
-        engine=engine,
+        clock=engine,
         config=config,
         metrics=metrics,
         seed=seed,
@@ -140,7 +140,7 @@ class TestResolverInvariants:
         server = CachingServer(
             root_hints=mini.tree.root_hints(),
             network=Network(mini.tree),
-            engine=engine,
+            clock=engine,
             config=config,
             metrics=ReplayMetrics(),
         )

@@ -1,0 +1,347 @@
+"""End-to-end: real sockets against the serve front end.
+
+The acceptance check from the issue lives here: a live UDP query must
+return the same ANSWER rrsets the simulated CachingServer produces for
+an identically built scenario — the front end is a transport skin, not
+a different resolver.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import threading
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.core.caching_server import CachingServer
+from repro.core.schemes import parse_scheme
+from repro.dns.message import Question, Rcode
+from repro.dns.name import Name
+from repro.dns.rrtypes import RRType
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.serve.server import DnsFrontEnd
+from repro.serve.spec import ServeSpec
+from repro.serve.wire import (
+    FLAG_QR,
+    decode_message,
+    encode_query,
+    frame_tcp,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import Network
+
+_SPEC = ServeSpec(
+    host="127.0.0.1", port=0, metrics_port=0, scale=Scale.TINY, seed=7
+)
+
+
+@asynccontextmanager
+async def _front_end(spec: ServeSpec = _SPEC):
+    front_end = DnsFrontEnd(spec)
+    await front_end.start()
+    try:
+        yield front_end
+    finally:
+        await front_end.stop()
+
+
+class _OneShot(asyncio.DatagramProtocol):
+    def __init__(self, future: asyncio.Future) -> None:
+        self._future = future
+
+    def datagram_received(self, data: bytes, addr: tuple) -> None:
+        if not self._future.done():
+            self._future.set_result(data)
+
+
+async def _udp_query(
+    address: tuple[str, int], packet: bytes, timeout: float = 5.0
+) -> bytes:
+    loop = asyncio.get_running_loop()
+    future: asyncio.Future[bytes] = loop.create_future()
+    transport, _ = await loop.create_datagram_endpoint(
+        lambda: _OneShot(future), remote_addr=address
+    )
+    try:
+        transport.sendto(packet)
+        return await asyncio.wait_for(future, timeout)
+    finally:
+        transport.close()
+
+
+async def _tcp_query(
+    address: tuple[str, int], packet: bytes, timeout: float = 5.0
+) -> bytes:
+    reader, writer = await asyncio.open_connection(*address)
+    try:
+        writer.write(frame_tcp(packet))
+        await writer.drain()
+        header = await asyncio.wait_for(reader.readexactly(2), timeout)
+        (length,) = struct.unpack("!H", header)
+        return await asyncio.wait_for(reader.readexactly(length), timeout)
+    finally:
+        writer.close()
+
+
+async def _scrape(address: tuple[str, int]) -> str:
+    reader, writer = await asyncio.open_connection(*address)
+    try:
+        writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        return raw.decode("utf-8")
+    finally:
+        writer.close()
+
+
+def _simulated_resolutions(names, rrtype=RRType.A):
+    """Resolve ``names`` on a CachingServer built exactly like the front
+    end's (same scale/seed/scheme), on virtual time."""
+    scenario = make_scenario(Scale.TINY, seed=_SPEC.seed)
+    engine = SimulationEngine()
+    server = CachingServer(
+        root_hints=scenario.built.tree.root_hints(),
+        network=Network(scenario.built.tree),
+        clock=engine,
+        config=parse_scheme(_SPEC.scheme),
+    )
+    return {
+        name: server.handle_stub_query(name, rrtype, engine.now)
+        for name in names
+    }
+
+
+class TestUdpPath:
+    def test_live_answers_match_the_simulated_core(self):
+        """Acceptance: the wire ANSWER section carries the same rrsets
+        (owner, rdata, published TTL) the simulated resolver returns."""
+
+        async def run():
+            async with _front_end() as front_end:
+                names = front_end.sample_names(3)
+                assert len(names) == 3
+                replies = {}
+                for index, name in enumerate(names):
+                    packet = encode_query(
+                        Question(name, RRType.A), 0x4000 + index
+                    )
+                    replies[name] = await _udp_query(
+                        front_end.udp_address, packet
+                    )
+                return names, replies, front_end.metrics.udp_queries
+
+        names, replies, udp_queries = asyncio.run(run())
+        assert udp_queries == 3
+        expected = _simulated_resolutions(names)
+        for index, name in enumerate(names):
+            decoded = decode_message(replies[name])
+            message = decoded.message
+            assert message.message_id == 0x4000 + index
+            assert message.rcode is Rcode.NOERROR
+            assert not decoded.truncated
+            (served,) = message.answer
+            simulated = expected[name].answer
+            assert simulated is not None
+            assert served.name == simulated.name
+            assert served.rrtype is RRType.A
+            assert {str(r.data) for r in served.records} == {
+                str(r.data) for r in simulated.records
+            }
+            assert served.ttl == float(int(simulated.ttl))
+
+    def test_unknown_name_is_nxdomain(self):
+        async def run():
+            async with _front_end() as front_end:
+                packet = encode_query(
+                    Question(Name.from_text("no.such.host.zz"), RRType.A), 77
+                )
+                return await _udp_query(front_end.udp_address, packet)
+
+        decoded = decode_message(asyncio.run(run()))
+        assert decoded.message.rcode is Rcode.NXDOMAIN
+        assert decoded.message.answer == ()
+        assert decoded.message.message_id == 77
+
+    def test_mixed_case_qname_is_echoed_verbatim(self):
+        """0x20-style case mixing must survive into the response's
+        question section (clients compare the echoed octets)."""
+
+        async def run():
+            async with _front_end() as front_end:
+                name = front_end.sample_names(1)[0]
+                raw = tuple(
+                    label.upper() if i % 2 == 0 else label
+                    for i, label in enumerate(name.labels)
+                )
+                packet = encode_query(
+                    Question(name, RRType.A), 5, raw_labels=raw
+                )
+                return raw, await _udp_query(front_end.udp_address, packet)
+
+        raw, reply = asyncio.run(run())
+        wire_qname = b"".join(
+            bytes([len(label)]) + label.encode() for label in raw
+        )
+        assert wire_qname in reply
+        assert decode_message(reply).message.rcode is Rcode.NOERROR
+
+    def test_garbage_gets_formerr(self):
+        async def run():
+            async with _front_end() as front_end:
+                # A valid header claiming one question, then nothing.
+                packet = struct.pack("!HHHHHH", 0xABCD, 0, 1, 0, 0, 0)
+                reply = await _udp_query(front_end.udp_address, packet)
+                return reply, front_end.metrics.formerr
+
+        reply, formerr = asyncio.run(run())
+        assert formerr == 1
+        message_id, flags = struct.unpack_from("!HH", reply)
+        assert message_id == 0xABCD
+        assert flags & FLAG_QR
+        assert flags & 0xF == int(Rcode.FORMERR)
+
+
+class TestTcpPath:
+    def test_tcp_carries_the_same_answer_as_udp(self):
+        async def run():
+            async with _front_end() as front_end:
+                name = front_end.sample_names(1)[0]
+                packet = encode_query(Question(name, RRType.A), 9)
+                udp_reply = await _udp_query(front_end.udp_address, packet)
+                tcp_reply = await _tcp_query(front_end.udp_address, packet)
+                return udp_reply, tcp_reply, front_end.metrics.tcp_queries
+
+        udp_reply, tcp_reply, tcp_queries = asyncio.run(run())
+        assert tcp_queries == 1
+        udp_message = decode_message(udp_reply).message
+        tcp_message = decode_message(tcp_reply).message
+        assert tcp_message.answer == udp_message.answer
+        assert tcp_message.rcode is Rcode.NOERROR
+
+    def test_truncated_udp_falls_back_to_tcp(self):
+        """Force a tiny UDP ceiling: the UDP reply degrades to TC +
+        question, and the TCP retry carries the full answer."""
+
+        async def run():
+            import dataclasses
+
+            # The TINY zone's answers are all sub-64-octet, below the
+            # spec's validated floor — push the ceiling under them on a
+            # private spec copy to exercise the fallback end to end.
+            spec = dataclasses.replace(_SPEC)
+            object.__setattr__(spec, "udp_payload_max", 40)
+            async with _front_end(spec) as front_end:
+                name = front_end.sample_names(1)[0]
+                packet = encode_query(Question(name, RRType.A), 31)
+                udp_reply = await _udp_query(front_end.udp_address, packet)
+                tcp_reply = await _tcp_query(front_end.udp_address, packet)
+                return udp_reply, tcp_reply, front_end.metrics.truncated
+
+        udp_reply, tcp_reply, truncated = asyncio.run(run())
+        assert truncated == 1
+        udp_decoded = decode_message(udp_reply)
+        assert udp_decoded.truncated
+        assert udp_decoded.message.answer == ()
+        tcp_decoded = decode_message(tcp_reply)
+        assert not tcp_decoded.truncated
+        assert tcp_decoded.message.answer
+        assert tcp_decoded.message.question == udp_decoded.message.question
+
+
+class TestFrontEndSemantics:
+    def _query_for(self, front_end: DnsFrontEnd):
+        from repro.serve.wire import decode_query
+
+        name = front_end.sample_names(1)[0]
+        return decode_query(encode_query(Question(name, RRType.A), 1))
+
+    def test_singleflight_collapses_concurrent_identical_questions(self):
+        async def run():
+            async with _front_end() as front_end:
+                query = self._query_for(front_end)
+                gate = threading.Event()
+                # Stall the (single) resolver thread so the leader's
+                # resolution stays in flight while followers arrive.
+                front_end._executor.submit(gate.wait)
+                leader = asyncio.ensure_future(front_end._resolve(query))
+                await asyncio.sleep(0.05)
+                follower = asyncio.ensure_future(front_end._resolve(query))
+                await asyncio.sleep(0.05)
+                hits = front_end.metrics.singleflight_hits
+                gate.set()
+                first, second = await asyncio.gather(leader, follower)
+                return hits, first, second, front_end.metrics.stale_served
+
+        hits, first, second, stale = asyncio.run(run())
+        assert hits == 1
+        assert stale == 0  # no memo yet: the follower awaited the flight
+        assert first.answer == second.answer
+        assert first.rcode is Rcode.NOERROR and first.answer
+
+    def test_follower_is_served_stale_during_refetch(self):
+        async def run():
+            async with _front_end() as front_end:
+                query = self._query_for(front_end)
+                # Populate the serve-stale memo with a completed answer.
+                warm = await front_end._resolve(query)
+                gate = threading.Event()
+                front_end._executor.submit(gate.wait)
+                leader = asyncio.ensure_future(front_end._resolve(query))
+                await asyncio.sleep(0.05)
+                # The follower must answer *now*, while the refetch is
+                # still blocked behind the gate.
+                follower = await asyncio.wait_for(
+                    front_end._resolve(query), timeout=1.0
+                )
+                stale = front_end.metrics.stale_served
+                gate.set()
+                await leader
+                return warm, follower, stale
+
+        warm, follower, stale = asyncio.run(run())
+        assert stale == 1
+        assert follower.answer == warm.answer
+
+    def test_metrics_endpoint_exposes_both_layers(self):
+        async def run():
+            async with _front_end() as front_end:
+                name = front_end.sample_names(1)[0]
+                packet = encode_query(Question(name, RRType.A), 2)
+                await _udp_query(front_end.udp_address, packet)
+                if front_end.metrics_address is None:
+                    raise AssertionError("metrics listener did not bind")
+                return await _scrape(front_end.metrics_address)
+
+        body = asyncio.run(run())
+        assert body.startswith("HTTP/1.0 200 OK")
+        assert 'repro_serve_queries_total{transport="udp"} 1' in body
+        assert 'repro_serve_queries_total{transport="tcp"} 0' in body
+        # The obs PrometheusSink block rides along in the same scrape:
+        # the resolution emitted core events through the bus.
+        assert "repro_events_total" in body
+
+    def test_selftest_driver_round_trip(self):
+        """The closed-loop driver reports every query answered against a
+        healthy front end."""
+        from repro.serve.driver import run_load
+
+        async def run():
+            async with _front_end() as front_end:
+                names = front_end.sample_names(4)
+                return await run_load(
+                    *front_end.udp_address,
+                    names,
+                    queries=24,
+                    clients=3,
+                )
+
+        report = asyncio.run(run())
+        assert report.queries == 24
+        assert report.answered == 24
+        assert report.failed == 0
+        assert report.qps > 0
+        assert report.p99_ms >= report.p50_ms >= 0
+        parsed = __import__("json").loads(report.to_json())
+        assert parsed["answered"] == 24

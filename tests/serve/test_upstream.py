@@ -1,0 +1,193 @@
+"""UdpUpstream: the Upstream protocol over a real socket.
+
+A fake authoritative server (a plain UDP socket on a thread) answers,
+stays silent, or talks garbage; the upstream must map each case onto
+the same :class:`QueryResult` shapes the simulated Network returns —
+that contract is what makes the two interchangeable under the core.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.transport import Upstream
+from repro.dns.message import Message, Question
+from repro.dns.name import Name
+from repro.dns.records import ResourceRecord, RRset
+from repro.dns.rrtypes import RRType
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.serve.upstream import UdpUpstream
+from repro.serve.wire import decode_query, encode_response
+from repro.simulation.network import Network, QueryResult
+
+
+class _FakeAuthoritative:
+    """One-socket UDP responder; ``handler(packet) -> reply | None``."""
+
+    def __init__(self, handler) -> None:
+        self._handler = handler
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.settimeout(5.0)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            while True:
+                data, addr = self._sock.recvfrom(4096)
+                reply = self._handler(data)
+                if reply is not None:
+                    self._sock.sendto(reply, addr)
+        except OSError:
+            return  # socket closed by __exit__
+
+    def __enter__(self) -> "_FakeAuthoritative":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sock.close()
+        self._thread.join(timeout=5.0)
+
+
+def _answer_a(packet: bytes) -> bytes:
+    decoded = decode_query(packet)
+    name = decoded.question.name
+    rrset = RRset.from_records(
+        [ResourceRecord(name, RRType.A, 120, "10.9.8.7")]
+    )
+    message = Message(
+        question=decoded.question,
+        authoritative=True,
+        answer=(rrset,),
+        message_id=decoded.message_id,
+    )
+    return encode_response(message)
+
+
+class TestProtocolConformance:
+    def test_both_transports_satisfy_upstream(self):
+        assert isinstance(UdpUpstream(), Upstream)
+        built = make_scenario(Scale.TINY, seed=7).built
+        assert isinstance(Network(built.tree), Upstream)
+
+    def test_query_timeout_is_the_configured_timeout(self):
+        assert UdpUpstream(timeout=0.25).query_timeout == 0.25
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            UdpUpstream(timeout=0.0)
+
+
+class TestQuery:
+    def test_answered_query(self):
+        upstream = UdpUpstream(timeout=5.0)
+        question = Question(Name.from_text("www.ucla.edu"), RRType.A)
+        with _FakeAuthoritative(_answer_a) as authoritative:
+            result = upstream.query(
+                f"127.0.0.1:{authoritative.port}", question, 0.0
+            )
+        assert isinstance(result, QueryResult)
+        assert not result.timed_out
+        assert result.message is not None
+        assert result.message.question == question
+        (answer,) = result.message.answer
+        assert [str(r.data) for r in answer.records] == ["10.9.8.7"]
+        assert result.latency >= 0.0
+        assert upstream.queries_sent == 1
+        assert upstream.queries_lost == 0
+
+    def test_silent_server_times_out(self):
+        upstream = UdpUpstream(timeout=0.2)
+        question = Question(Name.from_text("a.b"), RRType.A)
+        with _FakeAuthoritative(lambda _packet: None) as authoritative:
+            result = upstream.query(
+                f"127.0.0.1:{authoritative.port}", question, 0.0
+            )
+        assert result.message is None
+        assert result.timed_out
+        assert result.latency == upstream.query_timeout
+        assert upstream.queries_lost == 1
+
+    def test_garbage_reply_is_a_fast_negative(self):
+        """Undecodable answers behave like a lame server: unanswered,
+        not a timeout."""
+        upstream = UdpUpstream(timeout=5.0)
+        question = Question(Name.from_text("a.b"), RRType.A)
+        with _FakeAuthoritative(
+            lambda _packet: b"\xff\xff not dns"
+        ) as authoritative:
+            result = upstream.query(
+                f"127.0.0.1:{authoritative.port}", question, 0.0
+            )
+        assert result.message is None
+        assert not result.timed_out
+        assert upstream.queries_lost == 1
+
+    def test_mismatched_id_is_ignored_until_the_real_answer(self):
+        """Off-id datagrams (spoofing noise) are skipped, not returned."""
+
+        class _TwoPacketAuthoritative(_FakeAuthoritative):
+            def _run(self) -> None:
+                try:
+                    # First a response with a flipped id, then the real
+                    # one — the upstream must wait for the match.
+                    data, addr = self._sock.recvfrom(4096)
+                    good = _answer_a(data)
+                    bad = bytearray(good)
+                    bad[0] ^= 0xFF
+                    self._sock.sendto(bytes(bad), addr)
+                    self._sock.sendto(good, addr)
+                except OSError:
+                    return
+
+        upstream = UdpUpstream(timeout=5.0)
+        question = Question(Name.from_text("www.ucla.edu"), RRType.A)
+        with _TwoPacketAuthoritative(lambda _packet: None) as authoritative:
+            result = upstream.query(
+                f"127.0.0.1:{authoritative.port}", question, 0.0
+            )
+        assert result.message is not None
+        assert result.message.answer
+
+    def test_bare_ip_defaults_to_port_53_and_never_raises(self):
+        """A bare IP parses (port 53); whatever sits there — usually
+        nothing — the contract is a QueryResult, not an exception."""
+        upstream = UdpUpstream(timeout=0.1)
+        question = Question(Name.from_text("a.b"), RRType.A)
+        result = upstream.query("127.0.0.1", question, 0.0)
+        assert isinstance(result, QueryResult)
+        assert upstream.queries_sent == 1
+
+
+class TestInterchangeability:
+    def test_same_result_shape_as_the_simulated_network(self):
+        """Both transports answer the same question with QueryResult
+        values the core treats identically (message or timeout)."""
+        built = make_scenario(Scale.TINY, seed=7).built
+        network = Network(built.tree)
+        assert network.query_timeout > 0
+
+        def run_core_with(upstream: Upstream):
+            from repro.core.caching_server import CachingServer
+            from repro.simulation.engine import SimulationEngine
+
+            engine = SimulationEngine()
+            server = CachingServer(
+                root_hints=built.tree.root_hints(),
+                network=upstream,
+                clock=engine,
+            )
+            names = [
+                hosts[0]
+                for _zone, hosts in sorted(built.catalog.items())
+                if hosts
+            ]
+            return server.handle_stub_query(names[0], RRType.A, engine.now)
+
+        resolution = run_core_with(network)
+        assert resolution.answer is not None

@@ -1,0 +1,433 @@
+"""Wire codec: golden vectors against the SNIPPETS layout + round trips.
+
+Two kinds of evidence that the codec speaks RFC 1035 and not a private
+dialect:
+
+* Golden vectors built with the exact ``struct`` layout the raw-socket
+  resolvers in SNIPPETS.md use (``!HHHHHH`` header, length-prefixed
+  labels, ``!HH`` question tail, ``!HHIH`` RR fixed part, ``0xC0``
+  compression pointers) — encoded queries must match those bytes
+  octet-for-octet, and encoded responses must parse under a
+  transliteration of that snippet's reader.
+* Hypothesis round trips ``Message -> encode_response -> decode_message``
+  over every rdata shape the simulator emits, including compressed
+  names, mixed-case query echo and the TC/TCP fallback path.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import Message, Question, Rcode
+from repro.dns.name import Name
+from repro.dns.records import ResourceRecord, RRset
+from repro.dns.rrtypes import RRClass, RRType
+from repro.serve.wire import (
+    FLAG_AA,
+    FLAG_QR,
+    FLAG_RA,
+    FLAG_RD,
+    FLAG_TC,
+    HEADER,
+    UDP_PAYLOAD_MAX,
+    WireFormatError,
+    decode_message,
+    decode_query,
+    encode_query,
+    encode_response,
+    frame_tcp,
+)
+
+
+def _snippet_qname(domain: str) -> bytes:
+    """The SNIPPETS.md query-name encoding, verbatim technique."""
+    return b"".join(
+        bytes([len(part)]) + part.encode() for part in domain.split(".")
+    ) + b"\x00"
+
+
+def _snippet_read_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Name reader transliterated from the SNIPPETS raw-socket resolver:
+    length-prefixed labels terminated by 0x00, 0xC0 two-octet pointers."""
+    labels = []
+    jumped_end = None
+    while True:
+        length = data[offset]
+        if length & 0xC0 == 0xC0:
+            pointer = struct.unpack("!H", data[offset:offset + 2])[0] & 0x3FFF
+            if jumped_end is None:
+                jumped_end = offset + 2
+            offset = pointer
+            continue
+        offset += 1
+        if length == 0:
+            return ".".join(labels), (
+                jumped_end if jumped_end is not None else offset
+            )
+        labels.append(data[offset:offset + length].decode())
+        offset += length
+
+
+def _snippet_parse_answers(data: bytes) -> list[tuple[str, int, int, str]]:
+    """Answer-section parser in the SNIPPETS struct layout.
+
+    Returns ``(owner, ttl, rtype, rdata-as-text)`` rows; A records are
+    rendered dotted-quad exactly as the snippet does.
+    """
+    _tid, _flags, qdcount, ancount, _ns, _ar = struct.unpack(
+        "!HHHHHH", data[:12]
+    )
+    offset = 12
+    for _ in range(qdcount):
+        _, offset = _snippet_read_name(data, offset)
+        offset += 4  # qtype + qclass
+    rows = []
+    for _ in range(ancount):
+        owner, offset = _snippet_read_name(data, offset)
+        rtype, _rclass, ttl, rdlength = struct.unpack(
+            "!HHIH", data[offset:offset + 10]
+        )
+        offset += 10
+        if rtype == 1 and rdlength == 4:
+            rdata = ".".join(str(b) for b in data[offset:offset + 4])
+        else:
+            rdata = data[offset:offset + rdlength].hex()
+        rows.append((owner, ttl, rtype, rdata))
+        offset += rdlength
+    return rows
+
+
+class TestGoldenVectors:
+    def test_query_matches_snippet_layout(self):
+        """encode_query output is byte-identical to the SNIPPETS builder:
+        ``pack("!HHHHHH", tid, 0x0100, 1, 0, 0, 0)`` + qname + ``!HH``."""
+        question = Question(Name.from_text("www.example.com"), RRType.A)
+        expected = (
+            struct.pack("!HHHHHH", 0x1234, 0x0100, 1, 0, 0, 0)
+            + _snippet_qname("www.example.com")
+            + struct.pack("!HH", 1, 1)
+        )
+        assert encode_query(question, 0x1234) == expected
+
+    def test_query_without_rd_clears_the_flag(self):
+        question = Question(Name.from_text("example.com"), RRType.NS)
+        packet = encode_query(question, 7, recursion_desired=False)
+        assert packet[:12] == struct.pack("!HHHHHH", 7, 0, 1, 0, 0, 0)
+        assert packet[12:] == _snippet_qname("example.com") + struct.pack(
+            "!HH", 2, 1
+        )
+
+    def test_response_parses_under_the_snippet_reader(self):
+        """A compressed two-record answer decodes correctly with the
+        SNIPPETS parser (owner via 0xC0 pointer, A rdata dotted-quad)."""
+        name = Name.from_text("www.ucla.edu")
+        rrset = RRset.from_records([
+            ResourceRecord(name, RRType.A, 300, "131.179.0.1"),
+            ResourceRecord(name, RRType.A, 300, "131.179.0.2"),
+        ])
+        message = Message(
+            question=Question(name, RRType.A),
+            authoritative=True,
+            answer=(rrset,),
+            message_id=0xBEEF,
+        )
+        packet = encode_response(message)
+        rows = _snippet_parse_answers(packet)
+        assert rows == [
+            ("www.ucla.edu", 300, 1, "131.179.0.1"),
+            ("www.ucla.edu", 300, 1, "131.179.0.2"),
+        ]
+        # The owner name repeats, so the second record must use a
+        # compression pointer back into the question.
+        assert any(
+            packet[i] & 0xC0 == 0xC0 for i in range(12, len(packet))
+        )
+        assert len(packet) < 12 + 2 * (len("www.ucla.edu") + 2 + 4 + 10 + 4)
+
+    def test_hand_built_response_decodes(self):
+        """A packet assembled with raw struct calls (the snippet's
+        authoring side) decodes into the expected Message."""
+        qname = _snippet_qname("ns1.tld7.example")
+        packet = (
+            struct.pack(
+                "!HHHHHH", 42, FLAG_QR | FLAG_AA | FLAG_RA, 1, 1, 0, 0
+            )
+            + qname
+            + struct.pack("!HH", 1, 1)
+            + struct.pack("!H", 0xC000 | 12)  # owner = pointer to qname
+            + struct.pack("!HHIH", 1, 1, 3600, 4)
+            + bytes([10, 0, 0, 7])
+        )
+        decoded = decode_message(packet)
+        message = decoded.message
+        assert message.message_id == 42
+        assert message.authoritative
+        assert message.rcode is Rcode.NOERROR
+        assert decoded.recursion_available
+        assert not decoded.truncated
+        assert message.question == Question(
+            Name.from_text("ns1.tld7.example"), RRType.A
+        )
+        (answer,) = message.answer
+        assert answer.name == Name.from_text("ns1.tld7.example")
+        assert [record.data for record in answer.records] == ["10.0.0.7"]
+        assert answer.records[0].ttl == 3600.0
+
+
+class TestQueryDecoding:
+    def test_round_trip_preserves_raw_case(self):
+        """0x20 case mixing survives: canonical Name is lowercased but
+        raw_labels keep the client's octets."""
+        question = Question(Name.from_text("www.example.com"), RRType.A)
+        packet = encode_query(
+            question, 99, raw_labels=("WwW", "ExAmPlE", "CoM")
+        )
+        decoded = decode_query(packet)
+        assert decoded.message_id == 99
+        assert decoded.question == question
+        assert decoded.raw_labels == ("WwW", "ExAmPlE", "CoM")
+        assert decoded.recursion_desired
+        assert decoded.opcode == 0
+
+    def test_response_bit_rejected(self):
+        packet = bytearray(
+            encode_query(Question(Name.from_text("a.b"), RRType.A), 1)
+        )
+        packet[2] |= FLAG_QR >> 8
+        with pytest.raises(WireFormatError, match="QR"):
+            decode_query(bytes(packet))
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(WireFormatError, match="shorter"):
+            decode_query(b"\x00\x01\x00")
+
+    def test_multi_question_rejected(self):
+        packet = bytearray(
+            encode_query(Question(Name.from_text("a.b"), RRType.A), 1)
+        )
+        packet[5] = 2  # qdcount
+        with pytest.raises(WireFormatError, match="one question"):
+            decode_query(bytes(packet))
+
+    def test_forward_pointer_rejected(self):
+        packet = (
+            struct.pack("!HHHHHH", 1, 0, 1, 0, 0, 0)
+            + struct.pack("!H", 0xC000 | 400)
+            + struct.pack("!HH", 1, 1)
+        )
+        with pytest.raises(WireFormatError, match="pointer"):
+            decode_query(packet)
+
+    def test_label_running_off_the_end_rejected(self):
+        packet = struct.pack("!HHHHHH", 1, 0, 1, 0, 0, 0) + b"\x3fabc"
+        with pytest.raises(WireFormatError):
+            decode_query(packet)
+
+
+class TestTruncationAndTcp:
+    def _big_message(self) -> Message:
+        name = Name.from_text("big.example.com")
+        records = [
+            ResourceRecord(name, RRType.TXT, 60, f"filler-{i:03d}-" + "x" * 40)
+            for i in range(20)
+        ]
+        return Message(
+            question=Question(name, RRType.TXT),
+            answer=(RRset.from_records(records),),
+            message_id=5,
+        )
+
+    def test_oversize_udp_response_truncates_to_question(self):
+        message = self._big_message()
+        full = encode_response(message)
+        assert len(full) > UDP_PAYLOAD_MAX
+        packet = encode_response(message, max_size=UDP_PAYLOAD_MAX)
+        assert len(packet) <= UDP_PAYLOAD_MAX
+        decoded = decode_message(packet)
+        assert decoded.truncated
+        assert decoded.message.answer == ()
+        assert decoded.message.question == message.question
+        assert packet[2] & (FLAG_TC >> 8)
+
+    def test_tcp_path_carries_the_full_answer(self):
+        message = self._big_message()
+        framed = frame_tcp(encode_response(message))
+        (length,) = struct.unpack("!H", framed[:2])
+        assert length == len(framed) - 2
+        decoded = decode_message(framed[2:])
+        assert not decoded.truncated
+        assert decoded.message == message
+
+    def test_fits_exactly_is_not_truncated(self):
+        name = Name.from_text("a.b")
+        message = Message(
+            question=Question(name, RRType.A),
+            answer=(
+                RRset.from_records([ResourceRecord(name, RRType.A, 1, "1.2.3.4")]),
+            ),
+            message_id=1,
+        )
+        packet = encode_response(message, max_size=UDP_PAYLOAD_MAX)
+        assert not decode_message(packet).truncated
+
+    def test_overlong_tcp_message_rejected(self):
+        with pytest.raises(WireFormatError, match="TCP framing"):
+            frame_tcp(b"\x00" * 0x10000)
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trips
+# ---------------------------------------------------------------------------
+
+_LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12
+)
+_NAMES = st.lists(_LABEL, min_size=1, max_size=3).map(
+    lambda labels: Name.from_text(".".join(labels) + ".")
+)
+_TTLS = st.integers(min_value=0, max_value=2**31)
+_MESSAGE_IDS = st.integers(min_value=0, max_value=0xFFFF)
+
+_A_DATA = st.tuples(*(st.integers(0, 255),) * 4).map(
+    lambda quad: ".".join(str(octet) for octet in quad)
+)
+_AAAA_DATA = st.integers(min_value=0, max_value=2**128 - 1).map(
+    lambda value: str(ipaddress.IPv6Address(value))
+)
+_TXT_DATA = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789 -._", max_size=40
+)
+
+
+@st.composite
+def _soa_data(draw) -> str:
+    mname = draw(_NAMES)
+    rname = draw(_NAMES)
+    serial = draw(st.integers(0, 2**32 - 1))
+    minimum = draw(st.integers(0, 2**32 - 1))
+    return f"{mname} {rname} {serial} {minimum}"
+
+
+@st.composite
+def _rrset(draw, name: Name, rrtype: RRType) -> RRset:
+    ttl = draw(_TTLS)
+    if rrtype is RRType.A:
+        data = draw(st.lists(_A_DATA, min_size=1, max_size=3, unique=True))
+    elif rrtype is RRType.AAAA:
+        data = draw(st.lists(_AAAA_DATA, min_size=1, max_size=2, unique=True))
+    elif rrtype in (RRType.NS, RRType.CNAME):
+        data = draw(st.lists(_NAMES, min_size=1, max_size=3, unique=True))
+    elif rrtype is RRType.SOA:
+        data = [draw(_soa_data())]
+    else:  # TXT
+        data = draw(st.lists(_TXT_DATA, min_size=1, max_size=2, unique=True))
+    return RRset.from_records(
+        [ResourceRecord(name, rrtype, ttl, value) for value in data]
+    )
+
+
+_SECTION_TYPES = st.sampled_from(
+    (RRType.A, RRType.AAAA, RRType.NS, RRType.CNAME, RRType.SOA, RRType.TXT)
+)
+
+
+@st.composite
+def _section(draw, max_rrsets: int = 2) -> tuple[RRset, ...]:
+    # Adjacent records sharing an (owner, type) are re-bundled into one
+    # RRset on decode, so each section draws distinct keys.
+    keys = draw(
+        st.lists(
+            st.tuples(_NAMES, _SECTION_TYPES),
+            max_size=max_rrsets,
+            unique=True,
+        )
+    )
+    return tuple(draw(_rrset(name, rrtype)) for name, rrtype in keys)
+
+
+@st.composite
+def _message(draw) -> Message:
+    return Message(
+        question=Question(draw(_NAMES), draw(_SECTION_TYPES)),
+        rcode=draw(st.sampled_from(Rcode)),
+        authoritative=draw(st.booleans()),
+        answer=draw(_section()),
+        authority=draw(_section()),
+        additional=draw(_section(max_rrsets=1)),
+        message_id=draw(_MESSAGE_IDS),
+    )
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(message=_message())
+    def test_message_round_trips(self, message: Message):
+        """Message -> encode_response -> decode_message is the identity
+        (modulo float TTLs, which the strategies keep integral)."""
+        decoded = decode_message(encode_response(message))
+        assert decoded.message == message
+        assert not decoded.truncated
+
+    @settings(max_examples=150, deadline=None)
+    @given(message=_message(), mid=_MESSAGE_IDS, rd=st.booleans())
+    def test_server_side_overrides_round_trip(self, message, mid, rd):
+        """The serving path's id rewrite and RD echo land in the header."""
+        packet = encode_response(
+            message, message_id=mid, recursion_desired=rd
+        )
+        decoded = decode_message(packet)
+        assert decoded.message.message_id == mid
+        assert bool(packet[2] & (FLAG_RD >> 8)) == rd
+        assert decoded.recursion_available
+        other = Message(
+            question=message.question,
+            rcode=message.rcode,
+            authoritative=message.authoritative,
+            answer=message.answer,
+            authority=message.authority,
+            additional=message.additional,
+            message_id=mid,
+        )
+        assert decoded.message == other
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        name=_NAMES,
+        rrtype=_SECTION_TYPES,
+        mid=_MESSAGE_IDS,
+        rd=st.booleans(),
+    )
+    def test_query_round_trips(self, name, rrtype, mid, rd):
+        question = Question(name, rrtype)
+        decoded = decode_query(
+            encode_query(question, mid, recursion_desired=rd)
+        )
+        assert decoded.question == question
+        assert decoded.message_id == mid
+        assert decoded.recursion_desired == rd
+        assert decoded.raw_labels == name.labels
+
+    @settings(max_examples=100, deadline=None)
+    @given(message=_message())
+    def test_truncation_never_exceeds_the_ceiling(self, message: Message):
+        packet = encode_response(message, max_size=UDP_PAYLOAD_MAX)
+        assert len(packet) <= UDP_PAYLOAD_MAX or len(
+            encode_response(message)
+        ) <= UDP_PAYLOAD_MAX
+        decoded = decode_message(packet)
+        assert decoded.message.question == message.question
+        if decoded.truncated:
+            assert decoded.message.answer == ()
+
+    @settings(max_examples=100, deadline=None)
+    @given(message=_message())
+    def test_compression_round_trips_class(self, message: Message):
+        """Every decoded record keeps class IN (the only class encoded)."""
+        decoded = decode_message(encode_response(message))
+        for rrset in decoded.message.all_rrsets():
+            for record in rrset:
+                assert record.rrclass is RRClass.IN
