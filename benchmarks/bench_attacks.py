@@ -1,0 +1,120 @@
+"""Adversary-layer overhead bench (writes BENCH_attacks.json).
+
+Replays the same (trace, scheme) four ways — adversary layer absent, an
+*inert* AdversarySpec attached (nothing mounted), a full NXNS campaign
+undefended, and the same campaign behind a fetch budget — and records
+each leg's wall clock against the adversary-off baseline, plus the two
+determinism guarantees the layer makes: the inert leg's summary must
+equal the baseline's exactly (adversary-off byte-identity), and two
+attacked runs must produce byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import ResilienceConfig
+from repro.experiments.harness import run_replay
+from repro.obs import ObservationSpec
+from repro.simulation.adversary import AdversarySpec, NxnsAttackSpec
+
+HOUR = 3600.0
+
+
+def _timed_replay(scenario, config, adversary=None, observe=None):
+    started = time.perf_counter()
+    result = run_replay(
+        scenario.built,
+        scenario.trace("TRC1"),
+        config,
+        adversary=adversary,
+        observe=observe,
+    )
+    return result, time.perf_counter() - started
+
+
+def bench_adversary_overhead(benchmark, scenario, record_bench_json):
+    config = ResilienceConfig.refresh()
+    defended = config.with_defenses(fetch_budget=8)
+    nxns = AdversarySpec(
+        nxns=NxnsAttackSpec(
+            start=scenario.attack_start,
+            duration=3 * HOUR,
+            queries_per_minute=10.0,
+            fan_out=10,
+            delegations=20,
+        )
+    )
+
+    def sweep():
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp_path = Path(tmp)
+            baseline, baseline_seconds = _timed_replay(scenario, config)
+            inert, inert_seconds = _timed_replay(
+                scenario, config, adversary=AdversarySpec()
+            )
+
+            def observed(tag):
+                return ObservationSpec(
+                    events_path=str(tmp_path / f"events-{tag}.jsonl")
+                )
+
+            attacked, attacked_seconds = _timed_replay(
+                scenario, config, adversary=nxns, observe=observed("a")
+            )
+            _timed_replay(
+                scenario, config, adversary=nxns, observe=observed("b")
+            )
+            guarded, guarded_seconds = _timed_replay(
+                scenario, defended, adversary=nxns
+            )
+            identical = (
+                (tmp_path / "events-a.jsonl").read_bytes()
+                == (tmp_path / "events-b.jsonl").read_bytes()
+            )
+            return (baseline, baseline_seconds, inert, inert_seconds,
+                    attacked, attacked_seconds, guarded, guarded_seconds,
+                    identical)
+
+    (baseline, baseline_seconds, inert, inert_seconds, attacked,
+     attacked_seconds, guarded, guarded_seconds,
+     identical) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    payload = {
+        "scale": scenario.scale.value,
+        "stub_queries": baseline.metrics.sr_queries,
+        "attack_queries": attacked.metrics.attack_stub_queries,
+        "baseline_seconds": round(baseline_seconds, 3),
+        "inert_spec_seconds": round(inert_seconds, 3),
+        "attacked_seconds": round(attacked_seconds, 3),
+        "defended_seconds": round(guarded_seconds, 3),
+        "inert_spec_overhead": round(inert_seconds / baseline_seconds - 1.0, 3),
+        "attacked_overhead": round(
+            attacked_seconds / baseline_seconds - 1.0, 3
+        ),
+        "amplification_factor": round(
+            attacked.metrics.amplification_factor, 3
+        ),
+        "defended_amplification_factor": round(
+            guarded.metrics.amplification_factor, 3
+        ),
+        "defended_budget_exhaustions": guarded.metrics.budget_exhaustions,
+        "identical_event_logs": identical,
+        "inert_summary_identical": inert.to_summary() == baseline.to_summary(),
+    }
+    record_bench_json("BENCH_attacks", payload)
+    print(
+        f"\nbaseline {baseline_seconds:.2f} s, attacked "
+        f"{attacked_seconds:.2f} s (+{payload['attacked_overhead']:.1%}), "
+        f"amplification {payload['amplification_factor']:.1f}x -> "
+        f"{payload['defended_amplification_factor']:.1f}x defended, "
+        f"deterministic: {identical}"
+    )
+    assert identical
+    assert payload["inert_summary_identical"]
+    assert (
+        payload["defended_amplification_factor"]
+        <= payload["amplification_factor"]
+    )

@@ -21,6 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
+from repro.core.budget import FetchBudget
 from repro.core.clock import Clock, VirtualClock
 from repro.core.config import ResilienceConfig, RetryPolicy
 from repro.core.schemes import parse_scheme, scheme_syntax
@@ -54,6 +55,12 @@ from repro.obs import (
 )
 from repro.serve import ServeSpec, serve
 from repro.serve.clock import WallClock
+from repro.simulation.adversary import (
+    AdversarySpec,
+    FlashCrowdSpec,
+    NxnsAttackSpec,
+    PoisonAttackSpec,
+)
 from repro.simulation.faults import FaultInjector, FaultSpec
 from repro.validation import (
     DifferentialCache,
@@ -67,6 +74,7 @@ from repro.validation import (
 )
 
 __all__ = [
+    "AdversarySpec",
     "AttackSpec",
     "Clock",
     "CommandDef",
@@ -79,6 +87,8 @@ __all__ = [
     "ExperimentDef",
     "FaultInjector",
     "FaultSpec",
+    "FetchBudget",
+    "FlashCrowdSpec",
     "FleetMemberSummary",
     "FleetSpec",
     "FleetSummary",
@@ -86,9 +96,11 @@ __all__ = [
     "InvariantViolation",
     "JsonlSink",
     "MetricSink",
+    "NxnsAttackSpec",
     "ObservationContext",
     "ObservationSpec",
     "OracleCache",
+    "PoisonAttackSpec",
     "PrometheusSink",
     "ReplayExecutionError",
     "ReplayResult",

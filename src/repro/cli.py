@@ -128,6 +128,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     config = parse_scheme(args.scheme)
     if args.retries > 0:
         config = config.with_retries(RetryPolicy(max_tries=args.retries))
+    if args.fetch_budget < 0 or args.nxns_cap < 0:
+        raise ValueError("--fetch-budget and --nxns-cap must be >= 0")
+    if args.fetch_budget > 0 or args.nxns_cap > 0:
+        config = config.with_defenses(
+            fetch_budget=args.fetch_budget if args.fetch_budget > 0 else None,
+            nxns_cap=args.nxns_cap if args.nxns_cap > 0 else None,
+        )
     scenario = make_scenario(_resolve_scale(args), seed=args.seed)
     if args.trace_file:
         trace = read_trace(args.trace_file)
@@ -439,6 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="background packet-loss probability")
     replay.add_argument("--retries", type=int, default=0,
                         help="retransmits per server (0 = no retry policy)")
+    replay.add_argument("--fetch-budget", type=int, default=0,
+                        help="per-query upstream fetch budget (0 = unlimited)")
+    replay.add_argument("--nxns-cap", type=int, default=0,
+                        help="per-zone NS sub-resolution cap (0 = off)")
     replay.add_argument("--events", default=None, metavar="PATH",
                         help="stream structured events to a JSONL file")
     replay.add_argument("--metrics", default=None, metavar="PATH",

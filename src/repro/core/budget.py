@@ -1,0 +1,58 @@
+"""FetchBudget: the shared work-limit primitive behind the DoS defenses.
+
+One counter with a ceiling.  The resolver arms one per stub query to
+bound the upstream fan-out a single lookup may trigger (the NXNS
+amplification defense, DESIGN.md §16); ``repro serve`` arms one per
+client address to bound *concurrent* upstream work (there ``release``
+returns capacity when a resolution finishes).  Both uses share this
+class so the semantics — spend-or-refuse, exhaustions counted — are
+defined exactly once.
+"""
+
+from __future__ import annotations
+
+
+class FetchBudget:
+    """A spend/release counter with a hard ceiling.
+
+    ``spend`` consumes one unit and reports whether the caller may
+    proceed; at the ceiling it refuses and counts the exhaustion
+    instead.  ``reset`` (per-query use) returns the whole budget;
+    ``release`` (concurrency use) returns one unit.
+    """
+
+    __slots__ = ("limit", "used", "exhaustions")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"budget limit must be positive, got {limit}")
+        self.limit = limit
+        self.used = 0
+        self.exhaustions = 0
+
+    def spend(self) -> bool:
+        """Consume one unit; False (and count it) when exhausted."""
+        if self.used >= self.limit:
+            self.exhaustions += 1
+            return False
+        self.used += 1
+        return True
+
+    def release(self) -> None:
+        """Return one unit (for concurrent-use callers)."""
+        if self.used > 0:
+            self.used -= 1
+
+    def reset(self) -> None:
+        """Return the whole budget (for per-query callers)."""
+        self.used = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self.used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FetchBudget(limit={self.limit}, used={self.used}, "
+            f"exhaustions={self.exhaustions})"
+        )

@@ -78,6 +78,10 @@ class CacheEntry:
     result is identical every time, so it is built once and cleared
     whenever the entry's expiry changes."""
 
+    tainted: bool = field(default=False, compare=False)
+    """Simulator ground truth: True when this entry came from a forged
+    response (poison-dwell accounting; resolver behaviour never reads it)."""
+
     def is_live(self, now: float) -> bool:
         return now < self.expires_at
 
@@ -124,9 +128,13 @@ class DnsCache:
         self,
         max_effective_ttl: float | None = None,
         max_entries: int | None = None,
+        harden_ranking: bool = False,
+        protect_irrs: bool = False,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive")
+        self.harden_ranking = harden_ranking
+        self.protect_irrs = protect_irrs
         # dict preserves insertion order; `_touch` re-inserts on use so
         # iteration order is LRU-first.  Keys are packed ints (see
         # `cache_key`), not (Name, RRType) tuples: the public API still
@@ -152,6 +160,14 @@ class DnsCache:
         self._live_entries = 0
         self._live_records = 0
         self._live_zones = 0
+        # Poison-dwell accounting (DESIGN.md §16): key -> (taint time,
+        # rank stored at, rank of the live untainted entry it displaced,
+        # if any).  Stays empty — and every guard on it false — unless a
+        # tainted put arrives, so the clean hot path is unchanged.
+        self._tainted: dict[int, tuple[float, Rank, Rank | None]] = {}
+        self.poison_stored = 0
+        self.poison_cured = 0
+        self.poison_dwells: list[float] = []
         self._obs: "EventBus | None" = None
 
     def attach_observer(self, bus: "EventBus") -> None:
@@ -244,6 +260,15 @@ class DnsCache:
                     self._live_zones -= 1
         return True
 
+    def _end_taint(self, key: int, end: float, cured: bool) -> None:
+        """Close a tainted entry's dwell interval (if one is open)."""
+        info = self._tainted.pop(key, None)
+        if info is None:
+            return
+        self.poison_dwells.append(max(0.0, end - info[0]))
+        if cured:
+            self.poison_cured += 1
+
     def _make_room(self, now: float) -> None:
         """Evict until there is space for one more entry."""
         if self.max_entries is None or len(self._entries) < self.max_entries:
@@ -257,18 +282,32 @@ class DnsCache:
         for key in doomed:
             if len(self._entries) < self.max_entries:
                 break
-            del self._entries[key]
+            entry = self._entries.pop(key)
             self._count_out(key)
+            if self._tainted:
+                self._end_taint(key, min(now, entry.expires_at), cured=False)
             self.evictions += 1
             if obs is not None:
                 name, rrtype = split_key(key)
                 obs.emit(EventKind.CACHE_EVICTED, now,
                          name=str(name), rrtype=rrtype.name, live=False)
-        # Pass 2: evict live entries, LRU first.
+        # Pass 2: evict live entries, LRU first.  Under ``protect_irrs``
+        # (budget-aware admission, the flash-crowd defense) live NS sets
+        # are spared while any non-IRR entry remains: a request surge
+        # then churns host records instead of the infrastructure records
+        # the paper's schemes exist to preserve.
         while len(self._entries) >= self.max_entries:
             oldest_key = next(iter(self._entries))
+            if self.protect_irrs and oldest_key & _TYPE_MASK == _NS_CODE:
+                oldest_key = next(
+                    (key for key in self._entries
+                     if key & _TYPE_MASK != _NS_CODE),
+                    oldest_key,
+                )
             del self._entries[oldest_key]
             self._count_out(oldest_key)
+            if self._tainted:
+                self._end_taint(oldest_key, now, cured=False)
             self.evictions += 1
             if obs is not None:
                 name, rrtype = split_key(oldest_key)
@@ -278,7 +317,12 @@ class DnsCache:
     # -- positive entries ---------------------------------------------------
 
     def put(
-        self, rrset: RRset, rank: Rank, now: float, refresh: bool = False
+        self,
+        rrset: RRset,
+        rank: Rank,
+        now: float,
+        refresh: bool = False,
+        taint: bool = False,
     ) -> PutResult:
         """Offer an RRset to the cache under RFC 2181 ranking.
 
@@ -288,6 +332,10 @@ class DnsCache:
             now: virtual time.
             refresh: allow a same-rank same-rdata copy to restart the TTL
                 (the paper's refresh scheme; only IRR puts pass True).
+            taint: simulator ground truth — the data came from a forged
+                response.  Ranking treats it identically (the resolver
+                cannot know); the cache only *accounts* it, for
+                poison-dwell measurement.
         """
         key = rrset._ikey
         existing = self._entries.get(key)
@@ -357,6 +405,14 @@ class DnsCache:
                 published_ttl=rrset.ttl,
             )
             self._entries[key] = entry
+            if taint or self._tainted:
+                if existing is not None:
+                    # A tainted tombstone's dwell ended at its expiry.
+                    self._end_taint(key, existing.expires_at, cured=False)
+                if taint:
+                    entry.tainted = True
+                    self._tainted[key] = (now, rank, None)
+                    self.poison_stored += 1
             if self._counting:
                 self._count_in(key, entry, now)
             return PutResult(
@@ -375,6 +431,14 @@ class DnsCache:
                              existing.published_ttl, existing.expires_at)
 
         same_data = existing.rrset.same_data(rrset)
+        if self.harden_ranking and not same_data and rank == existing.rank:
+            # Hardened ingestion (DESIGN.md §16): different rdata at
+            # merely equal rank cannot displace a live entry, so an
+            # off-path forgery cannot overwrite a cached answer before
+            # it expires.  Applies to every put — the resolver cannot
+            # know which responses are forged.
+            return PutResult(False, False, False, existing.expires_at,
+                             existing.published_ttl, existing.expires_at)
         if same_data and rank == existing.rank and not refresh:
             # Vanilla behaviour: an identical copy does NOT restart the
             # countdown.  This branch *is* the difference the paper's
@@ -395,6 +459,20 @@ class DnsCache:
             published_ttl=rrset.ttl,
         )
         self._entries[key] = entry
+        if taint or self._tainted:
+            # Only a *different-data* overwrite of live untainted data
+            # counts as displacement (a same-data forgery changes what a
+            # client would see not at all).
+            displaced = (
+                None if existing.tainted or same_data else existing.rank
+            )
+            # Overwriting a live tainted entry ends its dwell; an
+            # untainted overwrite is the cure.
+            self._end_taint(key, now, cured=not taint)
+            if taint:
+                entry.tainted = True
+                self._tainted[key] = (now, rank, displaced)
+                self.poison_stored += 1
         if self._counting:
             self._count_in(key, entry, now)
         return PutResult(
@@ -487,6 +565,11 @@ class DnsCache:
         if self._entries.pop(key, None) is None:
             return removed_negative
         self._count_out(key)
+        if self._tainted and self._tainted.pop(key, None) is not None:
+            # Removal has no timestamp, so no dwell sample — but the
+            # poison is gone, which counts as a cure (delegation resets
+            # evict the forged copy along with the stale IRRs).
+            self.poison_cured += 1
         return True
 
     # -- negative entries ------------------------------------------------------
@@ -581,6 +664,24 @@ class DnsCache:
             if key & _TYPE_MASK == _NS_CODE and entry.is_live(now)
         )
 
+    def poison_stats(self, now: float) -> tuple[int, int, list[float]]:
+        """``(stored, cured, dwell samples)`` for poison accounting.
+
+        Dwell samples include a provisional interval for every entry
+        still tainted at ``now`` (clipped at the entry's expiry), so the
+        statistics are complete at any observation point.  Non-mutating.
+        """
+        dwells = list(self.poison_dwells)
+        for key, (taint_time, _rank, _displaced) in self._tainted.items():
+            entry = self._entries.get(key)
+            end = now if entry is None else min(now, entry.expires_at)
+            dwells.append(max(0.0, end - taint_time))
+        return self.poison_stored, self.poison_cured, dwells
+
+    def tainted_entries(self) -> "dict[int, tuple[float, Rank, Rank | None]]":
+        """The open taint registry (validation / diagnostics view)."""
+        return dict(self._tainted)
+
     def total_entry_count(self) -> int:
         """All entries including tombstones and negative entries
         (memory-footprint accounting)."""
@@ -601,8 +702,10 @@ class DnsCache:
             if entry.expires_at + older_than <= now
         ]
         for key in doomed:
-            del self._entries[key]
+            entry = self._entries.pop(key)
             self._count_out(key)
+            if self._tainted:
+                self._end_taint(key, min(now, entry.expires_at), cured=False)
         doomed_negative = [
             key
             for key, expiry in self._negative.items()

@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro.core.budget import FetchBudget
 from repro.core.cache import DnsCache
 from repro.core.clock import Clock, as_clock
 from repro.core.config import ResilienceConfig
@@ -123,11 +124,15 @@ class CachingServer:
             self.cache: DnsCache = DifferentialCache(
                 max_effective_ttl=self.config.max_effective_ttl,
                 max_entries=self.config.cache_capacity,
+                harden_ranking=self.config.harden_ranking,
+                protect_irrs=self.config.protect_irrs,
             )
         else:
             self.cache = DnsCache(
                 max_effective_ttl=self.config.max_effective_ttl,
                 max_entries=self.config.cache_capacity,
+                harden_ranking=self.config.harden_ranking,
+                protect_irrs=self.config.protect_irrs,
             )
         self.observer = observer
         if observer is not None:
@@ -170,6 +175,17 @@ class CachingServer:
         # Zone -> last time its IRRs were learned through its parent
         # (drives the optional delegation-recheck of paper §6).
         self._last_parent_learn: dict[Name, float] = {}
+
+        # Work-limit defenses (None/0 keeps the pre-defense paths
+        # byte-identical).  The fetch budget caps NS-address
+        # sub-resolutions per top-level query; the NXNS cap bounds them
+        # per referral step (see `_address_for`).
+        self._fetch_budget: FetchBudget | None = (
+            FetchBudget(self.config.fetch_budget)
+            if self.config.fetch_budget is not None
+            else None
+        )
+        self._nxns_spent = 0
 
         # Server-selection state: smoothed RTT per address, hold-down
         # deadlines for unresponsive servers, and (under a RetryPolicy)
@@ -227,6 +243,8 @@ class CachingServer:
         if obs is not None:
             obs.emit(EventKind.STUB_QUERY, now,
                      name=str(qname), rrtype=rrtype.name)
+        if self._fetch_budget is not None:
+            self._fetch_budget.reset()
         question = self._question_for(qname, rrtype)
         resolution = self.resolve(question, now)
         if (
@@ -250,6 +268,33 @@ class CachingServer:
                      name=str(qname), rrtype=rrtype.name,
                      outcome=resolution.outcome.value,
                      failed=resolution.failed)
+        return resolution
+
+    def handle_attack_query(
+        self, qname: Name, rrtype: RRType, now: float
+    ) -> Resolution:
+        """Resolve one adversary-injected query (the NXNS attack stream).
+
+        Mirrors :meth:`handle_stub_query` but books the work under the
+        attack counters instead of the SR statistics: availability
+        figures stay legitimate-traffic-only, and the CS-side queries
+        each attack query provoked (the amplification) are attributed by
+        differencing the demand counter around the resolution.
+        """
+        metrics = self.metrics
+        if self._fetch_budget is not None:
+            self._fetch_budget.reset()
+        before = metrics.cs_demand_queries
+        question = self._question_for(qname, rrtype)
+        resolution = self.resolve(question, now)
+        provoked = metrics.cs_demand_queries - before
+        metrics.attack_stub_queries += 1
+        metrics.attack_cs_queries += provoked
+        if resolution.failed:
+            metrics.attack_failures += 1
+        if self.observer is not None:
+            self.observer.emit(EventKind.ATTACK_NXNS, now,
+                               qname=str(qname), cs_queries=provoked)
         return resolution
 
     def resolve(
@@ -469,6 +514,12 @@ class CachingServer:
         addr_ids = self._addr_ids
         held_down_until = self._held_down
         candidates: list[tuple[str, int]] = []
+        # The NXNS cap is scoped per referral step: each _query_zone
+        # visit gets its own sub-resolution allowance.  Save/restore
+        # because _address_for can re-enter this method (sub-resolving
+        # an out-of-bailiwick server name walks the tree again).
+        saved_nxns_spent = self._nxns_spent
+        self._nxns_spent = 0
         for server_name in order:
             address = self._address_for(server_name, zone, now, depth, stack, stale)
             if address is None:
@@ -479,6 +530,7 @@ class CachingServer:
             if held_down_until.get(aid, 0.0) > now:
                 continue  # dead-server hold-down: don't even try
             candidates.append((address, aid))
+        self._nxns_spent = saved_nxns_spent
         if self.config.prefer_fast_servers and len(candidates) > 1:
             # Untried servers sort first (give them a chance), then by
             # smoothed RTT — BIND-flavoured server selection.
@@ -643,6 +695,30 @@ class CachingServer:
             # need the very zone we are trying to reach — a glue-less
             # cycle a real resolver also cannot break.
             return None
+        # Work-limit defenses.  From here on an uncached server name
+        # costs a full sub-resolution — exactly what NXNS amplification
+        # farms.  The per-query fetch budget and the per-referral-step
+        # NXNS cap both refuse gracefully (the candidate is skipped;
+        # with no candidates left the lookup climbs and eventually
+        # SERVFAILs) rather than recursing without bound.
+        cap = self.config.nxns_cap
+        if cap is not None and self._nxns_spent >= cap:
+            self.metrics.nxns_capped += 1
+            if self.observer is not None:
+                self.observer.emit(EventKind.DEFENSE_BUDGET_EXHAUSTED, now,
+                                   mechanism="nxns-cap",
+                                   server=str(server_name))
+            return None
+        budget = self._fetch_budget
+        if budget is not None and not budget.spend():
+            self.metrics.budget_exhaustions += 1
+            if self.observer is not None:
+                self.observer.emit(EventKind.DEFENSE_BUDGET_EXHAUSTED, now,
+                                   mechanism="fetch-budget",
+                                   server=str(server_name))
+            return None
+        if cap is not None:
+            self._nxns_spent += 1
         sub = self.resolve(
             self._question_for(server_name, RRType.A),
             now,
@@ -679,11 +755,23 @@ class CachingServer:
         put = self.cache.put
         gap_observer = self.gap_observer
         renewal = self.renewal
+        forged = message.forged
         for rrset, rank, is_ns, static_irr, is_addr, dnssec_key in ranked:
             refresh = ttl_refresh and (
                 static_irr or (is_addr and rrset.name in known)
             )
-            result = put(rrset, rank, now, refresh)
+            if forged:
+                # Adversary-injected response: the put is identical
+                # except for the ground-truth taint marker, so RFC 2181
+                # ranking (not fiat) decides whether the poison sticks.
+                result = put(rrset, rank, now, refresh, True)
+                if result.stored and self.observer is not None:
+                    self.observer.emit(EventKind.CACHE_POISONED, now,
+                                       name=str(rrset.name),
+                                       rrtype=rrset.rrtype.name,
+                                       rank=rank.name)
+            else:
+                result = put(rrset, rank, now, refresh)
             if dnssec_key:
                 self._signed_zones.add(rrset.name)
             if not is_ns:
@@ -762,6 +850,9 @@ class CachingServer:
         ingested, restarts the TTL countdown).
         """
         question = self._question_for(zone, RRType.NS)
+        if self._fetch_budget is not None:
+            # Renewal refetches are their own top-level work unit.
+            self._fetch_budget.reset()
         response = self._query_zone(
             zone, question, now, depth=0, stack=frozenset(), renewal=True
         )

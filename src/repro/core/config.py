@@ -153,6 +153,37 @@ class ResilienceConfig:
     max_fetch_depth: int = 6
     """Recursion limit for resolving out-of-bailiwick NS addresses."""
 
+    fetch_budget: Optional[int] = None
+    """Upper bound on NS-address sub-resolutions one stub query may
+    trigger (the NXNS work limit, DESIGN.md §16).  When the budget runs
+    out the remaining glue-less servers are skipped — the lookup
+    degrades to SERVFAIL instead of amplifying; None disables."""
+
+    nxns_cap: Optional[int] = None
+    """Upper bound on NS-address sub-resolutions a *single referral
+    step* may trigger (the per-delegation NXNS cap).  Tighter than
+    ``fetch_budget``: a crafted delegation with a huge NS set is clamped
+    even when the overall budget would still allow it; None disables."""
+
+    harden_ranking: bool = False
+    """Poisoning defense: a live cached RRset with different data may
+    only be replaced by *strictly* higher-ranked data (RFC 2181 already
+    forbids lower-ranked replacement; this also rejects equal-rank
+    overwrites, so an off-path forgery cannot displace a cached answer
+    before it expires)."""
+
+    source_entropy_bits: int = 0
+    """Poisoning defense: extra bits of source-port/ID entropy an
+    off-path attacker must guess, halving the forgery success
+    probability per bit (0 models the fixed-port resolver DNS-CPM
+    assumes)."""
+
+    protect_irrs: bool = False
+    """Flash-crowd defense: budget-aware cache admission — when a
+    bounded cache must evict, live NS RRsets (the IRRs the paper's
+    schemes exist to preserve) are evicted only after every non-IRR
+    entry is gone."""
+
     label: str = "vanilla"
     """Human-readable scheme name, used by reports and benches."""
 
@@ -237,6 +268,35 @@ class ResilienceConfig:
             label=f"{self.label}+retry{policy.max_tries}",
         )
 
+    def with_defenses(
+        self,
+        fetch_budget: int | None = None,
+        nxns_cap: int | None = None,
+    ) -> "ResilienceConfig":
+        """A copy with the NXNS work limits armed (None leaves one off).
+
+        Raises:
+            ValueError: when a supplied limit is not positive.
+        """
+        config = self
+        if fetch_budget is not None:
+            if fetch_budget < 1:
+                raise ValueError(
+                    f"fetch_budget must be positive, got {fetch_budget}"
+                )
+            config = replace(
+                config, fetch_budget=fetch_budget,
+                label=f"{config.label}+budget{fetch_budget}",
+            )
+        if nxns_cap is not None:
+            if nxns_cap < 1:
+                raise ValueError(f"nxns_cap must be positive, got {nxns_cap}")
+            config = replace(
+                config, nxns_cap=nxns_cap,
+                label=f"{config.label}+cap{nxns_cap}",
+            )
+        return config
+
     def make_renewal_policy(self) -> RenewalPolicy | None:
         """Instantiate a fresh policy object (None when renewal is off)."""
         if self.renewal_policy is None:
@@ -259,6 +319,16 @@ class ResilienceConfig:
                 f"retries({self.retry_policy.max_tries}"
                 f"x{self.retry_policy.backoff:g})"
             )
+        if self.fetch_budget is not None:
+            parts.append(f"fetch-budget({self.fetch_budget})")
+        if self.nxns_cap is not None:
+            parts.append(f"nxns-cap({self.nxns_cap})")
+        if self.harden_ranking:
+            parts.append("harden-ranking")
+        if self.source_entropy_bits > 0:
+            parts.append(f"entropy({self.source_entropy_bits}b)")
+        if self.protect_irrs:
+            parts.append("protect-irrs")
         if not parts:
             parts.append("vanilla")
         return " + ".join(parts)

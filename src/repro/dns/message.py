@@ -85,6 +85,10 @@ class Message:
     authority: tuple[RRset, ...] = ()
     additional: tuple[RRset, ...] = ()
     message_id: int = field(default_factory=lambda: next(_query_ids))
+    forged: bool = field(default=False, compare=False)
+    """Simulator ground truth: set on adversary-injected responses so
+    the cache can account poison dwell time.  Resolver *behaviour* never
+    branches on it — a real resolver cannot see this bit."""
     # Memo slots: responses are immutable, and with authoritative-side
     # response caching the same Message object is served (and ingested)
     # many times, so size/section walks are paid once per object.

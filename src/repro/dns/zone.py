@@ -255,6 +255,42 @@ class Zone:
         self._delegations[irrs.zone] = irrs
         self._invalidate_response_cache()
 
+    def add_delegation(self, irrs: InfrastructureRecordSet) -> None:
+        """Delegate a new child zone after the fact (zone graft).
+
+        Models a registrant registering a fresh name under this zone —
+        the entry point the NXNS adversary uses to plant its zone.
+
+        Raises:
+            ZoneConfigError: when the child is not a direct child of the
+                apex, or is already delegated.
+        """
+        child = irrs.zone
+        if child.parent() != self.name:
+            raise ZoneConfigError(
+                f"{child} is not a direct child of {self.name}"
+            )
+        if child in self._delegations:
+            raise ZoneConfigError(f"{self.name} already delegates {child}")
+        self._delegations[child] = irrs
+        self._add_existing(child)
+
+    def remove_delegation(self, child: Name) -> InfrastructureRecordSet:
+        """Withdraw a delegation added by :meth:`add_delegation`.
+
+        Returns the removed parent-side IRRs (so a graft can be undone
+        symmetrically).
+
+        Raises:
+            KeyError: when ``child`` is not delegated from this zone.
+        """
+        if child not in self._delegations:
+            raise KeyError(f"{self.name} does not delegate {child}")
+        irrs = self._delegations.pop(child)
+        self._existing_names.discard(child)
+        self._invalidate_response_cache()
+        return irrs
+
     def __repr__(self) -> str:
         return (
             f"Zone({self.name}, rrsets={len(self._rrsets)}, "

@@ -19,6 +19,7 @@ CLI generates its subcommands from this table; programmatic callers use
 """
 
 from repro.experiments import (
+    amplification as _amplification,
     attack_grid as _attack_grid,
     churn as _churn,
     degradation as _degradation,
@@ -26,6 +27,7 @@ from repro.experiments import (
     latency as _latency,
     max_damage as _max_damage,
     multiseed as _multiseed,
+    poisoning as _poisoning,
 )
 from repro.experiments.harness import AttackSpec, ReplayResult, run_replay
 from repro.experiments.registry import ExperimentDef
@@ -76,6 +78,18 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
             help="attack intensity × retry policy degradation sweep",
             spec_type=_degradation.DegradationSpec,
             runner=_degradation.run,
+        ),
+        ExperimentDef(
+            name="amplification",
+            help="NXNS amplification sweep: fan-out × fetch budget",
+            spec_type=_amplification.AmplificationSpec,
+            runner=_amplification.run,
+        ),
+        ExperimentDef(
+            name="poisoning",
+            help="cache-poisoning sweep: injection rate × scheme (+guard)",
+            spec_type=_poisoning.PoisoningSpec,
+            runner=_poisoning.run,
         ),
     )
 }

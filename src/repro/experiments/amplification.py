@@ -1,0 +1,187 @@
+"""NXNS amplification sweep: delegation fan-out × fetch budget.
+
+The NXNS attack (Afek et al., USENIX Security 2020) turns a recursive
+resolver into a query cannon: each attack query lands in an
+attacker-controlled zone whose delegations name ``fan_out`` unresolvable
+out-of-bailiwick NS hosts, and a defenseless resolver dutifully chases
+every one.  This experiment grafts that zone onto the standard
+hierarchy, fires a fixed-rate attack query stream through the resolver,
+and sweeps the fan-out (columns) against the resolver's per-query fetch
+budget (rows; 0 = no defense).  Each cell reports the *amplification
+factor* — CS-side queries provoked per injected attack query — and the
+whole-run SR failure rate of the legitimate trace, so the table shows
+both whether the defense clamps the amplification and what collateral
+damage the clamp inflicts on honest traffic.
+
+All cells are independent replays fanned out through the batch runner;
+the hash-keyed adversary draws keep every cell byte-identical at any
+worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.config import ResilienceConfig
+from repro.core.schemes import parse_scheme
+from repro.experiments.parallel import ReplaySpec, run_replays
+from repro.experiments.registry import resolve_scale
+from repro.experiments.scenarios import Scale, make_scenario
+from repro.simulation.adversary import AdversarySpec, NxnsAttackSpec
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class AmplificationSpec:
+    """Declarative NXNS-sweep request (the registry's spec)."""
+
+    scale: Scale | None = None
+    seed: int = 7
+    scheme: str = "vanilla"
+    trace_name: str = "TRC1"
+    attack_hours: float = 6.0
+    """Attack duration; the campaign starts at the paper's day-7 mark."""
+
+    queries_per_minute: float = 60.0
+    """Attack query arrival rate (evenly spaced)."""
+
+    delegations: int = 50
+    """Distinct delegated children in the attacker zone."""
+
+    fan_outs: tuple[int, ...] = (2, 5, 10, 20)
+    """Unresolvable NS names per delegation, swept as columns."""
+
+    fetch_budgets: tuple[int, ...] = (0, 20, 8)
+    """Per-query fetch budgets swept as rows; 0 = no defense."""
+
+    nxns_cap: int = 0
+    """Per-zone-visit NS sub-resolution cap applied to every defended
+    row; 0 leaves it off (the fetch budget is the swept defense)."""
+
+
+@dataclass(frozen=True)
+class AmplificationCell:
+    """One (budget, fan-out) replay outcome."""
+
+    budget: int
+    fan_out: int
+    amplification: float
+    sr_rate: float
+    attack_cs_queries: int
+    budget_exhaustions: int
+
+
+@dataclass
+class AmplificationResult:
+    """The sweep's cells, renderable as the survival grid."""
+
+    scheme: str
+    fan_outs: tuple[int, ...]
+    budgets: tuple[int, ...]
+    cells: list[AmplificationCell]
+
+    def cell(self, budget: int, fan_out: int) -> AmplificationCell:
+        for entry in self.cells:
+            if entry.budget == budget and entry.fan_out == fan_out:
+                return entry
+        raise KeyError((budget, fan_out))
+
+    def render(self) -> str:
+        headers = ["Budget"] + [f"fan={fan}" for fan in self.fan_outs]
+        body = []
+        for budget in self.budgets:
+            row = ["off" if budget == 0 else f"b={budget}"]
+            for fan in self.fan_outs:
+                cell = self.cell(budget, fan)
+                row.append(
+                    f"{cell.amplification:.1f}x"
+                    f" {cell.sr_rate * 100:.2f}%"
+                )
+            body.append(row)
+        return format_table(
+            headers,
+            body,
+            title=(
+                f"NXNS amplification factor / SR failure rate"
+                f" ({self.scheme})"
+            ),
+        )
+
+
+def _defended(
+    base: ResilienceConfig, budget: int, nxns_cap: int
+) -> ResilienceConfig:
+    """The config for one budget row; 0 keeps the undefended baseline."""
+    if budget <= 0 and nxns_cap <= 0:
+        return base.with_label(f"{base.label}+nodefense")
+    return base.with_defenses(
+        fetch_budget=budget if budget > 0 else None,
+        nxns_cap=nxns_cap if nxns_cap > 0 else None,
+    )
+
+
+def run(spec: AmplificationSpec) -> AmplificationResult:
+    """Registry entry point: sweep fan-out × fetch budget.
+
+    Raises:
+        ValueError: when either sweep axis is empty or a swept value is
+            negative.
+    """
+    if not spec.fan_outs:
+        raise ValueError("need at least one fan-out")
+    if not spec.fetch_budgets:
+        raise ValueError("need at least one fetch budget")
+    for fan in spec.fan_outs:
+        if fan < 1:
+            raise ValueError(f"fan-out must be positive, got {fan}")
+    for budget in spec.fetch_budgets:
+        if budget < 0:
+            raise ValueError(f"fetch budget must be >= 0, got {budget}")
+    scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+    base = parse_scheme(spec.scheme)
+    configs = [
+        _defended(base, budget, spec.nxns_cap)
+        for budget in spec.fetch_budgets
+    ]
+    specs = [
+        ReplaySpec.for_scenario(
+            scenario,
+            spec.trace_name,
+            config,
+            seed=spec.seed,
+            adversary=AdversarySpec(
+                nxns=NxnsAttackSpec(
+                    start=scenario.attack_start,
+                    duration=spec.attack_hours * HOUR,
+                    queries_per_minute=spec.queries_per_minute,
+                    fan_out=fan,
+                    delegations=spec.delegations,
+                )
+            ),
+        )
+        for config in configs
+        for fan in spec.fan_outs
+    ]
+    summaries = iter(run_replays(specs))
+    cells = []
+    for budget in spec.fetch_budgets:
+        for fan in spec.fan_outs:
+            summary = next(summaries)
+            cells.append(
+                AmplificationCell(
+                    budget=budget,
+                    fan_out=fan,
+                    amplification=summary.amplification_factor,
+                    sr_rate=summary.sr_failure_rate,
+                    attack_cs_queries=summary.attack_cs_queries,
+                    budget_exhaustions=summary.budget_exhaustions,
+                )
+            )
+    return AmplificationResult(
+        scheme=spec.scheme,
+        fan_outs=spec.fan_outs,
+        budgets=spec.fetch_budgets,
+        cells=cells,
+    )

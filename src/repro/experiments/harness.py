@@ -15,18 +15,27 @@ from dataclasses import dataclass, field
 from repro.analysis.gaps import GapTracker
 from repro.core.caching_server import CachingServer
 from repro.core.config import ResilienceConfig
+from repro.dns.name import Name
+from repro.dns.rrtypes import RRType
 from repro.experiments.summary import AttackWindowRates, ReplaySummary
-from repro.hierarchy.builder import BuiltHierarchy
+from repro.hierarchy.builder import (
+    AttackerZoneGraft,
+    BuiltHierarchy,
+    graft_attacker_zone,
+    ungraft_attacker_zone,
+)
 from repro.obs.events import EventKind
 from repro.obs.recorder import FlightRecorder
 from repro.obs.sinks import TimeSeriesSink
 from repro.obs.spec import ObservationContext, ObservationSpec
 from repro.obs.timing import StageTimings, maybe_stage
+from repro.simulation.adversary import Adversary, AdversarySpec
 from repro.simulation.attack import AttackSchedule, AttackWindow, attack_on_root_and_tlds
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.faults import FaultInjector, FaultSpec
 from repro.simulation.metrics import MemorySample, ReplayMetrics, WindowCounters
 from repro.simulation.network import Network
+from repro.workload.generator import flash_crowd_schedule
 from repro.workload.trace import Trace
 
 DAY = 86400.0
@@ -107,6 +116,7 @@ def run_replay(
     observe: ObservationSpec | None = None,
     timings: StageTimings | None = None,
     faults: FaultSpec | None = None,
+    adversary: AdversarySpec | None = None,
     validation: bool = False,
 ) -> ReplayResult:
     """Replay ``trace`` through a fresh caching server running ``config``.
@@ -121,6 +131,12 @@ def run_replay(
     partial-intensity attack attaches one implicitly because the
     per-query intensity rolls need its seeded draws.
 
+    ``adversary`` mounts the Adversary 2.0 attack families (DESIGN.md
+    §16).  An NXNS campaign grafts its attacker zone onto the shared
+    hierarchy for the duration of the call and ungrafts it afterwards —
+    same contract as the long-TTL override, so warm worker pools see
+    the tree restored exactly.
+
     ``validation`` shadows the cache with the naive oracle (DESIGN.md
     §12): every cache operation is cross-checked during the replay and
     the structural invariants are verified at the end.  Expect a
@@ -131,12 +147,19 @@ def run_replay(
     if config.long_ttl is not None:
         saved_state = tree.capture_irr_state()
         tree.apply_long_ttl(config.long_ttl)
+    graft: AttackerZoneGraft | None = None
+    if adversary is not None and adversary.nxns is not None:
+        graft = graft_attacker_zone(
+            tree, adversary.nxns.fan_out, adversary.nxns.delegations
+        )
     try:
         return _replay(
             built, trace, config, attack, track_gaps, memory_sample_interval,
-            seed, observe, timings, faults, validation,
+            seed, observe, timings, faults, adversary, graft, validation,
         )
     finally:
+        if graft is not None:
+            ungraft_attacker_zone(tree, graft)
         if saved_state is not None:
             tree.restore_irr_state(saved_state)
 
@@ -152,6 +175,8 @@ def _replay(
     observe: ObservationSpec | None,
     timings: StageTimings | None,
     faults: FaultSpec | None,
+    adversary: AdversarySpec | None,
+    graft: AttackerZoneGraft | None,
     validation: bool,
 ) -> ReplayResult:
     with maybe_stage(timings, "setup"):
@@ -164,7 +189,15 @@ def _replay(
         injector: FaultInjector | None = None
         if faults is not None or (attack is not None and attack.partial):
             injector = (faults or FaultSpec()).build(seed=seed)
-        network = Network(built.tree, attacks=schedule, faults=injector)
+        adv: Adversary | None = None
+        if adversary is not None and not adversary.inert:
+            adv = adversary.build(
+                seed=seed, entropy_bits=config.source_entropy_bits
+            )
+        network = Network(
+            built.tree, attacks=schedule, faults=injector,
+            poisoner=adv.poisoner if adv is not None else None,
+        )
         metrics = ReplayMetrics()
         window = None
         if attack is not None:
@@ -190,12 +223,31 @@ def _replay(
                                 trace.duration)
 
     with maybe_stage(timings, "replay"):
-        for query in trace:
-            engine.advance_to(query.time)
-            server.handle_stub_query(query.qname, query.rrtype, query.time)
+        injected = (
+            _injected_queries(adversary, graft, built, seed)
+            if adv is not None else ()
+        )
+        if not injected:
+            # The pre-adversary loop, verbatim: an inert/absent
+            # adversary replays byte-identically to the main path.
+            for query in trace:
+                engine.advance_to(query.time)
+                server.handle_stub_query(query.qname, query.rrtype, query.time)
+        else:
+            _replay_with_injections(
+                engine, server, metrics, trace, injected
+            )
         engine.advance_to(trace.duration)
 
     with maybe_stage(timings, "finalize"):
+        if adv is not None:
+            if adv.poisoner is not None:
+                metrics.poison_attempts = adv.poisoner.attempts
+                metrics.poison_wins = adv.poisoner.wins
+            stored, cured, dwells = server.cache.poison_stats(engine.now)
+            metrics.poison_stored = stored
+            metrics.poison_cured = cured
+            metrics.poison_dwells = dwells
         if context is not None:
             context.finish()
         if validation:
@@ -212,6 +264,84 @@ def _replay(
             event_count=context.event_count if context is not None else 0,
             timings=timings,
         )
+
+
+#: One adversary-injected arrival: (time, kind, qname) with kind 0 for
+#: NXNS attack queries and 1 for flash-crowd queries.  The int kind also
+#: orders same-instant injections deterministically (attack first).
+_Injected = tuple[float, int, Name]
+
+
+def _injected_queries(
+    adversary: AdversarySpec,
+    graft: AttackerZoneGraft | None,
+    built: BuiltHierarchy,
+    seed: int,
+) -> list[_Injected]:
+    """Every adversary-injected arrival, time-ordered."""
+    entries: list[_Injected] = []
+    if adversary.nxns is not None and graft is not None:
+        for time, qname in adversary.nxns.query_stream(graft.apex):
+            entries.append((time, 0, qname))
+    if adversary.flash is not None:
+        flash = adversary.flash
+        for time, qname in flash_crowd_schedule(
+            built.catalog,
+            start=flash.start,
+            duration=flash.duration,
+            queries_per_minute=flash.queries_per_minute,
+            hot_zones=flash.hot_zones,
+            zipf_alpha=flash.zipf_alpha,
+            seed=seed,
+        ):
+            entries.append((time, 1, qname))
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    return entries
+
+
+def _replay_with_injections(
+    engine: SimulationEngine,
+    server: CachingServer,
+    metrics: ReplayMetrics,
+    trace: Trace,
+    injected: list[_Injected],
+) -> None:
+    """The replay loop with adversary arrivals merged into the trace.
+
+    A two-pointer merge over two already-sorted streams; on equal
+    timestamps injected arrivals run first (their sort position is
+    decided before the trace query is even seen), which is arbitrary
+    but fixed — the property that matters for byte-identical logs.
+    """
+    index = 0
+    total = len(injected)
+    for query in trace:
+        while index < total and injected[index][0] <= query.time:
+            index = _run_injection(engine, server, metrics, injected, index)
+        engine.advance_to(query.time)
+        server.handle_stub_query(query.qname, query.rrtype, query.time)
+    while index < total and injected[index][0] < trace.duration:
+        index = _run_injection(engine, server, metrics, injected, index)
+
+
+def _run_injection(
+    engine: SimulationEngine,
+    server: CachingServer,
+    metrics: ReplayMetrics,
+    injected: list[_Injected],
+    index: int,
+) -> int:
+    """Execute one injected arrival; returns the advanced index."""
+    time, kind, qname = injected[index]
+    engine.advance_to(time)
+    if kind == 0:
+        server.handle_attack_query(qname, RRType.A, time)
+    else:
+        # A flash-crowd arrival is legitimate traffic: it runs (and is
+        # counted) as a normal stub query, plus its own tally.
+        metrics.flash_queries += 1
+        server.handle_stub_query(qname, RRType.A, time)
+    return index + 1
 
 
 def _validate_final_state(

@@ -63,6 +63,7 @@ from repro.experiments.summary import (
 )
 from repro.obs.spec import ObservationSpec
 from repro.obs.timing import StageTimings, maybe_stage
+from repro.simulation.adversary import AdversarySpec
 from repro.simulation.faults import FaultSpec
 
 __all__ = [
@@ -131,6 +132,12 @@ class ReplaySpec:
     it is a frozen description: each worker builds its own injector, and
     the hash-keyed draws make the outcome independent of worker count."""
 
+    adversary: AdversarySpec | None = None
+    """Optional adversary model (DESIGN.md §16): NXNS amplification,
+    cache poisoning and flash crowds.  Frozen like ``faults``; each
+    worker builds its own live adversary with its own ordinal counters,
+    so adversarial replays stay byte-identical at any worker count."""
+
     validation: bool = False
     """Shadow the replay's cache with the naive oracle (DESIGN.md §12).
     Results are identical when the check passes; the worker raises a
@@ -149,6 +156,7 @@ class ReplaySpec:
         memory_sample_interval: float | None = None,
         observe: ObservationSpec | None = None,
         faults: FaultSpec | None = None,
+        adversary: AdversarySpec | None = None,
         validation: bool = False,
     ) -> "ReplaySpec":
         """A spec that replays ``trace_name`` of an existing scenario."""
@@ -163,6 +171,7 @@ class ReplaySpec:
             memory_sample_interval=memory_sample_interval,
             observe=observe,
             faults=faults,
+            adversary=adversary,
             validation=validation,
         )
 
@@ -399,6 +408,7 @@ def _execute_spec(spec: ReplaySpec | FleetSpec) -> "ReplaySummary | FleetSummary
         seed=spec.seed,
         observe=spec.observe,
         faults=spec.faults,
+        adversary=spec.adversary,
         validation=spec.validation,
     )
     return result.to_summary()

@@ -93,6 +93,21 @@ class ReplaySummary(AttackWindowRates):
     """Observability events emitted during the replay (0 when the run
     was unobserved)."""
 
+    # Adversary / defense accounting (all zero without an AdversarySpec;
+    # mirrors the counters on ReplayMetrics so the attack experiments can
+    # run through the parallel runner).
+    attack_stub_queries: int = 0
+    attack_cs_queries: int = 0
+    attack_failures: int = 0
+    flash_queries: int = 0
+    budget_exhaustions: int = 0
+    nxns_capped: int = 0
+    poison_attempts: int = 0
+    poison_wins: int = 0
+    poison_stored: int = 0
+    poison_cured: int = 0
+    poison_dwells: tuple[float, ...] = ()
+
     @classmethod
     def from_result(cls, result: "ReplayResult") -> "ReplaySummary":
         """Reduce a full replay result to its picklable summary."""
@@ -119,6 +134,17 @@ class ReplaySummary(AttackWindowRates):
             ),
             memory_samples=tuple(metrics.memory_samples),
             event_count=result.event_count,
+            attack_stub_queries=metrics.attack_stub_queries,
+            attack_cs_queries=metrics.attack_cs_queries,
+            attack_failures=metrics.attack_failures,
+            flash_queries=metrics.flash_queries,
+            budget_exhaustions=metrics.budget_exhaustions,
+            nxns_capped=metrics.nxns_capped,
+            poison_attempts=metrics.poison_attempts,
+            poison_wins=metrics.poison_wins,
+            poison_stored=metrics.poison_stored,
+            poison_cured=metrics.poison_cured,
+            poison_dwells=tuple(metrics.poison_dwells),
         )
 
     # -- failure rates ------------------------------------------------------
@@ -134,6 +160,13 @@ class ReplaySummary(AttackWindowRates):
         if self.cs_demand_queries == 0:
             return 0.0
         return self.cs_demand_failures / self.cs_demand_queries
+
+    @property
+    def amplification_factor(self) -> float:
+        """CS-side queries per injected attack query (the NXNS payoff)."""
+        if self.attack_stub_queries == 0:
+            return 0.0
+        return self.attack_cs_queries / self.attack_stub_queries
 
     # -- traffic ------------------------------------------------------------
 

@@ -395,3 +395,85 @@ def build_hierarchy(
 ) -> BuiltHierarchy:
     """One-shot convenience wrapper around :class:`HierarchyBuilder`."""
     return HierarchyBuilder(config, seed).build()
+
+
+# -- adversary zone grafts ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttackerZoneGraft:
+    """Receipt for a grafted attacker zone; pass to the ungraft."""
+
+    apex: Name
+    parent: Name
+
+
+#: TEST-NET-3 block: guaranteed disjoint from the builder's 10/8 space.
+_ATTACKER_NET = "203.0.113."
+
+
+def graft_attacker_zone(
+    tree: ZoneTree,
+    fan_out: int,
+    delegations: int,
+    ttl: float = 300.0,
+) -> AttackerZoneGraft:
+    """Register an NXNS-style attacker zone under the first TLD.
+
+    The zone delegates ``delegations`` children, each naming ``fan_out``
+    nonexistent out-of-bailiwick name servers spread across the victim
+    SLDs already in the tree.  A resolver chasing such a referral must
+    sub-resolve every server name — each one a full (failing) resolution
+    against an innocent zone — reproducing the NXNSAttack query storm.
+
+    Pair with :func:`ungraft_attacker_zone` (try/finally) so warm-pool
+    trees are restored byte-for-byte.
+    """
+    if fan_out < 1 or delegations < 1:
+        raise ValueError("fan_out and delegations must be positive")
+    parent_name = sorted(tree.tld_names())[0]
+    victims = sorted(
+        name for name in tree.zone_names() if name.depth() == 2
+    ) or [parent_name]
+    apex = parent_name.child("nxns-attacker")
+
+    address = ""
+    for octet in range(1, 255):
+        candidate = f"{_ATTACKER_NET}{octet}"
+        if tree.server_by_address(candidate) is None:
+            address = candidate
+            break
+    if not address:
+        raise RuntimeError("attacker address space exhausted")
+    builder = ZoneBuilder(apex, default_ttl=ttl)
+    builder.set_soa(minimum=60.0)
+    server_name = apex.child("ns1")
+    builder.add_ns(server_name, address, ttl=ttl)
+    for j in range(delegations):
+        sub = apex.child(f"s{j}")
+        ns_records = [
+            ResourceRecord(
+                sub,
+                RRType.NS,
+                ttl,
+                victims[(j * fan_out + k) % len(victims)].child(f"nx{j}-{k}"),
+            )
+            for k in range(fan_out)
+        ]
+        builder.delegate(
+            InfrastructureRecordSet(sub, RRset.from_records(ns_records))
+        )
+    zone = builder.build()
+    tree.add_zone(zone, [AuthoritativeServer(server_name, address)])
+    tree.zone(parent_name).add_delegation(zone.infrastructure_records)
+    return AttackerZoneGraft(apex=apex, parent=parent_name)
+
+
+def ungraft_attacker_zone(tree: ZoneTree, graft: AttackerZoneGraft) -> None:
+    """Undo :func:`graft_attacker_zone` exactly.
+
+    The attacker's delegation was appended last, so popping it preserves
+    the parent's remaining delegation (and response-memo rebuild) order.
+    """
+    tree.zone(graft.parent).remove_delegation(graft.apex)
+    tree.remove_zone(graft.apex)

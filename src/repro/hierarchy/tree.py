@@ -191,6 +191,29 @@ class ZoneTree:
                     self._servers_by_address.pop(server.address, None)
         return list(old_servers)
 
+    def remove_zone(self, zone_name: Name) -> Zone:
+        """Unregister a zone added by :meth:`add_zone` (undoing a graft).
+
+        The zone's servers stop answering for it; servers left serving
+        nothing are decommissioned entirely (same rule as
+        :meth:`migrate_zone_servers`).  The parent's delegation is *not*
+        touched — callers pair this with
+        :meth:`~repro.dns.zone.Zone.remove_delegation`.
+
+        Returns the removed zone.
+
+        Raises:
+            KeyError: when the zone is unknown.
+        """
+        zone = self._zones.pop(zone_name)
+        servers = self._zone_servers.pop(zone_name, [])
+        for server in servers:
+            server.withdraw_zone(zone_name)
+            if not server.zones_served():
+                self._servers_by_name.pop(server.name, None)
+                self._servers_by_address.pop(server.address, None)
+        return zone
+
     def capture_irr_state(self) -> dict[Name, tuple]:
         """Snapshot every zone's IRR TTL state (for undoing long-TTL)."""
         return {name: zone.irr_snapshot() for name, zone in self._zones.items()}

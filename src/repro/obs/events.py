@@ -85,6 +85,19 @@ class EventKind(enum.Enum):
     ATTACK_START = "attack.start"
     ATTACK_END = "attack.end"
 
+    # Adversary 2.0 (DESIGN.md §16).  Emitted only when the adversary or
+    # a defense is armed, so pre-existing event logs keep their bytes.
+    ATTACK_NXNS = "attack.nxns"
+    """One NXNS attack query hit the resolver (fields: ``qname``,
+    ``cs_queries`` — the upstream fan-out it triggered)."""
+
+    CACHE_POISONED = "cache.poisoned"
+    """A forged RRset won its race and was accepted by the cache."""
+
+    DEFENSE_BUDGET_EXHAUSTED = "defense.budget_exhausted"
+    """A work limit refused an upstream sub-resolution (field
+    ``mechanism``: ``fetch-budget`` / ``nxns-cap``)."""
+
     # Engine timers.
     TIMER_FIRED = "engine.timer"
     """A scheduled virtual-time event fired."""

@@ -24,7 +24,7 @@ class ServeMetrics:
 
     __slots__ = (
         "udp_queries", "tcp_queries", "singleflight_hits", "stale_served",
-        "truncated", "formerr", "servfail",
+        "truncated", "formerr", "servfail", "budget_rejections",
     )
 
     def __init__(self) -> None:
@@ -35,6 +35,7 @@ class ServeMetrics:
         self.truncated = 0
         self.formerr = 0
         self.servfail = 0
+        self.budget_rejections = 0
 
     @property
     def queries_total(self) -> int:
@@ -64,6 +65,11 @@ class ServeMetrics:
             "# HELP repro_serve_servfail_total Resolutions that failed (SERVFAIL sent).",
             "# TYPE repro_serve_servfail_total counter",
             f"repro_serve_servfail_total {self.servfail}",
+            "# HELP repro_serve_budget_rejections_total "
+            "Queries refused because the client exceeded its concurrent "
+            "upstream-fetch budget.",
+            "# TYPE repro_serve_budget_rejections_total counter",
+            f"repro_serve_budget_rejections_total {self.budget_rejections}",
         ]
         return "\n".join(lines) + "\n"
 

@@ -27,6 +27,7 @@ import asyncio
 import struct
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.core.budget import FetchBudget
 from repro.core.caching_server import CachingServer, Resolution, ResolutionOutcome
 from repro.core.schemes import parse_scheme
 from repro.dns.message import Message, Question, Rcode
@@ -90,6 +91,13 @@ class DnsFrontEnd:
         self._loop: asyncio.AbstractEventLoop | None = None
         # Singleflight: packed question key -> the in-flight resolution.
         self._inflight: dict[int, asyncio.Future[Resolution]] = {}
+        # Per-client concurrent upstream-fetch budgets (empty when the
+        # spec leaves client_fetch_budget at 0 = unlimited).  Budgets
+        # cap *leader* resolutions only: singleflight followers and
+        # stale serves cost the upstream nothing, so they stay free —
+        # an abusive client is limited precisely in the currency it
+        # burns, resolver work.
+        self._client_budgets: dict[str, FetchBudget] = {}
         # Serve-stale memo: packed key -> (stored_at, ttl, resolution).
         self._last_good: dict[int, tuple[float, float, Resolution]] = {}
         self._udp_transport: asyncio.DatagramTransport | None = None
@@ -187,7 +195,7 @@ class DnsFrontEnd:
         addr: tuple,
         transport: asyncio.DatagramTransport,
     ) -> None:
-        message = await self._resolve(query)
+        message = await self._resolve(query, client=addr[0])
         payload = encode_response(
             message,
             message_id=query.message_id,
@@ -202,6 +210,8 @@ class DnsFrontEnd:
     async def _on_tcp(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        peername = writer.get_extra_info("peername")
+        client = peername[0] if peername else "tcp"
         try:
             while True:
                 try:
@@ -221,7 +231,7 @@ class DnsFrontEnd:
                     await writer.drain()
                     continue
                 self.metrics.tcp_queries += 1
-                message = await self._resolve(query)
+                message = await self._resolve(query, client=client)
                 payload = encode_response(
                     message,
                     message_id=query.message_id,
@@ -235,7 +245,7 @@ class DnsFrontEnd:
 
     # -- resolution: singleflight + serve-stale -----------------------------
 
-    async def _resolve(self, query: DecodedQuery) -> Message:
+    async def _resolve(self, query: DecodedQuery, client: str = "") -> Message:
         question = query.question
         key = (question.name.iid << RRTYPE_BITS) | question.rrtype
         flight = self._inflight.get(key)
@@ -247,10 +257,32 @@ class DnsFrontEnd:
                 return self._render(question, query.message_id, stale)
             resolution = await asyncio.shield(flight)
         else:
-            resolution = await self._resolve_leader(key, question)
+            budget = self._client_budget(client)
+            if budget is not None and not budget.spend():
+                # Over-budget clients get an immediate SERVFAIL instead
+                # of a resolver-thread slot (graceful refusal, same
+                # semantics as the simulated fetch budget).
+                self.metrics.budget_rejections += 1
+                resolution = Resolution(ResolutionOutcome.FAILURE)
+            else:
+                try:
+                    resolution = await self._resolve_leader(key, question)
+                finally:
+                    if budget is not None:
+                        budget.release()
         if resolution.failed:
             self.metrics.servfail += 1
         return self._render(question, query.message_id, resolution)
+
+    def _client_budget(self, client: str) -> FetchBudget | None:
+        limit = self.spec.client_fetch_budget
+        if limit <= 0:
+            return None
+        budget = self._client_budgets.get(client)
+        if budget is None:
+            budget = FetchBudget(limit)
+            self._client_budgets[client] = budget
+        return budget
 
     async def _resolve_leader(self, key: int, question: Question) -> Resolution:
         loop, clock, server = self._loop, self.clock, self.server

@@ -35,6 +35,9 @@ class ServeSpec:
     stale_grace: float = field(default=30.0, metadata={
         "help": "seconds a stale answer may be served while an identical "
                 "question is being refetched"})
+    client_fetch_budget: int = field(default=0, metadata={
+        "help": "max concurrent upstream resolutions per client address "
+                "(0 = unlimited); over-budget queries get SERVFAIL"})
     print_names: int = field(default=3, metadata={
         "help": "log this many resolvable sample names at startup"})
     selftest: bool = field(default=False, metadata={
@@ -56,5 +59,7 @@ class ServeSpec:
             raise ValueError("udp_payload_max must be at least 64 octets")
         if self.stale_grace < 0:
             raise ValueError("stale_grace must be non-negative")
+        if self.client_fetch_budget < 0:
+            raise ValueError("client_fetch_budget must be non-negative")
         if self.selftest_queries < 1 or self.selftest_clients < 1:
             raise ValueError("selftest_queries/clients must be positive")

@@ -87,6 +87,27 @@ class ReplayMetrics:
     # Cache-size time series (Figure 12).
     memory_samples: list[MemorySample] = field(default_factory=list)
 
+    # Adversary accounting (all zero without an AdversarySpec; attack
+    # stub queries are counted here and NOT in sr_queries, so the
+    # availability figures stay legitimate-traffic-only and collateral
+    # damage remains measurable).
+    attack_stub_queries: int = 0
+    attack_cs_queries: int = 0
+    attack_failures: int = 0
+    flash_queries: int = 0
+
+    # Defense accounting.
+    budget_exhaustions: int = 0
+    nxns_capped: int = 0
+
+    # Poisoning accounting (copied from the poisoner and the cache's
+    # taint registry when the replay finalises).
+    poison_attempts: int = 0
+    poison_wins: int = 0
+    poison_stored: int = 0
+    poison_cured: int = 0
+    poison_dwells: list[float] = field(default_factory=list)
+
     # -- configuration -------------------------------------------------------
 
     def watch_window(self, start: float, end: float) -> WindowCounters:
@@ -206,6 +227,13 @@ class ReplayMetrics:
         if self.cs_demand_queries == 0:
             return 0.0
         return self.cs_demand_failures / self.cs_demand_queries
+
+    @property
+    def amplification_factor(self) -> float:
+        """CS-side queries per injected attack query (the NXNS payoff)."""
+        if self.attack_stub_queries == 0:
+            return 0.0
+        return self.attack_cs_queries / self.attack_stub_queries
 
     @property
     def mean_latency(self) -> float:

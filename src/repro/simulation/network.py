@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.dns.errors import LameDelegationError
 from repro.dns.message import Message, Question
 from repro.hierarchy.tree import ZoneTree
+from repro.simulation.adversary import Poisoner
 from repro.simulation.attack import AttackSchedule
 from repro.simulation.faults import FaultInjector
 
@@ -96,10 +97,12 @@ class Network:
         attacks: AttackSchedule | None = None,
         latency: LatencyModel | None = None,
         faults: FaultInjector | None = None,
+        poisoner: Poisoner | None = None,
     ) -> None:
         self._tree = tree
         self._attacks = attacks
         self._faults = faults
+        self._poisoner = poisoner
         self.latency = latency or LatencyModel()
         self.queries_sent = 0
         self.queries_lost = 0
@@ -120,6 +123,14 @@ class Network:
     def set_attacks(self, attacks: AttackSchedule | None) -> None:
         """Swap the attack schedule (used by scenario harnesses)."""
         self._attacks = attacks
+
+    @property
+    def poisoner(self) -> Poisoner | None:
+        return self._poisoner
+
+    def set_poisoner(self, poisoner: Poisoner | None) -> None:
+        """Arm (or disarm) the cache-poisoning forger."""
+        self._poisoner = poisoner
 
     def query(self, address: str, question: Question, now: float) -> QueryResult:
         """Send ``question`` to the server at ``address``.
@@ -158,6 +169,13 @@ class Network:
             # (but much faster — and not worth a retransmit).
             self.queries_lost += 1
             return QueryResult(None, self.latency.rtt_for(address) * jitter)
+        if self._poisoner is not None:
+            # An off-path forger races the honest answer; a won race
+            # substitutes the forgery wholesale (the honest packet
+            # arrives second and is discarded, as in a real race).
+            forged = self._poisoner.race(address, question, now)
+            if forged is not None:
+                message = forged
         return QueryResult(message, self.latency.rtt_for(address) * jitter)
 
     def _fault_verdict(

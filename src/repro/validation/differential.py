@@ -43,7 +43,7 @@ if TYPE_CHECKING:
 
 def _entry_fields(
     entry: "CacheEntry | OracleEntry | None",
-) -> tuple[RRset, Rank, float, float, float] | None:
+) -> tuple[RRset, Rank, float, float, float, bool] | None:
     if entry is None:
         return None
     return (
@@ -52,6 +52,7 @@ def _entry_fields(
         entry.stored_at,
         entry.expires_at,
         entry.published_ttl,
+        entry.tainted,
     )
 
 
@@ -62,10 +63,16 @@ class DifferentialCache(DnsCache):
         self,
         max_effective_ttl: float | None = None,
         max_entries: int | None = None,
+        harden_ranking: bool = False,
+        protect_irrs: bool = False,
     ) -> None:
-        super().__init__(max_effective_ttl, max_entries)
+        super().__init__(
+            max_effective_ttl, max_entries,
+            harden_ranking=harden_ranking, protect_irrs=protect_irrs,
+        )
         self._oracle = OracleCache(
-            max_effective_ttl=max_effective_ttl, max_entries=max_entries
+            max_effective_ttl=max_effective_ttl, max_entries=max_entries,
+            harden_ranking=harden_ranking, protect_irrs=protect_irrs,
         )
         self.op_index = 0
         self.ops_checked = 0
@@ -118,13 +125,19 @@ class DifferentialCache(DnsCache):
     # -- shadowed operations --------------------------------------------------
 
     def put(
-        self, rrset: RRset, rank: Rank, now: float, refresh: bool = False
+        self,
+        rrset: RRset,
+        rank: Rank,
+        now: float,
+        refresh: bool = False,
+        taint: bool = False,
     ) -> PutResult:
         self.op_index += 1
         op = (f"put({rrset.name}/{rrset.rrtype.name}, rank={rank.name}, "
-              f"now={now:g}, refresh={refresh})")
-        primary = DnsCache.put(self, rrset, rank, now, refresh)
-        oracle = self._oracle.put(rrset, rank, now, refresh=refresh)
+              f"now={now:g}, refresh={refresh}, taint={taint})")
+        primary = DnsCache.put(self, rrset, rank, now, refresh, taint)
+        oracle = self._oracle.put(rrset, rank, now, refresh=refresh,
+                                  taint=taint)
         self._compare(op, primary, oracle)
         self._compare_occupancy(op, now)
         return primary

@@ -27,6 +27,14 @@ Invariants checked:
   no timer and no data.  Suppressed when ``allow_stale_credit`` is set,
   because the serve-stale comparator legitimately tops up credit for
   zones contacted via lapsed NS sets.
+* ``cache-taint-accounting`` — the poison registry and the per-entry
+  taint flags describe the same key set, and each registered rank
+  matches what the entry actually stores.
+* ``cache-taint-rank`` — a poisoned entry never *silently* outranks the
+  authoritative data it displaced: its rank must have been allowed to
+  replace the displaced rank under RFC 2181, and under hardened
+  ingestion it must be strictly higher (equal-rank displacement is
+  exactly what ``harden_ranking`` forbids).
 """
 
 from __future__ import annotations
@@ -89,6 +97,53 @@ def check_cache_invariants(cache: DnsCache, now: float) -> None:
             f"(entries/records/zones) at now={now:g}",
             check="cache-live-counts",
         )
+    _check_taint_invariants(cache)
+
+
+def _check_taint_invariants(cache: DnsCache) -> None:
+    """The poison-marker checks (part of ``check_cache_invariants``)."""
+    entries = cache._entries  # white-box census by design
+    registry = cache.tainted_entries()
+    flagged = {key for key, entry in entries.items() if entry.tainted}
+    if flagged != registry.keys():
+        only_flag = [split_key(k) for k in sorted(flagged - registry.keys())]
+        only_reg = [split_key(k) for k in sorted(registry.keys() - flagged)]
+        raise InvariantViolation(
+            f"taint registry and entry flags disagree: flagged-only="
+            f"{only_flag}, registry-only={only_reg}",
+            check="cache-taint-accounting",
+        )
+    for key, (taint_time, rank, displaced) in registry.items():
+        name, rrtype = split_key(key)
+        entry = entries[key]
+        if entry.rank != rank:
+            raise InvariantViolation(
+                f"{name}/{rrtype.name}: tainted entry stores rank "
+                f"{entry.rank.name} but was registered at {rank.name}",
+                check="cache-taint-accounting",
+            )
+        if entry.stored_at < taint_time:
+            raise InvariantViolation(
+                f"{name}/{rrtype.name}: tainted entry stored at "
+                f"{entry.stored_at:g}, before its taint time {taint_time:g}",
+                check="cache-taint-accounting",
+            )
+        if displaced is None:
+            continue
+        if not rank.may_replace(displaced):
+            raise InvariantViolation(
+                f"{name}/{rrtype.name}: poisoned entry of rank {rank.name} "
+                f"silently displaced live {displaced.name} data, which RFC "
+                f"2181 ranking forbids",
+                check="cache-taint-rank",
+            )
+        if cache.harden_ranking and rank == displaced:
+            raise InvariantViolation(
+                f"{name}/{rrtype.name}: poisoned entry displaced live "
+                f"{displaced.name} data at equal rank despite hardened "
+                f"ingestion",
+                check="cache-taint-rank",
+            )
 
 
 def check_renewal_invariants(

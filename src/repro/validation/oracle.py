@@ -42,6 +42,7 @@ class OracleEntry:
     stored_at: float
     expires_at: float
     published_ttl: float
+    tainted: bool = False
 
     def is_live(self, now: float) -> bool:
         return now < self.expires_at
@@ -54,11 +55,15 @@ class OracleCache:
         self,
         max_effective_ttl: float | None = None,
         max_entries: int | None = None,
+        harden_ranking: bool = False,
+        protect_irrs: bool = False,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_effective_ttl = max_effective_ttl
         self.max_entries = max_entries
+        self.harden_ranking = harden_ranking
+        self.protect_irrs = protect_irrs
         self.evictions = 0
         # Recency-ordered store: index 0 is the least recently used.
         self._store: list[tuple[Key, OracleEntry]] = []
@@ -103,14 +108,27 @@ class OracleCache:
             self._delete(key)
             self.evictions += 1
         # Pass 2: evict live entries, LRU (front of the list) first.
+        # Under ``protect_irrs``, NS entries are spared while any
+        # non-NS entry remains (the flash-crowd admission defense).
         while len(self._store) >= self.max_entries:
-            del self._store[0]
+            victim = 0
+            if self.protect_irrs and self._store[0][0][1] == RRType.NS:
+                for index, ((_, rrtype), _entry) in enumerate(self._store):
+                    if rrtype != RRType.NS:
+                        victim = index
+                        break
+            del self._store[victim]
             self.evictions += 1
 
     # -- positive entries -----------------------------------------------------
 
     def put(
-        self, rrset: RRset, rank: Rank, now: float, refresh: bool = False
+        self,
+        rrset: RRset,
+        rank: Rank,
+        now: float,
+        refresh: bool = False,
+        taint: bool = False,
     ) -> PutResult:
         key = rrset.key()
         ttl = rrset.ttl
@@ -133,6 +151,7 @@ class OracleCache:
                 stored_at=now,
                 expires_at=new_expiry,
                 published_ttl=rrset.ttl,
+                tainted=taint,
             )))
             return PutResult(
                 stored=True,
@@ -150,6 +169,11 @@ class OracleCache:
                              existing.published_ttl, existing.expires_at)
 
         same_data = existing.rrset.same_data(rrset)
+        if self.harden_ranking and not same_data and rank == existing.rank:
+            # Hardened ingestion: equal rank may not replace different
+            # live data (mirrors the real cache's poisoning defense).
+            return PutResult(False, False, False, existing.expires_at,
+                             existing.published_ttl, existing.expires_at)
         if same_data and rank == existing.rank and not refresh:
             # Vanilla cache: an identical copy does not restart the TTL.
             return PutResult(False, False, False, existing.expires_at,
@@ -164,6 +188,7 @@ class OracleCache:
             stored_at=now,
             expires_at=new_expiry,
             published_ttl=rrset.ttl,
+            tainted=taint,
         )))
         return PutResult(
             stored=True,

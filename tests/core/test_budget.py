@@ -1,0 +1,45 @@
+"""Tests for the FetchBudget work-limit primitive."""
+
+import pytest
+
+from repro.core.budget import FetchBudget
+
+
+class TestFetchBudget:
+    @pytest.mark.parametrize("limit", [0, -3])
+    def test_nonpositive_limit_rejected(self, limit):
+        with pytest.raises(ValueError):
+            FetchBudget(limit)
+
+    def test_spend_until_exhausted(self):
+        budget = FetchBudget(2)
+        assert budget.spend()
+        assert budget.spend()
+        assert not budget.spend()
+        assert budget.exhaustions == 1
+        assert budget.remaining == 0
+
+    def test_release_returns_one_unit(self):
+        budget = FetchBudget(1)
+        assert budget.spend()
+        assert not budget.spend()
+        budget.release()
+        assert budget.spend()
+        assert budget.exhaustions == 1
+
+    def test_release_never_goes_negative(self):
+        budget = FetchBudget(2)
+        budget.release()
+        assert budget.used == 0
+        assert budget.remaining == 2
+
+    def test_reset_returns_the_whole_budget(self):
+        budget = FetchBudget(3)
+        for _ in range(3):
+            assert budget.spend()
+        assert not budget.spend()
+        budget.reset()
+        assert budget.remaining == 3
+        assert budget.spend()
+        # Exhaustion history survives the reset (it is the metric).
+        assert budget.exhaustions == 1

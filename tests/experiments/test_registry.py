@@ -19,8 +19,8 @@ from repro.experiments.scenarios import Scale, make_scenario
 from repro.core.schemes import parse_scheme
 
 EXPECTED_NAMES = {
-    "attack-grid", "churn", "degradation", "dnssec", "latency", "maxdamage",
-    "multiseed",
+    "amplification", "attack-grid", "churn", "degradation", "dnssec",
+    "latency", "maxdamage", "multiseed", "poisoning",
 }
 
 

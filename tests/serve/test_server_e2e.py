@@ -304,6 +304,77 @@ class TestFrontEndSemantics:
         assert stale == 1
         assert follower.answer == warm.answer
 
+    def test_client_budget_rejects_concurrent_over_budget_queries(self):
+        """With a 1-unit client budget, a second *distinct* question from
+        the same client while the first is still resolving is refused
+        with SERVFAIL; other clients and post-release queries proceed."""
+        import dataclasses
+
+        from repro.serve.wire import decode_query
+
+        spec = dataclasses.replace(_SPEC, client_fetch_budget=1)
+
+        async def run():
+            async with _front_end(spec) as front_end:
+                names = front_end.sample_names(3)
+                queries = [
+                    decode_query(encode_query(Question(name, RRType.A), i + 1))
+                    for i, name in enumerate(names)
+                ]
+                gate = threading.Event()
+                front_end._executor.submit(gate.wait)
+                leader = asyncio.ensure_future(
+                    front_end._resolve(queries[0], client="10.9.9.9")
+                )
+                await asyncio.sleep(0.05)
+                # Distinct question (no singleflight), same client: the
+                # one-unit budget is spent, so this must fail *now*,
+                # without waiting on the stalled resolver thread.
+                rejected = await asyncio.wait_for(
+                    front_end._resolve(queries[1], client="10.9.9.9"),
+                    timeout=1.0,
+                )
+                rejections = front_end.metrics.budget_rejections
+                # A different client has its own untouched budget.
+                other = asyncio.ensure_future(
+                    front_end._resolve(queries[1], client="10.8.8.8")
+                )
+                await asyncio.sleep(0.05)
+                gate.set()
+                first = await leader
+                other_reply = await other
+                # The leader released its unit: the client may query again.
+                third = await front_end._resolve(
+                    queries[2], client="10.9.9.9"
+                )
+                return (rejected, rejections, first, other_reply, third,
+                        front_end.metrics.budget_rejections,
+                        front_end.metrics.render())
+
+        (rejected, rejections, first, other_reply, third,
+         final_rejections, rendered) = asyncio.run(run())
+        assert rejected.rcode is Rcode.SERVFAIL
+        assert rejected.answer == ()
+        assert rejections == 1
+        assert first.rcode is Rcode.NOERROR
+        assert other_reply.rcode is Rcode.NOERROR
+        assert third.rcode is Rcode.NOERROR
+        assert final_rejections == 1
+        assert "repro_serve_budget_rejections_total 1" in rendered
+
+    def test_default_spec_has_no_client_budget(self):
+        async def run():
+            async with _front_end() as front_end:
+                return front_end._client_budget("10.9.9.9")
+
+        assert asyncio.run(run()) is None
+
+    def test_negative_client_budget_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(_SPEC, client_fetch_budget=-1)
+
     def test_metrics_endpoint_exposes_both_layers(self):
         async def run():
             async with _front_end() as front_end:

@@ -133,6 +133,63 @@ class TestInjector:
         assert 0.25 < down / 1000 < 0.35
         assert injector.flap_down("a", 42.0) == injector.flap_down("a", 142.0)
 
+    def test_flap_duty_boundary_is_exact(self):
+        # The down phase opens exactly at duty*period into the (phase-
+        # shifted) cycle: epsilon below is up, epsilon above is down,
+        # and the wrap at the period end stays down until position 0.
+        period, duty, seed = 100.0, 0.7, 5
+        injector = FaultSpec(flap_period=period, flap_duty=duty).build(
+            seed=seed
+        )
+        phase = unit_hash(seed, "flap-phase", "a", 0) * period
+
+        def at_position(position):
+            # A time whose phase-shifted cycle position is ``position``,
+            # kept strictly positive by a one-period offset.
+            return (position - phase) % period + period
+
+        eps = 1e-6
+        assert not injector.flap_down("a", at_position(0.0))
+        assert not injector.flap_down("a", at_position(duty * period - eps))
+        assert injector.flap_down("a", at_position(duty * period + eps))
+        assert injector.flap_down("a", at_position(period - eps))
+
+    def test_no_period_or_full_duty_never_flaps(self):
+        assert not FaultSpec().build(seed=1).flap_down("a", 5.0)
+        full = FaultSpec(flap_period=100.0, flap_duty=1.0).build(seed=1)
+        assert not any(full.flap_down("a", float(t)) for t in range(300))
+
+    def test_interleaved_ordinals_stay_monotonic_per_address(self):
+        injector = FaultSpec().build(seed=2)
+        pattern = ["a", "b", "a", "c", "b", "a", "c", "c", "a", "b"]
+        seen: dict[str, list[int]] = {}
+        for address in pattern:
+            seen.setdefault(address, []).append(
+                injector.next_ordinal(address)
+            )
+        for address, ordinals in seen.items():
+            assert ordinals == list(range(pattern.count(address)))
+
+    def test_interleaving_does_not_shift_per_address_draws(self):
+        # The draw an address sees for its n-th query must not depend on
+        # how other addresses' queries interleave with it.
+        spec = FaultSpec(background_loss=0.5)
+        interleaved = spec.build(seed=3)
+        pattern = ["a", "b", "a", "c", "b", "a", "c", "c", "a", "b"]
+        draws: dict[str, list[bool]] = {}
+        for address in pattern:
+            ordinal = interleaved.next_ordinal(address)
+            draws.setdefault(address, []).append(
+                interleaved.loss_drops(address, ordinal)
+            )
+        isolated = spec.build(seed=3)
+        for address in ("a", "b", "c"):
+            expected = [
+                isolated.loss_drops(address, ordinal)
+                for ordinal in range(pattern.count(address))
+            ]
+            assert draws[address] == expected
+
     def test_flap_address_scoping(self):
         spec = FaultSpec(
             flap_period=100.0, flap_duty=0.0, flap_addresses=("10.0.0.1",)

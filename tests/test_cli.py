@@ -53,6 +53,18 @@ class TestCommands:
         assert main(["replay", "--scheme", "bogus", "--scale", "tiny"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_replay_with_defenses(self, capsys):
+        code = main(["replay", "--scale", "tiny", "--scheme", "vanilla",
+                     "--fetch-budget", "8", "--nxns-cap", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fetch-budget(8)" in out and "nxns-cap(4)" in out
+
+    def test_replay_negative_defense_exits_2(self, capsys):
+        assert main(["replay", "--scale", "tiny",
+                     "--fetch-budget", "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_table_1(self, capsys):
         assert main(["table", "1", "--scale", "tiny"]) == 0
         assert "Table 1" in capsys.readouterr().out

@@ -28,7 +28,7 @@ from repro.validation.fuzz import (
 _REAL_PUT = DnsCache.put
 
 
-def _buggy_put(self, rrset, rank, now, refresh=False):
+def _buggy_put(self, rrset, rank, now, refresh=False, taint=False):
     """The pre-fix overwrite: the entry keeps its stale LRU position.
 
     Implemented as a wrapper that undoes the fix's pop-then-set by
@@ -36,9 +36,9 @@ def _buggy_put(self, rrset, rank, now, refresh=False):
     """
     key = rrset.ikey()
     if key not in self._entries:  # repro: ignore[REP008]
-        return _REAL_PUT(self, rrset, rank, now, refresh)
+        return _REAL_PUT(self, rrset, rank, now, refresh, taint)
     order = list(self._entries)  # repro: ignore[REP008]
-    result = _REAL_PUT(self, rrset, rank, now, refresh)
+    result = _REAL_PUT(self, rrset, rank, now, refresh, taint)
     if result.stored and key in self._entries:  # repro: ignore[REP008]
         entries = dict(self._entries)  # repro: ignore[REP008]
         self._entries.clear()  # repro: ignore[REP008]

@@ -76,6 +76,84 @@ class TestCacheInvariants:
         assert excinfo.value.check == "cache-live-counts"
 
 
+class TestTaintInvariants:
+    FORGED = Name.from_text("victim.x.test.")
+
+    def poisoned_cache(self, **kwargs):
+        cache = seeded_cache(**kwargs)
+        cache.put(make_rrset("victim.x.test.", RRType.A, 60.0, "10.0.0.2"),
+                  Rank.AUTH_ANSWER, 0.0)
+        cache.put(make_rrset("victim.x.test.", RRType.A, 60.0,
+                             "198.51.100.66"),
+                  Rank.AUTH_ANSWER, 1.0, taint=True)
+        return cache
+
+    def taint_key(self, cache):
+        (key,) = cache.tainted_entries().keys()
+        return key
+
+    def test_clean_poisoned_cache_passes(self):
+        check_cache_invariants(self.poisoned_cache(), now=2.0)
+
+    def test_flag_registry_disagreement_flagged(self):
+        cache = self.poisoned_cache()
+        # Clear the per-entry flag but leave the registry row behind.
+        cache.entry(self.FORGED, RRType.A).tainted = False
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=2.0)
+        assert excinfo.value.check == "cache-taint-accounting"
+
+    def test_registered_rank_mismatch_flagged(self):
+        cache = self.poisoned_cache()
+        key = self.taint_key(cache)
+        taint_time, _rank, displaced = cache._tainted[key]
+        cache._tainted[key] = (taint_time, Rank.ADDITIONAL, displaced)
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=2.0)
+        assert excinfo.value.check == "cache-taint-accounting"
+
+    def test_stored_before_taint_time_flagged(self):
+        cache = self.poisoned_cache()
+        key = self.taint_key(cache)
+        _taint_time, rank, displaced = cache._tainted[key]
+        cache._tainted[key] = (500.0, rank, displaced)
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=2.0)
+        assert excinfo.value.check == "cache-taint-accounting"
+
+    def test_silent_rank_displacement_flagged(self):
+        # Seed a forged entry of authority rank at a fresh name, then
+        # claim it displaced live answer-rank data — a displacement RFC
+        # 2181 ranking can never have allowed.
+        cache = seeded_cache()
+        cache.put(make_rrset("victim.x.test.", RRType.A, 60.0,
+                             "198.51.100.66"),
+                  Rank.AUTH_AUTHORITY, 1.0, taint=True)
+        key = self.taint_key(cache)
+        taint_time, rank, _displaced = cache._tainted[key]
+        cache._tainted[key] = (taint_time, rank, Rank.AUTH_ANSWER)
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=2.0)
+        assert excinfo.value.check == "cache-taint-rank"
+
+    def test_hardened_equal_rank_displacement_flagged(self):
+        # Under hardened ingestion the equal-rank displacement is refused
+        # at put time, so seed the forged entry at a fresh name (stored
+        # with nothing displaced) and corrupt the registry afterwards.
+        cache = seeded_cache(harden_ranking=True)
+        cache.put(make_rrset("victim.x.test.", RRType.A, 60.0,
+                             "198.51.100.66"),
+                  Rank.AUTH_ANSWER, 1.0, taint=True)
+        key = self.taint_key(cache)
+        taint_time, rank, _displaced = cache._tainted[key]
+        # Equal-rank displacement of live data is exactly what hardened
+        # ingestion forbids; a registry row recording one is corrupt.
+        cache._tainted[key] = (taint_time, rank, rank)
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_invariants(cache, now=2.0)
+        assert excinfo.value.check == "cache-taint-rank"
+
+
 class TestRenewalInvariants:
     def test_clean_manager_passes(self):
         engine, cache, manager = manager_rig()
