@@ -38,8 +38,10 @@ Commands
 
 Scheme syntax (for ``--scheme``): ``vanilla``, ``refresh``,
 ``serve-stale``, ``combination``, ``<policy>:<credit>`` (e.g.
-``a-lfu:5``) for refresh+renewal, or ``long-ttl:<days>`` for
-refresh+long-TTL.
+``a-lfu:5``) for refresh+renewal, ``long-ttl:<days>`` for
+refresh+long-TTL, ``swr[:<grace-seconds>]`` for stale-while-revalidate,
+or ``decoupled[:<ttl-days>]`` for long TTLs with the churn-invalidation
+update channel.
 """
 
 from __future__ import annotations
@@ -182,7 +184,7 @@ class EventsSpec:
     """Flags for ``repro events`` (flight-recorder replay)."""
 
     scheme: str = field(default="vanilla", metadata={
-        "help": "e.g. vanilla, refresh, a-lfu:5, long-ttl:7"})
+        "help": "e.g. vanilla, refresh, a-lfu:5, long-ttl:7, swr, decoupled:7"})
     trace: str = field(default="TRC1", metadata={
         "help": "built-in trace name (TRC1..TRC6)"})
     attack_hours: float = field(default=6.0, metadata={
@@ -433,7 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     replay = subparsers.add_parser("replay", help="replay a trace")
     replay.add_argument("--scheme", default="vanilla",
-                        help="e.g. vanilla, refresh, a-lfu:5, long-ttl:7")
+                        help=f"one of: {scheme_syntax()}")
     replay.add_argument("--trace", default="TRC1",
                         help="built-in trace name (TRC1..TRC6)")
     replay.add_argument("--trace-file", default=None,

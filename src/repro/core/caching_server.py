@@ -176,6 +176,12 @@ class CachingServer:
         # (drives the optional delegation-recheck of paper §6).
         self._last_parent_learn: dict[Name, float] = {}
 
+        # Packed (name, rrtype) keys with a background refetch already
+        # queued — the SWR singleflight: concurrent stale hits collapse
+        # onto one upstream fetch (the simulated analogue of the serve
+        # front end's `_inflight` futures).
+        self._refetch_pending: set[int] = set()
+
         # Work-limit defenses (None/0 keeps the pre-defense paths
         # byte-identical).  The fetch budget caps NS-address
         # sub-resolutions per top-level query; the NXNS cap bounds them
@@ -262,6 +268,7 @@ class CachingServer:
             validation_failed=(
                 resolution.outcome is ResolutionOutcome.VALIDATION_FAILURE
             ),
+            stale=resolution.outcome is ResolutionOutcome.STALE_HIT,
         )
         if obs is not None:
             obs.emit(EventKind.STUB_OUTCOME, now,
@@ -333,6 +340,24 @@ class CachingServer:
                     qname = target
                     continue
 
+            grace = self.config.swr_grace
+            if grace is not None and not fetched:
+                stale = self.cache.get_stale(
+                    qname, question.rrtype, now, max_stale=grace
+                )
+                if stale is not None:
+                    # Stale-while-revalidate: answer from the lapsed
+                    # entry now, refresh it off the critical path.
+                    if self._schedule_refetch(qname, question.rrtype, now):
+                        self.metrics.swr_refreshes += 1
+                        if self.observer is not None:
+                            self.observer.emit(
+                                EventKind.CACHE_SWR_REFRESH, now,
+                                qname=str(qname),
+                                rrtype=question.rrtype.name,
+                            )
+                    return Resolution(ResolutionOutcome.STALE_HIT, stale)
+
             fetch_question = (
                 question if qname is question.name
                 else self._question_for(qname, question.rrtype)
@@ -371,8 +396,14 @@ class CachingServer:
         depth: int,
         stack: frozenset[Name],
         stale: bool = False,
+        renewal: bool = False,
     ) -> ResolutionOutcome:
-        """Walk the delegation tree until an authoritative verdict."""
+        """Walk the delegation tree until an authoritative verdict.
+
+        ``renewal`` tags every query attempt as background traffic (the
+        SWR refetch path), keeping demand-side failure and latency
+        statistics clean.
+        """
         if depth > self.config.max_fetch_depth:
             return _FAILURE
         failed_zones: set[Name] = set()
@@ -380,7 +411,10 @@ class CachingServer:
         retried_after_failure: set[Name] = set()
         zone = self._starting_zone(question.name, now, failed_zones, stale)
         for _ in range(self.config.max_referrals):
-            response = self._query_zone(zone, question, now, depth, stack, stale=stale)
+            response = self._query_zone(
+                zone, question, now, depth, stack,
+                renewal=renewal, stale=stale,
+            )
             if response is None:
                 # Every usable server of this zone failed.  Paper §4: "in
                 # the worst case ... the parent zone must be queried to
@@ -839,8 +873,64 @@ class CachingServer:
             self.renewal.note_zone_use(zone, published_ttl, now)
 
     # ------------------------------------------------------------------
-    # Renewal refetch
+    # Renewal refetch / SWR background refresh / invalidation channel
     # ------------------------------------------------------------------
+
+    def _schedule_refetch(self, qname: Name, rrtype: RRType, now: float) -> bool:
+        """Queue one background, renewal-tagged refetch of (qname, rrtype).
+
+        Deduplicated on the packed cache key: while a refetch is
+        pending, further stale hits (or invalidations) for the same key
+        are answered without queueing another upstream walk — the
+        singleflight collapse.  Returns whether a refetch was newly
+        scheduled.
+        """
+        key = (qname.iid << RRTYPE_BITS) | rrtype
+        if key in self._refetch_pending:
+            return False
+        self._refetch_pending.add(key)
+        question = self._question_for(qname, rrtype)
+
+        def refetch(at: float) -> None:
+            try:
+                if self._fetch_budget is not None:
+                    # Background refreshes are their own work unit.
+                    self._fetch_budget.reset()
+                self._fetch(
+                    question, at, depth=0, stack=frozenset(), renewal=True
+                )
+            finally:
+                self._refetch_pending.discard(key)
+
+        self.clock.schedule_at(now, refetch)
+        return True
+
+    def handle_invalidation(self, zone: Name, now: float) -> None:
+        """Update-channel invalidation for a migrated zone (`decoupled`).
+
+        No-op unless the config arms the channel, or when nothing about
+        the zone is cached (clients hold no stranded state).  Otherwise
+        evicts the zone's NS set and the glue of the servers it named —
+        the same eviction shape as the §4 parent-side IRR reset — and
+        queues one deduplicated background re-learn through the parent,
+        so long effective TTLs never pin lookups to dead servers.
+        """
+        if not self.config.update_channel:
+            return
+        entry = self.cache.entry(zone, RRType.NS)
+        if entry is None:
+            return
+        for record in entry.rrset:
+            if isinstance(record.data, Name):
+                self.cache.remove(record.data, RRType.A)
+        self.cache.remove(zone, RRType.NS)
+        if self.renewal is not None:
+            self.renewal.forget_zone(zone)
+        self.metrics.invalidations += 1
+        if self.observer is not None:
+            self.observer.emit(EventKind.CACHE_INVALIDATED, now,
+                               zone=str(zone))
+        self._schedule_refetch(zone, RRType.NS, now)
 
     def _renewal_refetch(self, zone: Name, now: float) -> bool:
         """Refetch a zone's IRRs from the zone's own servers.

@@ -111,6 +111,20 @@ class ResilienceConfig:
     served under ``serve_stale``; None serves arbitrarily stale data,
     the related-work comparator's assumption."""
 
+    swr_grace: Optional[float] = None
+    """Stale-while-revalidate grace window in seconds: a lookup that
+    misses but finds a record expired no more than this long ago serves
+    the stale RRset immediately and enqueues one deduplicated background
+    refetch (the renewal-tagged analogue of the serve front end's
+    singleflight/stale memo); None disables SWR."""
+
+    update_channel: bool = False
+    """Decoupled-TTL update channel: zone migrations publish
+    invalidations that evict the stranded NS/glue and trigger a
+    background re-learn, so long effective TTLs no longer pin clients to
+    decommissioned servers ("Decoupling DNS Update Timing from TTL
+    Values", PAPERS.md)."""
+
     dnssec_validation: bool = False
     """Validate lookups against the (simulated) DNSSEC chain: every
     signed zone on the query's chain must have a live cached DNSKEY, or
@@ -249,6 +263,39 @@ class ResilienceConfig:
         """The Ballani & Francis comparator from related work."""
         return cls(serve_stale=True, label="serve-stale")
 
+    @classmethod
+    def swr(cls, grace: float = 3600.0) -> "ResilienceConfig":
+        """Stale-while-revalidate: serve stale inside ``grace`` seconds
+        past expiry while one renewal-tagged background refetch runs.
+
+        Raises:
+            ValueError: when ``grace`` is not positive.
+        """
+        if grace <= 0.0:
+            raise ValueError(f"swr grace must be positive, got {grace}")
+        return cls(
+            ttl_refresh=True,
+            swr_grace=grace,
+            label=f"swr{grace:g}s",
+        )
+
+    @classmethod
+    def decoupled(cls, days: float = 7.0) -> "ResilienceConfig":
+        """Long effective TTLs decoupled from update timing: ``days``-day
+        IRR TTLs plus the churn-event invalidation channel.
+
+        Raises:
+            ValueError: when ``days`` is not positive.
+        """
+        if days <= 0.0:
+            raise ValueError(f"decoupled ttl days must be positive, got {days}")
+        return cls(
+            ttl_refresh=True,
+            long_ttl=days * DAY,
+            update_channel=True,
+            label=f"decoupled{days:g}d",
+        )
+
     def with_validation(self) -> "ResilienceConfig":
         """A copy with DNSSEC validation enabled (paper §6 extension)."""
         return replace(
@@ -314,6 +361,10 @@ class ResilienceConfig:
             parts.append(f"long-ttl({self.long_ttl / DAY:g}d)")
         if self.serve_stale:
             parts.append("serve-stale")
+        if self.swr_grace is not None:
+            parts.append(f"swr({self.swr_grace:g}s)")
+        if self.update_channel:
+            parts.append("update-channel")
         if self.retry_policy is not None:
             parts.append(
                 f"retries({self.retry_policy.max_tries}"

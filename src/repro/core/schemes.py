@@ -1,8 +1,10 @@
 """The textual scheme syntax shared by the CLI and the experiment specs.
 
 ``vanilla``, ``refresh``, ``serve-stale``, ``combination``,
-``<policy>:<credit>`` (e.g. ``a-lfu:5``) for refresh+renewal, or
-``long-ttl:<days>`` for refresh+long-TTL.
+``<policy>:<credit>`` (e.g. ``a-lfu:5``) for refresh+renewal,
+``long-ttl:<days>`` for refresh+long-TTL, ``swr[:<grace-seconds>]`` for
+stale-while-revalidate, or ``decoupled[:<ttl-days>]`` for long TTLs
+with the churn-invalidation update channel.
 
 Lives in ``core`` (not ``cli``) so experiment spec dataclasses can carry
 a scheme as a plain string and parse it at run time without importing
@@ -12,6 +14,8 @@ backwards compatibility.
 
 from __future__ import annotations
 
+import math
+
 from repro.core.config import ResilienceConfig
 from repro.core.policies import policy_names
 
@@ -20,15 +24,51 @@ def scheme_syntax() -> str:
     """One-line description of the accepted scheme spellings."""
     return (
         "vanilla, refresh, serve-stale, combination, long-ttl:<days>, "
+        "swr[:<grace-seconds>], decoupled[:<ttl-days>], "
         + ", ".join(f"{p}:<credit>" for p in policy_names())
     )
+
+
+def _parse_parameter(
+    kind: str, parameter: str, text: str, positive: bool
+) -> float:
+    """Parse one numeric scheme parameter, rejecting nonsense values.
+
+    NaN/inf floats parse but poison everything downstream (a ``nan``
+    TTL never expires and never compares, an ``inf`` credit never
+    drains), so reject anything non-finite; negative (or, for
+    ``positive`` kinds, zero) parameters are equally meaningless.
+    """
+    try:
+        value = float(parameter)
+    except ValueError:
+        raise ValueError(
+            f"bad {kind} parameter {parameter!r} in scheme {text!r}"
+        ) from None
+    if not math.isfinite(value):
+        raise ValueError(
+            f"{kind} parameter must be finite, got {parameter!r} "
+            f"in scheme {text!r}"
+        )
+    if positive and value <= 0.0:
+        raise ValueError(
+            f"{kind} parameter must be positive, got {parameter!r} "
+            f"in scheme {text!r}"
+        )
+    if value < 0.0:
+        raise ValueError(
+            f"{kind} parameter must not be negative, got {parameter!r} "
+            f"in scheme {text!r}"
+        )
+    return value
 
 
 def parse_scheme(text: str) -> ResilienceConfig:
     """Parse the CLI scheme syntax into a :class:`ResilienceConfig`.
 
     Raises:
-        ValueError: for unknown scheme names or malformed parameters.
+        ValueError: for unknown scheme names or malformed, non-finite or
+            negative parameters.
     """
     lowered = text.strip().lower()
     if lowered == "vanilla":
@@ -39,18 +79,27 @@ def parse_scheme(text: str) -> ResilienceConfig:
         return ResilienceConfig.stale_serving()
     if lowered == "combination":
         return ResilienceConfig.combination()
+    if lowered == "swr":
+        return ResilienceConfig.swr()
+    if lowered == "decoupled":
+        return ResilienceConfig.decoupled()
     if ":" in lowered:
         kind, _, parameter = lowered.partition(":")
-        try:
-            value = float(parameter)
-        except ValueError:
-            raise ValueError(f"bad scheme parameter in {text!r}") from None
         if kind == "long-ttl":
+            value = _parse_parameter(kind, parameter, text, positive=True)
             return ResilienceConfig.refresh_long_ttl(value)
+        if kind == "swr":
+            value = _parse_parameter(kind, parameter, text, positive=True)
+            return ResilienceConfig.swr(value)
+        if kind == "decoupled":
+            value = _parse_parameter(kind, parameter, text, positive=True)
+            return ResilienceConfig.decoupled(value)
         if kind in policy_names():
+            value = _parse_parameter(kind, parameter, text, positive=False)
             return ResilienceConfig.refresh_renew(kind, value)
     raise ValueError(
         f"unknown scheme {text!r}; expected vanilla, refresh, serve-stale, "
-        f"combination, long-ttl:<days>, or one of "
+        f"combination, long-ttl:<days>, swr[:<grace-seconds>], "
+        f"decoupled[:<ttl-days>], or one of "
         f"{'/'.join(policy_names())}:<credit>"
     )

@@ -68,6 +68,12 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
             runner=_attack_grid.run,
         ),
         ExperimentDef(
+            name="renewal2",
+            help="swr/decoupled vs credit renewal at equal upstream budget",
+            spec_type=_attack_grid.Renewal2Spec,
+            runner=_attack_grid.run_renewal2,
+        ),
+        ExperimentDef(
             name="multiseed",
             help="multi-seed replication of the headline failure rates",
             spec_type=_multiseed.MultiSeedSpec,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.report import render_failure_block
+from repro.analysis.report import format_table, render_failure_block
 from repro.core.config import ResilienceConfig
 from repro.core.schemes import parse_scheme
 from repro.experiments.harness import AttackSpec
@@ -181,3 +181,114 @@ def run_scheme_grid(
 def vanilla_column() -> tuple[str, ResilienceConfig]:
     """The "DNS" contrast column the paper includes in Figures 6-11."""
     return ("DNS", ResilienceConfig.vanilla())
+
+
+# ---------------------------------------------------------------------------
+# Renewal 2.0: swr / decoupled vs credit-based renewal at equal budget
+# ---------------------------------------------------------------------------
+
+#: The default comparison set: the paper's adaptive renewal policies
+#: against the two post-paper families, all spelled in scheme syntax.
+RENEWAL2_SCHEMES = ("a-lru:3", "a-lfu:3", "swr", "decoupled:7")
+
+
+@dataclass(frozen=True)
+class Renewal2Row:
+    """One scheme's attack-survival vs upstream-spend numbers."""
+
+    label: str
+    sr_attack_failure_rate: float
+    cs_attack_failure_rate: float
+    stale_answer_rate: float
+    upstream_queries: int
+    upstream_per_stub: float
+
+
+@dataclass
+class Renewal2Result:
+    """The equal-upstream-budget comparison (the Renewal 2.0 figure)."""
+
+    attack_hours: float
+    rows: list[Renewal2Row]
+
+    def row(self, label: str) -> Renewal2Row:
+        for entry in self.rows:
+            if entry.label == label:
+                return entry
+        raise KeyError(label)
+
+    def render(self) -> str:
+        body = [
+            (
+                row.label,
+                f"{row.sr_attack_failure_rate * 100:.2f} %",
+                f"{row.cs_attack_failure_rate * 100:.2f} %",
+                f"{row.stale_answer_rate * 100:.2f} %",
+                row.upstream_queries,
+                f"{row.upstream_per_stub:.3f}",
+            )
+            for row in self.rows
+        ]
+        return format_table(
+            ("Scheme", "SR fail (attack)", "CS fail (attack)",
+             "Stale answers", "Upstream queries", "Upstream/stub"),
+            body,
+            title=(
+                f"Renewal 2.0 — {self.attack_hours:g} h attack, schemes "
+                "compared at equal upstream query budget (demand + renewal)"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Renewal2Spec:
+    """Declarative Renewal 2.0 comparison request (the registry's spec)."""
+
+    scale: Scale | None = None
+    seed: int = 7
+    attack_hours: float = 6.0
+    trace_limit: int | None = None
+    schemes: tuple[str, ...] = RENEWAL2_SCHEMES
+
+
+def run_renewal2(spec: Renewal2Spec) -> Renewal2Result:
+    """Registry entry point: replay every scheme over the week traces.
+
+    All schemes replay the same traces, seed and attack; the table
+    reports failure rates side by side with the upstream-query spend so
+    the comparison is read at equal budget (the ``upstream_queries``
+    column normalises the figure).
+    """
+    configs = [parse_scheme(scheme) for scheme in spec.schemes]
+    scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
+    attack = AttackSpec(start=scenario.attack_start,
+                        duration=spec.attack_hours * HOUR)
+    trace_names = _week_trace_names(scenario, spec.trace_limit)
+    cells = [
+        (config, trace_name)
+        for config in configs
+        for trace_name in trace_names
+    ]
+    specs = [
+        ReplaySpec.for_scenario(scenario, trace_name, config, attack=attack)
+        for config, trace_name in cells
+    ]
+    summaries = run_replays(specs)
+    rows = []
+    per_scheme = len(trace_names)
+    for index, config in enumerate(configs):
+        chunk = summaries[index * per_scheme:(index + 1) * per_scheme]
+        sr_rates = [s.sr_attack_failure_rate for s in chunk]
+        cs_rates = [s.cs_attack_failure_rate for s in chunk]
+        stale = sum(s.sr_stale_hits for s in chunk)
+        stub = sum(s.sr_queries for s in chunk)
+        upstream = sum(s.upstream_queries for s in chunk)
+        rows.append(Renewal2Row(
+            label=config.label,
+            sr_attack_failure_rate=sum(sr_rates) / len(sr_rates),
+            cs_attack_failure_rate=sum(cs_rates) / len(cs_rates),
+            stale_answer_rate=stale / stub if stub else 0.0,
+            upstream_queries=upstream,
+            upstream_per_stub=upstream / stub if stub else 0.0,
+        ))
+    return Renewal2Result(attack_hours=spec.attack_hours, rows=rows)

@@ -22,7 +22,6 @@ argument that the long-TTL downside is latency, not correctness.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
@@ -51,6 +50,17 @@ class ChurnReplayResult:
 
     total_queries: int
 
+    stale_answer_rate: float = 0.0
+    """Fraction of stub answers served from lapsed records (SWR/serve-
+    stale staleness actually handed to clients)."""
+
+    upstream_queries: int = 0
+    """Total CS -> AN messages (demand + renewal) — the equal-budget
+    currency the Renewal 2.0 comparison normalises by."""
+
+    invalidations: int = 0
+    """Update-channel invalidations applied (``decoupled`` only)."""
+
 
 @dataclass
 class ChurnExperimentResult:
@@ -66,11 +76,14 @@ class ChurnExperimentResult:
                 f"{row.sr_failure_rate * 100:.2f} %",
                 f"{row.mean_latency * 1000:.1f} ms",
                 row.stale_touches,
+                f"{row.stale_answer_rate * 100:.2f} %",
+                row.upstream_queries,
             )
             for row in self.rows
         ]
         return format_table(
-            ("Scheme", "SR failures", "Mean latency", "Obsolete-server hits"),
+            ("Scheme", "SR failures", "Mean latency", "Obsolete-server hits",
+             "Stale answers", "Upstream queries"),
             body,
             title=(
                 f"IRR churn — {self.churned_zones} zones migrate servers "
@@ -110,11 +123,16 @@ def run_churn_replay(
         metrics=metrics,
         seed=seed,
     )
+    # The update/invalidation channel: under `decoupled`, every landed
+    # migration notifies the caching server (which self-guards on
+    # config.update_channel, so the tuple is passed unconditionally).
+    listeners = (server.handle_invalidation,)
     for event in churn.events:
         engine.schedule(
             event.time,
             lambda now, event=event: apply_churn_event(
-                tree, event, decommission_old=churn.decommission_old
+                tree, event, decommission_old=churn.decommission_old,
+                listeners=listeners,
             ),
         )
     lost_before = network.queries_lost
@@ -128,6 +146,9 @@ def run_churn_replay(
         mean_latency=metrics.mean_latency,
         stale_touches=network.queries_lost - lost_before,
         total_queries=metrics.sr_queries,
+        stale_answer_rate=metrics.stale_answer_rate,
+        upstream_queries=metrics.total_outgoing,
+        invalidations=metrics.invalidations,
     )
 
 
@@ -164,6 +185,8 @@ def run(spec: ChurnSpec) -> ChurnExperimentResult:
         ResilienceConfig.refresh().with_label("refresh"),
         ResilienceConfig.refresh_long_ttl(3).with_label("refresh+ttl3d"),
         ResilienceConfig.refresh_long_ttl(7).with_label("refresh+ttl7d"),
+        ResilienceConfig.swr(),
+        ResilienceConfig.decoupled(7),
     ]
     rows = []
     churned = 0
@@ -184,32 +207,6 @@ def run(spec: ChurnSpec) -> ChurnExperimentResult:
         rows.append(run_churn_replay(built, trace, config, churn,
                                      seed=spec.seed))
     return ChurnExperimentResult(churned_zones=churned, rows=rows)
-
-
-def churn_experiment(
-    hierarchy_config: HierarchyConfig | None = None,
-    workload_config: WorkloadConfig | None = None,
-    churn_fraction: float = 0.3,
-    decommission_old: bool = True,
-    seed: int = 3,
-) -> ChurnExperimentResult:
-    """Deprecated shim: build a :class:`ChurnSpec` and call :func:`run`.
-
-    Emits a :class:`DeprecationWarning`; will be removed, see CHANGES.md.
-    """
-    warnings.warn(
-        "churn_experiment() is deprecated; use "
-        "EXPERIMENTS['churn'].run(ChurnSpec(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run(ChurnSpec(
-        seed=seed,
-        churn_fraction=churn_fraction,
-        decommission_old=decommission_old,
-        hierarchy=hierarchy_config,
-        workload=workload_config,
-    ))
 
 
 def _eligible_zone_count(built: BuiltHierarchy) -> int:

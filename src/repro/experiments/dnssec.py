@@ -15,7 +15,6 @@ combination scheme holds both variants near its usual floor.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
@@ -116,27 +115,3 @@ def run(spec: DnssecSpec) -> DnssecExperimentResult:
             )
         )
     return DnssecExperimentResult(rows=rows)
-
-
-def dnssec_experiment(
-    hierarchy_config: HierarchyConfig | None = None,
-    workload_config: WorkloadConfig | None = None,
-    attack_hours: float = 6.0,
-    seed: int = 5,
-) -> DnssecExperimentResult:
-    """Deprecated shim: build a :class:`DnssecSpec` and call :func:`run`.
-
-    Emits a :class:`DeprecationWarning`; will be removed, see CHANGES.md.
-    """
-    warnings.warn(
-        "dnssec_experiment() is deprecated; use "
-        "EXPERIMENTS['dnssec'].run(DnssecSpec(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run(DnssecSpec(
-        seed=seed,
-        attack_hours=attack_hours,
-        hierarchy=hierarchy_config,
-        workload=workload_config,
-    ))

@@ -365,7 +365,9 @@ def _validate_final_state(
     if server.renewal is not None:
         check_renewal_invariants(
             server.renewal, server.cache, now,
-            allow_stale_credit=config.serve_stale,
+            allow_stale_credit=(
+                config.serve_stale or config.swr_grace is not None
+            ),
         )
 
 

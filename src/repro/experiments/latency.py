@@ -11,9 +11,8 @@ other: fewer tree walks ⇒ fewer round trips ⇒ lower latency.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Sequence
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -79,22 +78,6 @@ def run(spec: LatencySpec) -> LatencyResult:
     """Registry entry point: build the scenario, run the comparison."""
     scenario = make_scenario(resolve_scale(spec.scale), seed=spec.seed)
     return _latency_experiment(scenario, trace_name=spec.trace_name)
-
-
-def latency_experiment(*args: Any, **kwargs: Any) -> LatencyResult:
-    """Deprecated alias kept from before the registry (PR 3).
-
-    Use ``EXPERIMENTS["latency"].run(LatencySpec(...))`` (or this
-    module's :func:`run`) instead; this alias will be removed, see
-    CHANGES.md.
-    """
-    warnings.warn(
-        "latency_experiment() is deprecated; use "
-        "EXPERIMENTS['latency'].run(LatencySpec(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _latency_experiment(*args, **kwargs)
 
 
 def _latency_experiment(

@@ -15,9 +15,7 @@ random-target strawman, with and without the combination scheme.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass
-from typing import Any
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -135,22 +133,6 @@ def run(spec: MaxDamageSpec) -> MaxDamageResult:
         attack_hours=spec.attack_hours,
         trace_name=spec.trace_name,
     )
-
-
-def max_damage_experiment(*args: Any, **kwargs: Any) -> MaxDamageResult:
-    """Deprecated alias kept from before the registry (PR 3).
-
-    Use ``EXPERIMENTS["maxdamage"].run(MaxDamageSpec(...))`` (or this
-    module's :func:`run`) instead; this alias will be removed, see
-    CHANGES.md.
-    """
-    warnings.warn(
-        "max_damage_experiment() is deprecated; use "
-        "EXPERIMENTS['maxdamage'].run(MaxDamageSpec(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _max_damage_experiment(*args, **kwargs)
 
 
 def _max_damage_experiment(

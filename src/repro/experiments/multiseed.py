@@ -11,9 +11,8 @@ form of every headline number.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Sequence
 
 from repro.analysis.report import format_table
 from repro.core.config import ResilienceConfig
@@ -107,22 +106,6 @@ def run(spec: MultiSeedSpec) -> MultiSeedResult:
         trace_name=spec.trace_name,
         attack_hours=spec.attack_hours,
     )
-
-
-def multiseed_experiment(*args: Any, **kwargs: Any) -> MultiSeedResult:
-    """Deprecated alias kept from before the registry (PR 3).
-
-    Use ``EXPERIMENTS["multiseed"].run(MultiSeedSpec(...))`` (or this
-    module's :func:`run`) instead; this alias will be removed, see
-    CHANGES.md.
-    """
-    warnings.warn(
-        "multiseed_experiment() is deprecated; use "
-        "EXPERIMENTS['multiseed'].run(MultiSeedSpec(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _multiseed_experiment(*args, **kwargs)
 
 
 def _multiseed_experiment(

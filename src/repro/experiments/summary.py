@@ -108,6 +108,11 @@ class ReplaySummary(AttackWindowRates):
     poison_cured: int = 0
     poison_dwells: tuple[float, ...] = ()
 
+    # Renewal 2.0 accounting (zero unless `swr` / `decoupled` is armed).
+    sr_stale_hits: int = 0
+    swr_refreshes: int = 0
+    invalidations: int = 0
+
     @classmethod
     def from_result(cls, result: "ReplayResult") -> "ReplaySummary":
         """Reduce a full replay result to its picklable summary."""
@@ -145,6 +150,9 @@ class ReplaySummary(AttackWindowRates):
             poison_stored=metrics.poison_stored,
             poison_cured=metrics.poison_cured,
             poison_dwells=tuple(metrics.poison_dwells),
+            sr_stale_hits=metrics.sr_stale_hits,
+            swr_refreshes=metrics.swr_refreshes,
+            invalidations=metrics.invalidations,
         )
 
     # -- failure rates ------------------------------------------------------
@@ -174,6 +182,19 @@ class ReplaySummary(AttackWindowRates):
     def total_outgoing(self) -> int:
         """All CS -> AN messages (demand + renewal): Table 2's currency."""
         return self.cs_demand_queries + self.cs_renewal_queries
+
+    @property
+    def upstream_queries(self) -> int:
+        """Alias of :attr:`total_outgoing` — the equal-budget currency
+        the Renewal 2.0 comparison normalises schemes by."""
+        return self.total_outgoing
+
+    @property
+    def stale_answer_rate(self) -> float:
+        """Fraction of stub answers served from lapsed records."""
+        if self.sr_queries == 0:
+            return 0.0
+        return self.sr_stale_hits / self.sr_queries
 
     @property
     def total_bytes(self) -> int:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.dns.name import Name
 from repro.dns.records import InfrastructureRecordSet, ResourceRecord, RRset
@@ -93,13 +94,24 @@ def fresh_server_set(
     return irrs, servers
 
 
+InvalidationListener = Callable[[Name, float], None]
+"""Called as ``listener(zone, time)`` after a migration lands — the
+update/invalidation channel of the ``decoupled`` scheme (caching servers
+subscribe :meth:`CachingServer.handle_invalidation`)."""
+
+
 def apply_churn_event(
-    tree: ZoneTree, event: ChurnEvent, decommission_old: bool = False
+    tree: ZoneTree,
+    event: ChurnEvent,
+    decommission_old: bool = False,
+    listeners: Iterable[InvalidationListener] = (),
 ) -> None:
     """Perform one migration on the live tree.
 
     The new set keeps the zone's current NS TTL and server count, so the
-    only thing that changes is *which* servers are authoritative.
+    only thing that changes is *which* servers are authoritative.  Each
+    ``listener`` is notified after the tree mutates, in subscription
+    order (deterministic).
     """
     zone = tree.zone(event.zone)
     current = zone.infrastructure_records
@@ -112,6 +124,8 @@ def apply_churn_event(
     tree.migrate_zone_servers(
         event.zone, irrs, servers, decommission_old=decommission_old
     )
+    for listener in listeners:
+        listener(event.zone, event.time)
 
 
 def generate_churn(

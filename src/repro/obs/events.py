@@ -98,6 +98,17 @@ class EventKind(enum.Enum):
     """A work limit refused an upstream sub-resolution (field
     ``mechanism``: ``fetch-budget`` / ``nxns-cap``)."""
 
+    # Renewal 2.0 (DESIGN.md §17).  Emitted only when the ``swr`` /
+    # ``decoupled`` schemes are armed, so pre-existing event logs keep
+    # their bytes.
+    CACHE_SWR_REFRESH = "cache.swr_refresh"
+    """A stale hit inside the SWR grace window scheduled one
+    deduplicated background refetch (fields: ``qname``, ``rrtype``)."""
+
+    CACHE_INVALIDATED = "cache.invalidated"
+    """A churn invalidation evicted a zone's stranded NS/glue and
+    queued a background re-learn (field ``zone``)."""
+
     # Engine timers.
     TIMER_FIRED = "engine.timer"
     """A scheduled virtual-time event fired."""

@@ -25,6 +25,7 @@ class ServeMetrics:
     __slots__ = (
         "udp_queries", "tcp_queries", "singleflight_hits", "stale_served",
         "truncated", "formerr", "servfail", "budget_rejections",
+        "stale_memo_entries",
     )
 
     def __init__(self) -> None:
@@ -36,6 +37,7 @@ class ServeMetrics:
         self.formerr = 0
         self.servfail = 0
         self.budget_rejections = 0
+        self.stale_memo_entries = 0
 
     @property
     def queries_total(self) -> int:
@@ -70,6 +72,10 @@ class ServeMetrics:
             "upstream-fetch budget.",
             "# TYPE repro_serve_budget_rejections_total counter",
             f"repro_serve_budget_rejections_total {self.budget_rejections}",
+            "# HELP repro_serve_stale_memo_entries "
+            "Entries currently held by the bounded serve-stale memo.",
+            "# TYPE repro_serve_stale_memo_entries gauge",
+            f"repro_serve_stale_memo_entries {self.stale_memo_entries}",
         ]
         return "\n".join(lines) + "\n"
 

@@ -313,10 +313,41 @@ class DnsFrontEnd:
                     if resolution.answer is not None
                     else _NEGATIVE_MEMO_TTL
                 )
-                self._last_good[key] = (clock.now(), ttl, resolution)
+                self._store_memo(key, clock.now(), ttl, resolution)
             return resolution
         finally:
             self._inflight.pop(key, None)
+
+    def _store_memo(
+        self, key: int, now: float, ttl: float, resolution: Resolution
+    ) -> None:
+        """File one answer in the serve-stale memo, keeping it bounded.
+
+        Unbounded growth was the PR-5 negative-cache bug shape all over
+        again: entries were only ever evicted when their exact key was
+        probed after expiry, so one pass over many distinct names pinned
+        memory forever.  Now every store re-inserts (so dict order is
+        storage order), sweeps entries past ``ttl + stale_grace`` when
+        the cap is hit, and falls back to oldest-stored eviction.
+        """
+        memo = self._last_good
+        limit = self.spec.stale_memo_max
+        if limit <= 0:
+            return
+        memo.pop(key, None)
+        memo[key] = (now, ttl, resolution)
+        if len(memo) > limit:
+            grace = self.spec.stale_grace
+            expired = [
+                stale_key
+                for stale_key, (stored_at, entry_ttl, _) in memo.items()
+                if now - stored_at > entry_ttl + grace
+            ]
+            for stale_key in expired:
+                del memo[stale_key]
+            while len(memo) > limit:
+                del memo[next(iter(memo))]
+        self.metrics.stale_memo_entries = len(memo)
 
     def _usable_memo(self, key: int) -> Resolution | None:
         if self.clock is None:
@@ -329,6 +360,7 @@ class DnsFrontEnd:
         if age <= ttl + self.spec.stale_grace:
             return resolution
         del self._last_good[key]
+        self.metrics.stale_memo_entries = len(self._last_good)
         return None
 
     def _render(

@@ -25,7 +25,8 @@ class ServeSpec:
         "help": "HTTP port for the Prometheus endpoint (0 picks, -1 disables)"})
     scheme: str = field(default="combination", metadata={
         "help": "resilience scheme for the resolver core "
-                "(vanilla, refresh, a-lfu:5, long-ttl:7, ...)"})
+                "(vanilla, refresh, a-lfu:5, long-ttl:7, swr:3600, "
+                "decoupled:7, ...)"})
     scale: Scale | None = field(default=None, metadata={
         "help": "zone-tree scale to build and answer from"})
     seed: int = field(default=7, metadata={
@@ -35,6 +36,10 @@ class ServeSpec:
     stale_grace: float = field(default=30.0, metadata={
         "help": "seconds a stale answer may be served while an identical "
                 "question is being refetched"})
+    stale_memo_max: int = field(default=4096, metadata={
+        "help": "max entries in the serve-stale memo (expired entries "
+                "are swept first, then oldest-stored; 0 disables the "
+                "memo entirely)"})
     client_fetch_budget: int = field(default=0, metadata={
         "help": "max concurrent upstream resolutions per client address "
                 "(0 = unlimited); over-budget queries get SERVFAIL"})
@@ -59,6 +64,8 @@ class ServeSpec:
             raise ValueError("udp_payload_max must be at least 64 octets")
         if self.stale_grace < 0:
             raise ValueError("stale_grace must be non-negative")
+        if self.stale_memo_max < 0:
+            raise ValueError("stale_memo_max must be non-negative")
         if self.client_fetch_budget < 0:
             raise ValueError("client_fetch_budget must be non-negative")
         if self.selftest_queries < 1 or self.selftest_clients < 1:

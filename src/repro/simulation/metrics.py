@@ -67,6 +67,11 @@ class ReplayMetrics:
     sr_cache_hits: int = 0
     sr_nxdomain: int = 0
     sr_validation_failures: int = 0
+    sr_stale_hits: int = 0
+
+    # Renewal 2.0 accounting (zero unless `swr` / `decoupled` is armed).
+    swr_refreshes: int = 0
+    invalidations: int = 0
 
     # Caching-server side.
     cs_demand_queries: int = 0
@@ -120,7 +125,8 @@ class ReplayMetrics:
 
     def record_sr_query(self, now: float, failed: bool, cache_hit: bool = False,
                         nxdomain: bool = False,
-                        validation_failed: bool = False) -> None:
+                        validation_failed: bool = False,
+                        stale: bool = False) -> None:
         self.sr_queries += 1
         if failed:
             self.sr_failures += 1
@@ -130,6 +136,8 @@ class ReplayMetrics:
             self.sr_nxdomain += 1
         if validation_failed:
             self.sr_validation_failures += 1
+        if stale:
+            self.sr_stale_hits += 1
         for window in self.windows:
             if window.contains(now):
                 window.sr_queries += 1
@@ -215,6 +223,19 @@ class ReplayMetrics:
     def total_outgoing(self) -> int:
         """All CS -> AN messages (demand + renewal): Table 2's currency."""
         return self.cs_demand_queries + self.cs_renewal_queries
+
+    @property
+    def upstream_queries(self) -> int:
+        """Alias of :attr:`total_outgoing` — the equal-budget currency
+        the Renewal 2.0 comparison normalises schemes by."""
+        return self.total_outgoing
+
+    @property
+    def stale_answer_rate(self) -> float:
+        """Fraction of stub answers served from lapsed records."""
+        if self.sr_queries == 0:
+            return 0.0
+        return self.sr_stale_hits / self.sr_queries
 
     @property
     def sr_failure_rate(self) -> float:

@@ -36,13 +36,20 @@ def _replay_plan(smoke: bool) -> list[ResilienceConfig]:
         label="refresh+cap256",
     )
     if smoke:
-        return [ResilienceConfig.combination(), bounded]
+        return [
+            ResilienceConfig.combination(),
+            bounded,
+            ResilienceConfig.swr(),
+            ResilienceConfig.decoupled(7.0),
+        ]
     return [
         ResilienceConfig.refresh(),
         ResilienceConfig.refresh_renew("a-lfu", 3.0),
         ResilienceConfig.refresh_long_ttl(7.0),
         ResilienceConfig.combination(),
         bounded,
+        ResilienceConfig.swr(),
+        ResilienceConfig.decoupled(7.0),
     ]
 
 
@@ -114,7 +121,9 @@ def add_validate_parser(
     validate.add_argument("--seed", type=int, default=7,
                           help="scenario seed for the differential replay")
     validate.add_argument("--smoke", action="store_true",
-                          help="short replay leg (CI): one day, two schemes")
+                          help="short replay leg (CI): one day, the smoke "
+                               "scheme set (combination, bounded, swr, "
+                               "decoupled)")
     validate.add_argument("--skip-replay", action="store_true",
                           help="corpus + fuzz only")
     validate.set_defaults(func=_cmd_validate)

@@ -207,6 +207,54 @@ CORPUS: tuple[CorpusCase, ...] = (
         ),
     ),
     CorpusCase(
+        name="stale-read-boundary",
+        rationale=(
+            "get_stale's max_stale bound is inclusive: a record exactly "
+            "max_stale seconds past expiry is still served, one tick "
+            "later it is not — the SWR grace window and the serve-stale "
+            "comparator both lean on this edge"
+        ),
+        max_entries=None,
+        max_effective_ttl=None,
+        ops=(
+            # Expires at t=10; stale reads probe the max_stale boundary.
+            ("put", "edge.test.", RRType.A, 10.0, Rank.AUTH_ANSWER, 0.0,
+             False, "10.0.0.1"),
+            ("get", "edge.test.", RRType.A, 40.0),           # miss (lapsed)
+            ("get_stale", "edge.test.", RRType.A, 40.0, 30.0),   # == bound
+            ("get_stale", "edge.test.", RRType.A, 40.5, 30.0),   # > bound
+            ("get_stale", "edge.test.", RRType.A, 40.0, 0.0),    # zero grace
+            ("get_stale", "edge.test.", RRType.A, 10.0, 0.0),    # at expiry
+            ("get_stale", "edge.test.", RRType.A, 500.0, None),  # unbounded
+            ("check", 40.0),
+        ),
+    ),
+    CorpusCase(
+        name="invalidation-evict-shape",
+        rationale=(
+            "the decoupled update channel evicts a migrated zone's NS "
+            "plus the glue it named; stale reads, best_zone and the "
+            "counters must all agree the zone is gone"
+        ),
+        max_entries=None,
+        max_effective_ttl=None,
+        ops=(
+            ("put", "z.test.", RRType.NS, 100.0, Rank.AUTH_AUTHORITY, 0.0,
+             False, "ns1.z.test."),
+            ("put", "ns1.z.test.", RRType.A, 100.0, Rank.ADDITIONAL, 0.0,
+             False, "10.0.0.1"),
+            ("best_zone", "host.z.test.", 1.0, False),
+            # The invalidation: glue first, then the NS set (the order
+            # CachingServer.handle_invalidation performs the eviction).
+            ("remove", "ns1.z.test.", RRType.A),
+            ("remove", "z.test.", RRType.NS),
+            ("get_stale", "z.test.", RRType.NS, 2.0, None),
+            ("best_zone", "host.z.test.", 2.0, True),
+            ("counts", 2.0),
+            ("check", 2.0),
+        ),
+    ),
+    CorpusCase(
         name="negative-entries-removed",
         rationale=(
             "remove() must clear the negative verdict under the same key "
@@ -397,7 +445,9 @@ def _random_op(rng: random.Random, now: float) -> Op:
     if roll < 0.60:
         return ("get", owner, rrtype, read_now)
     if roll < 0.66:
-        max_stale = rng.choice((None, 1.0, 30.0))
+        # 0.0 pins the at-expiry edge; 5.0 sits inside typical TTL+grace
+        # windows so the inclusive-boundary comparison is exercised.
+        max_stale = rng.choice((None, 0.0, 1.0, 5.0, 30.0))
         return ("get_stale", owner, rrtype, read_now, max_stale)
     if roll < 0.72:
         return ("put_negative", owner, rrtype, now, rng.choice(_TTLS))

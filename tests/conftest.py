@@ -31,6 +31,7 @@ def make_stack(
     attacks=None,
     gap_observer=None,
     faults=None,
+    validation=False,
 ):
     """Build a CachingServer wired to the mini internet."""
     engine = SimulationEngine()
@@ -43,5 +44,6 @@ def make_stack(
         config=config,
         metrics=metrics,
         gap_observer=gap_observer,
+        validation=validation,
     )
     return server, engine, network, metrics

@@ -1,0 +1,87 @@
+"""Tests for scheme-string parsing (``parse_scheme``) and its new families.
+
+Regression coverage for the parameter-validation bug: ``parse_scheme``
+used to accept non-finite and negative parameters (``long-ttl:nan``,
+``long-ttl:inf``, ``a-lfu:-3``) and hand them straight to the config,
+where they silently corrupted TTL math downstream.  Every rejection
+must name the offending parameter so the CLI error is actionable.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import DAY, ResilienceConfig
+from repro.core.schemes import parse_scheme, scheme_syntax
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize("bad", [
+        "long-ttl:nan", "long-ttl:inf", "long-ttl:-inf", "long-ttl:-2",
+        "long-ttl:0",
+        "swr:nan", "swr:inf", "swr:-600", "swr:0",
+        "decoupled:nan", "decoupled:inf", "decoupled:-1", "decoupled:0",
+        "a-lfu:nan", "a-lfu:inf", "a-lfu:-3",
+        "lru:nan", "a-lru:-1",
+    ])
+    def test_rejects_non_finite_and_non_positive(self, bad):
+        with pytest.raises(ValueError) as excinfo:
+            parse_scheme(bad)
+        # The error must name the offending parameter value.
+        parameter = bad.split(":", 1)[1]
+        assert parameter in str(excinfo.value)
+
+    def test_policy_credit_zero_still_allowed(self):
+        # Credit 0 is a legitimate degenerate policy (never renew);
+        # only the TTL/grace families require strictly positive values.
+        policy = parse_scheme("a-lfu:0").make_renewal_policy()
+        assert policy.credit == 0
+
+
+class TestNewFamilies:
+    def test_swr_default_grace(self):
+        config = parse_scheme("swr")
+        assert config.swr_grace == 3600.0
+        assert config.ttl_refresh
+        assert config.label == "swr3600s"
+
+    def test_swr_explicit_grace(self):
+        assert parse_scheme("swr:600").swr_grace == 600.0
+
+    def test_decoupled_default_days(self):
+        config = parse_scheme("decoupled")
+        assert config.long_ttl == 7 * DAY
+        assert config.update_channel
+        assert config.label == "decoupled7d"
+
+    def test_decoupled_explicit_days(self):
+        config = parse_scheme("decoupled:3")
+        assert config.long_ttl == 3 * DAY
+        assert config.update_channel
+
+    def test_syntax_lists_new_families(self):
+        text = scheme_syntax()
+        assert "swr" in text and "decoupled" in text
+
+    def test_new_configs_pickle_round_trip(self):
+        # Parallel sweeps ship configs across the worker pool boundary.
+        for spelling in ("swr:900", "decoupled:7"):
+            config = parse_scheme(spelling)
+            clone = pickle.loads(pickle.dumps(config))
+            assert clone == config
+
+
+class TestFactories:
+    def test_swr_factory_rejects_non_positive_grace(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig.swr(0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig.swr(-1.0)
+
+    def test_decoupled_factory_rejects_non_positive_days(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig.decoupled(0.0)
+
+    def test_describe_mentions_new_mechanisms(self):
+        assert "swr(3600s)" in ResilienceConfig.swr().describe()
+        assert "update-channel" in ResilienceConfig.decoupled().describe()

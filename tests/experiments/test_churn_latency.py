@@ -32,9 +32,32 @@ class TestChurnExperiment:
         seven = churn_result.row("refresh+ttl7d").stale_touches
         assert seven >= vanilla
 
+    def test_decoupled_beats_long_ttl_on_staleness(self, churn_result):
+        # Same long TTLs, but the invalidation channel evicts obsolete
+        # IRRs the instant a zone migrates: fewer obsolete-server
+        # touches at no availability cost (DESIGN.md §17).
+        long_ttl = churn_result.row("refresh+ttl7d")
+        decoupled = churn_result.row("decoupled7d")
+        assert decoupled.stale_touches < long_ttl.stale_touches
+        assert decoupled.sr_failure_rate <= long_ttl.sr_failure_rate
+
+    def test_decoupled_invalidations_recorded(self, churn_result):
+        assert churn_result.row("decoupled7d").invalidations > 0
+        # Without the update channel the listener is a no-op.
+        assert churn_result.row("refresh+ttl7d").invalidations == 0
+
+    def test_upstream_queries_accounted_for_every_row(self, churn_result):
+        for row in churn_result.rows:
+            assert row.upstream_queries > 0, row.label
+
+    def test_swr_row_present_with_bounded_staleness(self, churn_result):
+        row = churn_result.row("swr3600s")
+        assert 0.0 <= row.stale_answer_rate <= 1.0
+
     def test_render(self, churn_result):
         text = churn_result.render()
         assert "IRR churn" in text and "vanilla" in text
+        assert "Stale answers" in text and "Upstream queries" in text
 
     def test_unknown_row(self, churn_result):
         with pytest.raises(KeyError):

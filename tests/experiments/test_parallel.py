@@ -110,6 +110,40 @@ class TestDeterminism:
         fanned = run_replays(specs, workers=2)
         assert fanned == serial  # full dataclass equality, every counter
 
+    def test_swr_and_decoupled_identical_at_any_worker_count(
+        self, scenario, tmp_path
+    ):
+        # Renewal 2.0 (DESIGN.md §17): the background-refetch scheduling
+        # and the invalidation channel must not leak worker-count
+        # nondeterminism — summaries equal AND event logs byte-identical.
+        import filecmp
+
+        from repro.obs.spec import ObservationSpec
+
+        attack = AttackSpec(start=scenario.attack_start, duration=6 * 3600.0)
+
+        def specs(tag):
+            return [
+                ReplaySpec.for_scenario(
+                    scenario, "TRC1", config, attack=attack,
+                    observe=ObservationSpec(
+                        events_path=str(tmp_path / f"{config.label}-{tag}.jsonl")
+                    ),
+                )
+                for config in (ResilienceConfig.swr(),
+                               ResilienceConfig.decoupled(7.0))
+            ]
+
+        serial = run_replays(specs("serial"), workers=1)
+        fanned = run_replays(specs("fanned"), workers=4)
+        assert fanned == serial
+        assert serial[0].swr_refreshes > 0
+        assert serial[0].sr_stale_hits > 0
+        for label in ("swr3600s", "decoupled7d"):
+            assert filecmp.cmp(tmp_path / f"{label}-serial.jsonl",
+                               tmp_path / f"{label}-fanned.jsonl",
+                               shallow=False), label
+
     def test_parallel_fleet_matches_serial(self, scenario):
         spec = FleetSpec.for_scenario(
             scenario, ("TRC1", "TRC2"), ResilienceConfig.vanilla(),

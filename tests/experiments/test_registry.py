@@ -20,7 +20,7 @@ from repro.core.schemes import parse_scheme
 
 EXPECTED_NAMES = {
     "amplification", "attack-grid", "churn", "degradation", "dnssec",
-    "latency", "maxdamage", "multiseed", "poisoning",
+    "latency", "maxdamage", "multiseed", "poisoning", "renewal2",
 }
 
 

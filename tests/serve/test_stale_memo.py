@@ -1,0 +1,92 @@
+"""The bounded serve-stale memo: eviction order, sweep, and the gauge.
+
+Regression tests for the unbounded ``_last_good`` memo: entries were
+only evicted when their exact key was probed after expiry, so a pass
+over many distinct names pinned memory forever.  The memo is exercised
+directly (no sockets): ``_store_memo`` takes ``now`` as an argument
+and ``_usable_memo`` only needs a clock with ``now()``.
+"""
+
+from __future__ import annotations
+
+from repro.core.caching_server import Resolution, ResolutionOutcome
+from repro.serve.server import DnsFrontEnd
+from repro.serve.spec import ServeSpec
+
+
+class _Clock:
+    def __init__(self, now: float = 0.0) -> None:
+        self._now = now
+
+    def now(self) -> float:
+        return self._now
+
+
+def _front_end(**overrides) -> DnsFrontEnd:
+    spec = ServeSpec(port=0, metrics_port=-1, stale_grace=30.0, **overrides)
+    front_end = DnsFrontEnd(spec)
+    front_end.clock = _Clock()
+    return front_end
+
+
+_ANSWER = Resolution(ResolutionOutcome.ANSWERED, None)
+
+
+class TestMemoBound:
+    def test_capacity_never_exceeded(self):
+        front_end = _front_end(stale_memo_max=8)
+        for key in range(50):
+            front_end._store_memo(key, now=float(key), ttl=300.0, resolution=_ANSWER)
+            assert len(front_end._last_good) <= 8
+        assert front_end.metrics.stale_memo_entries == 8
+
+    def test_expired_entries_swept_before_live_eviction(self):
+        front_end = _front_end(stale_memo_max=3)
+        # Two entries long past ttl+grace by t=100, one still fresh.
+        front_end._store_memo(1, now=0.0, ttl=10.0, resolution=_ANSWER)
+        front_end._store_memo(2, now=0.0, ttl=10.0, resolution=_ANSWER)
+        front_end._store_memo(3, now=99.0, ttl=300.0, resolution=_ANSWER)
+        front_end._store_memo(4, now=100.0, ttl=300.0, resolution=_ANSWER)
+        # The sweep removed the expired pair, not the fresh entry.
+        assert set(front_end._last_good) == {3, 4}
+        assert front_end.metrics.stale_memo_entries == 2
+
+    def test_oldest_stored_evicted_when_nothing_expired(self):
+        front_end = _front_end(stale_memo_max=2)
+        front_end._store_memo(1, now=0.0, ttl=300.0, resolution=_ANSWER)
+        front_end._store_memo(2, now=1.0, ttl=300.0, resolution=_ANSWER)
+        front_end._store_memo(3, now=2.0, ttl=300.0, resolution=_ANSWER)
+        assert set(front_end._last_good) == {2, 3}
+
+    def test_restore_refreshes_storage_order(self):
+        front_end = _front_end(stale_memo_max=2)
+        front_end._store_memo(1, now=0.0, ttl=300.0, resolution=_ANSWER)
+        front_end._store_memo(2, now=1.0, ttl=300.0, resolution=_ANSWER)
+        # Re-storing key 1 moves it to the back: key 2 is now oldest.
+        front_end._store_memo(1, now=2.0, ttl=300.0, resolution=_ANSWER)
+        front_end._store_memo(3, now=3.0, ttl=300.0, resolution=_ANSWER)
+        assert set(front_end._last_good) == {1, 3}
+
+    def test_zero_max_disables_the_memo(self):
+        front_end = _front_end(stale_memo_max=0)
+        front_end._store_memo(1, now=0.0, ttl=300.0, resolution=_ANSWER)
+        assert not front_end._last_good
+        assert front_end.metrics.stale_memo_entries == 0
+
+
+class TestMemoProbe:
+    def test_usable_within_grace_then_dropped_past_it(self):
+        front_end = _front_end(stale_memo_max=8)
+        front_end._store_memo(1, now=0.0, ttl=10.0, resolution=_ANSWER)
+        front_end.clock._now = 40.0  # ttl 10 + grace 30: boundary
+        assert front_end._usable_memo(1) is _ANSWER
+        front_end.clock._now = 40.5
+        assert front_end._usable_memo(1) is None
+        assert 1 not in front_end._last_good
+        assert front_end.metrics.stale_memo_entries == 0
+
+    def test_gauge_rendered_in_scrape(self):
+        front_end = _front_end(stale_memo_max=8)
+        front_end._store_memo(1, now=0.0, ttl=300.0, resolution=_ANSWER)
+        text = front_end.metrics.render()
+        assert "repro_serve_stale_memo_entries 1" in text

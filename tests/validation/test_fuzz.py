@@ -14,4 +14,5 @@ class TestFuzzRuns:
         assert first == second
 
     def test_corpus_is_green(self):
-        assert run_corpus() == 5
+        # 5 original cases + the PR-10 stale-boundary/invalidation pair.
+        assert run_corpus() == 7
